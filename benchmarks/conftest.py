@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table or figure at the ``QUICK``
+profile (small synthetic datasets, narrow models) so the whole harness runs
+on a laptop CPU in minutes.  Swap in ``PAPER`` (``repro.experiments.PAPER``)
+to run the full-scale configuration.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round); the measured value is the wall-clock time of regenerating the
+table, and the table itself is attached to ``benchmark.extra_info`` and
+printed so the rows can be compared against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile used by all benchmarks."""
+    return QUICK
+
+
+def _run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    """Fixture: run a callable exactly once under pytest-benchmark."""
+    return _run_once

@@ -1,0 +1,34 @@
+"""Benchmark E12 — the efficiency columns of Table III (params / MACs / time).
+
+Paper claim (shape): LiPFormer's parameter count and MACs are one to two
+orders of magnitude below the Transformer-family baselines (PatchTST,
+iTransformer, TimeMixer) and its training / inference steps are faster;
+only DLinear is lighter, at a clear accuracy cost (checked in E1).
+"""
+
+from repro.experiments import run_efficiency_report
+
+
+def test_efficiency_columns(benchmark, profile, once):
+    table = once(
+        benchmark,
+        run_efficiency_report,
+        profile,
+        dataset="ETTh1",
+        models=("LiPFormer", "PatchTST", "DLinear", "iTransformer", "TimeMixer", "Transformer"),
+    )
+    print()
+    print(table.to_text(float_format="{:.5f}"))
+    assert len(table) == 6
+
+    rows = {row["model"]: row for row in table.rows}
+    lip = rows["LiPFormer"]
+    # Parameter ordering: DLinear < LiPFormer < PatchTST <= Transformer-family.
+    assert rows["DLinear"]["parameters"] < lip["parameters"]
+    assert lip["parameters"] < rows["PatchTST"]["parameters"]
+    assert lip["parameters"] < rows["iTransformer"]["parameters"]
+    # MACs ordering: LiPFormer below PatchTST and the vanilla Transformer.
+    assert lip["macs"] < rows["PatchTST"]["macs"]
+    assert lip["macs"] < rows["Transformer"]["macs"]
+    # Wall-clock: a LiPFormer training step is faster than a PatchTST step.
+    assert lip["train_step_s"] < rows["PatchTST"]["train_step_s"]

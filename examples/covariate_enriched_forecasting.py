@@ -1,0 +1,103 @@
+"""Weak data enriching on the Electricity-Price scenario (paper Section IV-C).
+
+The Electricity-Price dataset ships *explicit* future covariates — grid load
+forecasts, wind/solar projections, per-location weather and a holiday flag
+(61 fields, paper Table IV).  This example shows the paper's two-stage
+procedure:
+
+1. pre-train the Covariate Encoder / Target Encoder pair with the CLIP-style
+   contrastive objective;
+2. freeze the Covariate Encoder and train the Base Predictor with the
+   Vector-Mapping guidance.
+
+It then compares against LiPFormer without the Covariate Encoder
+(reproducing the shape of paper Figure 6) and prints the contrastive logits
+diagnostics behind Figure 7.
+
+Run with::
+
+    python examples/covariate_enriched_forecasting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ModelConfig, TrainingConfig, prepare_forecasting_data
+from repro.core import LiPFormer
+from repro.training import ContrastivePretrainer, Trainer, run_experiment
+
+
+def main() -> None:
+    data = prepare_forecasting_data(
+        "ElectricityPrice",
+        input_length=96,
+        horizon=24,
+        n_timestamps=3000,
+        n_channels=6,
+        stride=2,
+        seed=2021,
+    )
+    print(
+        f"dataset={data.name}: {data.covariate_numerical_dim} numerical + "
+        f"{len(data.covariate_categorical_cardinalities)} categorical future covariates"
+    )
+
+    config = ModelConfig(
+        input_length=96,
+        horizon=24,
+        n_channels=data.n_channels,
+        patch_length=24,
+        hidden_dim=64,
+        dropout=0.1,
+        covariate_numerical_dim=data.covariate_numerical_dim,
+        covariate_categorical_cardinalities=data.covariate_categorical_cardinalities,
+        covariate_embed_dim=4,
+        covariate_hidden_dim=32,
+    )
+    training = TrainingConfig(epochs=5, batch_size=64, learning_rate=1e-3, patience=3, pretrain_epochs=2)
+
+    # --- Stage 1 + 2, handled by run_experiment(pretrain=True) ------------- #
+    with_encoder = run_experiment(
+        LiPFormer(config), data, training, model_name="LiPFormer (future enc)", pretrain=True
+    )
+    without_encoder = run_experiment(
+        LiPFormer(config, use_covariate_guidance=False),
+        data,
+        training,
+        model_name="LiPFormer (without enc)",
+        pretrain=False,
+    )
+    print("\nFigure 6 shape — effect of the future Covariate Encoder:")
+    print(f"  with encoder:    mse={with_encoder.mse:.4f}  mae={with_encoder.mae:.4f}")
+    print(f"  without encoder: mse={without_encoder.mse:.4f}  mae={without_encoder.mae:.4f}")
+    improvement = 100.0 * (without_encoder.mse - with_encoder.mse) / without_encoder.mse
+    print(f"  MSE reduction from weak data enriching: {improvement:.1f}%")
+
+    # --- Figure 7 diagnostics: the contrastive logits matrix --------------- #
+    model = LiPFormer(config)
+    dual_encoder = model.build_dual_encoder()
+    ContrastivePretrainer(dual_encoder, training).fit(data)
+    batch = data.validation.as_arrays(np.arange(min(64, len(data.validation))))
+    logits = dual_encoder.logits_matrix(
+        batch["y"], batch["future_numerical"], batch["future_categorical"]
+    )
+    diagonal = float(np.diag(logits).mean())
+    off_diagonal = float(logits[~np.eye(len(logits), dtype=bool)].mean())
+    print("\nFigure 7 shape — contrastive logits on an unshuffled validation batch:")
+    print(f"  diagonal mean = {diagonal:.3f}, off-diagonal mean = {off_diagonal:.3f} "
+          f"(margin {diagonal - off_diagonal:.3f})")
+
+    # --- Inference with explicit covariates -------------------------------- #
+    trainer = Trainer(model, training)
+    model.freeze_covariate_encoder()
+    trainer.fit(data)
+    sample = data.test.as_arrays(np.array([0]))
+    forecast = model.predict(sample["x"], sample["future_numerical"], sample["future_categorical"])
+    print("\nsample electricity-price forecast (channel 0, first 8 steps):")
+    print("  predicted:", np.round(forecast[0, :8, 0], 3))
+    print("  actual:   ", np.round(sample["y"][0, :8, 0], 3))
+
+
+if __name__ == "__main__":
+    main()

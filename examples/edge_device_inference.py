@@ -1,0 +1,72 @@
+"""Edge-device style inference comparison (paper Table VII).
+
+The paper deploys LiPFormer and a vanilla Transformer on a CPU-only edge box
+and measures seconds per inference as the input window grows.  This example
+reproduces that comparison on the local CPU (optionally limiting BLAS
+threads to emulate a weaker device) and also prints the parameter / MAC
+comparison behind Table III's efficiency columns.
+
+Run with::
+
+    python examples/edge_device_inference.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelConfig, create_model
+from repro.baselines import PAPER_BASELINES
+from repro.profiling import (
+    edge_inference_profile,
+    human_readable_count,
+    measure_macs,
+    time_training_step,
+)
+
+
+def main() -> None:
+    n_channels = 7          # ETTh1-style channel count
+    horizon = 24
+    base_config = ModelConfig(
+        input_length=96,
+        horizon=horizon,
+        n_channels=n_channels,
+        patch_length=24,
+        hidden_dim=64,
+        dropout=0.0,
+    )
+
+    # --- Table VII shape: seconds per inference vs input length ------------ #
+    input_lengths = (96, 192, 336, 720)
+    print(f"single-sample CPU inference seconds (channels={n_channels}):")
+    print(f"{'model':>14s} | " + " | ".join(f"T={length:<4d}" for length in input_lengths))
+    profiles = {}
+    for model_name in ("Transformer", "LiPFormer"):
+        profiles[model_name] = edge_inference_profile(
+            model_factory=lambda config, name=model_name: create_model(name, config),
+            base_config=base_config,
+            input_lengths=input_lengths,
+            batch_size=1,
+            n_threads=4,     # emulate a small CPU
+        )
+        row = " | ".join(f"{profiles[model_name][length]:.4f}" for length in input_lengths)
+        print(f"{model_name:>14s} | {row}")
+    speedups = [
+        profiles["Transformer"][length] / profiles["LiPFormer"][length] for length in input_lengths
+    ]
+    print("LiPFormer speedup over Transformer: "
+          + ", ".join(f"{speedup:.1f}x" for speedup in speedups))
+
+    # --- Table III efficiency columns: parameters and MACs ----------------- #
+    print("\nparameters and MACs for one forward pass (batch 32):")
+    print(f"{'model':>14s} | {'params':>10s} | {'MACs':>10s} | {'train step (s)':>14s}")
+    for model_name in ("LiPFormer",) + tuple(PAPER_BASELINES) + ("Transformer",):
+        model = create_model(model_name, base_config)
+        print(
+            f"{model_name:>14s} | {human_readable_count(model.num_parameters()):>10s} | "
+            f"{human_readable_count(measure_macs(model, batch_size=32)):>10s} | "
+            f"{time_training_step(model, batch_size=32):>14.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Transplanting the Covariate Encoder onto other forecasters (paper Table XII).
+
+The weak-data-enriching module is designed to be plug-and-play: any
+forecaster can be wrapped with :class:`repro.core.transplant.CovariateEnrichedModel`
+to receive the pre-trained covariate guidance.  This example wraps Informer
+and the vanilla Transformer, trains each with and without the encoder on the
+Electricity-Price scenario and reports the accuracy change.
+
+Run with::
+
+    python examples/transplant_covariate_encoder.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelConfig, TrainingConfig, create_model, prepare_forecasting_data
+from repro.core.transplant import CovariateEnrichedModel
+from repro.training import run_experiment
+
+
+def main() -> None:
+    data = prepare_forecasting_data(
+        "ElectricityPrice",
+        input_length=96,
+        horizon=24,
+        n_timestamps=3000,
+        n_channels=6,
+        stride=4,
+        seed=2021,
+    )
+    config = ModelConfig(
+        input_length=96,
+        horizon=24,
+        n_channels=data.n_channels,
+        patch_length=24,
+        hidden_dim=48,
+        dropout=0.1,
+        n_heads=4,
+        n_layers=2,
+        covariate_numerical_dim=data.covariate_numerical_dim,
+        covariate_categorical_cardinalities=data.covariate_categorical_cardinalities,
+        covariate_embed_dim=4,
+        covariate_hidden_dim=24,
+    )
+    training = TrainingConfig(epochs=3, batch_size=64, learning_rate=1e-3, pretrain_epochs=2)
+
+    print("Table XII shape — Covariate Encoder transplanted onto other models")
+    print(f"{'model':>12s} | {'mse (plain)':>12s} | {'mse (+encoder)':>14s} | {'change':>8s}")
+    for model_name in ("Informer", "Transformer"):
+        plain = run_experiment(
+            create_model(model_name, config), data, training, model_name=model_name, pretrain=False
+        )
+        enriched_model = CovariateEnrichedModel(create_model(model_name, config), config)
+        enriched = run_experiment(
+            enriched_model, data, training, model_name=f"{model_name}+enc", pretrain=True
+        )
+        change = 100.0 * (enriched.mse - plain.mse) / plain.mse
+        print(
+            f"{model_name:>12s} | {plain.mse:>12.4f} | {enriched.mse:>14.4f} | {change:>7.1f}%"
+        )
+    print("\nNegative change = the transplanted Covariate Encoder reduced the error.")
+
+
+if __name__ == "__main__":
+    main()

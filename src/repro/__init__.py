@@ -1,0 +1,37 @@
+"""LiPFormer reproduction: lightweight patch-wise Transformer forecasting.
+
+This package reproduces "Towards Lightweight Time Series Forecasting: A
+Patch-Wise Transformer with Weak Data Enriching" (ICDE 2025).  The public
+API groups into:
+
+* ``repro.nn``          — NumPy autograd / layers / optimizers substrate
+* ``repro.data``        — synthetic benchmark datasets and the data pipeline
+* ``repro.core``        — LiPFormer (Base Predictor, Covariate Encoder, dual
+                          encoder, ablation variants)
+* ``repro.baselines``   — DLinear, PatchTST, TiDE, iTransformer, TimeMixer,
+                          FGNN, Transformer/Informer/Autoformer
+* ``repro.training``    — trainers, metrics, experiment runner
+* ``repro.profiling``   — parameters, MACs, timing, edge emulation
+* ``repro.experiments`` — drivers regenerating every paper table / figure
+"""
+
+from .config import ModelConfig, TrainingConfig
+from .core import LiPFormer
+from .baselines import available_models, create_model
+from .data import load_dataset, prepare_forecasting_data
+from .training import Trainer, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "TrainingConfig",
+    "LiPFormer",
+    "available_models",
+    "create_model",
+    "load_dataset",
+    "prepare_forecasting_data",
+    "Trainer",
+    "run_experiment",
+    "__version__",
+]

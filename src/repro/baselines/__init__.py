@@ -1,0 +1,35 @@
+"""``repro.baselines`` — re-implementations of the paper's comparison models."""
+
+from .crossformer import Crossformer
+from .dlinear import DLinear, NLinear
+from .fgnn import FGNN
+from .itransformer import ITransformer
+from .lightts import LightTS
+from .patchtst import PatchTST, TransformerEncoderLayer
+from .reformer import Reformer
+from .registry import MODEL_REGISTRY, PAPER_BASELINES, available_models, create_model
+from .tide import ResidualMLPBlock, TiDE
+from .timemixer import TimeMixer
+from .transformer import Autoformer, Informer, VanillaTransformer
+
+__all__ = [
+    "Crossformer",
+    "DLinear",
+    "NLinear",
+    "FGNN",
+    "ITransformer",
+    "LightTS",
+    "PatchTST",
+    "Reformer",
+    "TransformerEncoderLayer",
+    "MODEL_REGISTRY",
+    "PAPER_BASELINES",
+    "available_models",
+    "create_model",
+    "ResidualMLPBlock",
+    "TiDE",
+    "TimeMixer",
+    "Autoformer",
+    "Informer",
+    "VanillaTransformer",
+]

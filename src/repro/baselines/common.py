@@ -1,0 +1,51 @@
+"""Shared utilities for the baseline forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+
+__all__ = ["sinusoidal_positional_encoding", "moving_average_matrix", "dft_basis"]
+
+
+def sinusoidal_positional_encoding(length: int, dim: int) -> np.ndarray:
+    """Classic sine/cosine positional encoding of shape ``[length, dim]``."""
+    position = np.arange(length, dtype=np.float64)[:, None]
+    div_term = np.exp(np.arange(0, dim, 2, dtype=np.float64) * (-np.log(10000.0) / dim))
+    encoding = np.zeros((length, dim), dtype=np.float64)
+    encoding[:, 0::2] = np.sin(position * div_term)
+    encoding[:, 1::2] = np.cos(position * div_term[: (dim - dim // 2)])
+    return encoding.astype(np.float32)
+
+
+def moving_average_matrix(length: int, kernel_size: int) -> np.ndarray:
+    """Return a ``[length, length]`` matrix that applies a centred moving average.
+
+    Multiplying a series (as a row vector per sample) by the transpose of
+    this matrix yields its trend component, replicating the decomposition
+    used by DLinear and Autoformer without a convolution primitive.  Edges
+    are handled by shrinking the window (equivalent to edge padding).
+    """
+    if kernel_size < 1:
+        raise ValueError("kernel_size must be positive")
+    half = kernel_size // 2
+    matrix = np.zeros((length, length), dtype=np.float32)
+    for t in range(length):
+        start = max(0, t - half)
+        stop = min(length, t + half + 1)
+        matrix[t, start:stop] = 1.0 / (stop - start)
+    return matrix
+
+
+def dft_basis(length: int, n_frequencies: int) -> tuple[np.ndarray, np.ndarray]:
+    """Real DFT basis (cosine, sine) matrices of shape ``[length, n_frequencies]``.
+
+    Used by the FourierGNN-style baseline to move a series into the
+    frequency domain with plain matrix multiplication, which keeps the
+    operation differentiable in the autograd engine.
+    """
+    t = np.arange(length, dtype=np.float64)[:, None]
+    k = np.arange(n_frequencies, dtype=np.float64)[None, :]
+    angle = 2.0 * np.pi * t * k / length
+    return np.cos(angle).astype(np.float32), np.sin(angle).astype(np.float32)

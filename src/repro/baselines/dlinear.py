@@ -1,0 +1,72 @@
+"""DLinear and NLinear baselines (Zeng et al., AAAI 2023).
+
+DLinear decomposes the input into trend (moving average) and seasonal
+(residual) components and forecasts each with a single linear layer shared
+across channels.  NLinear subtracts the last value, applies one linear
+layer and adds the value back.  Both are the strongest *lightweight*
+baselines in the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import Linear, Tensor
+from ..core.base import ForecastModel
+from ..core.revin import LastValueNormalizer
+from .common import moving_average_matrix
+
+__all__ = ["DLinear", "NLinear"]
+
+
+class DLinear(ForecastModel):
+    """Decomposition + per-component linear forecasting."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        kernel_size: int = 25,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        self.trend_linear = Linear(config.input_length, config.horizon, rng=generator)
+        self.seasonal_linear = Linear(config.input_length, config.horizon, rng=generator)
+        self._average = Tensor(moving_average_matrix(config.input_length, kernel_size))
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        series = x.transpose(0, 2, 1)                      # [b, c, T]
+        trend = series @ self._average.transpose(1, 0)     # moving average along time
+        seasonal = series - trend
+        forecast = self.trend_linear(trend) + self.seasonal_linear(seasonal)  # [b, c, L]
+        return forecast.transpose(0, 2, 1)
+
+
+class NLinear(ForecastModel):
+    """Last-value normalised single linear layer."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        self.linear = Linear(config.input_length, config.horizon, rng=generator)
+        self.normalizer = LastValueNormalizer()
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        normalized, last = self.normalizer.normalize(x)
+        forecast = self.linear(normalized.transpose(0, 2, 1)).transpose(0, 2, 1)
+        return self.normalizer.denormalize(forecast, last)

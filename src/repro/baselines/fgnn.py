@@ -1,0 +1,86 @@
+"""FourierGNN-style baseline (Yi et al., NeurIPS 2023), simplified.
+
+FourierGNN treats every (variate, timestamp) value as a node of a
+hypervariate graph and performs graph convolutions in the Fourier domain.
+Without complex-number autograd support, this implementation keeps the two
+defining ingredients with real arithmetic:
+
+* the series is moved into the frequency domain by multiplying with a real
+  DFT basis (cosine and sine matrices);
+* learnable per-frequency mixing layers (shared across channels, plus a
+  cross-channel mixing layer) act as the Fourier-domain graph operator;
+* the result is mapped back to the time domain with the transposed basis and
+  projected to the forecast horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import GELU, Linear, Sequential, Tensor
+from ..core.base import ForecastModel
+from ..core.revin import LastValueNormalizer
+from .common import dft_basis
+
+__all__ = ["FGNN"]
+
+
+class FGNN(ForecastModel):
+    """Frequency-domain mixing forecaster."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        n_frequencies: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        self.n_frequencies = n_frequencies or max(8, config.input_length // 4)
+        cos_basis, sin_basis = dft_basis(config.input_length, self.n_frequencies)
+        self._cos = Tensor(cos_basis)   # [T, F]
+        self._sin = Tensor(sin_basis)
+        hidden = config.hidden_dim
+        self.frequency_mixer = Sequential(
+            Linear(2 * self.n_frequencies, hidden, rng=generator),
+            GELU(),
+            Linear(hidden, 2 * self.n_frequencies, rng=generator),
+        )
+        self.channel_mixer = Linear(config.n_channels, config.n_channels, rng=generator)
+        self.normalizer = LastValueNormalizer()
+        self.head = Linear(config.input_length, config.horizon, rng=generator)
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        normalized, last = self.normalizer.normalize(x)
+        series = normalized.transpose(0, 2, 1)                    # [b, c, T]
+
+        real = series @ self._cos                                  # [b, c, F]
+        imaginary = series @ self._sin
+        spectrum = nn_concat(real, imaginary)                      # [b, c, 2F]
+        mixed = self.frequency_mixer(spectrum) + spectrum
+        mixed_real = mixed[:, :, : self.n_frequencies]
+        mixed_imag = mixed[:, :, self.n_frequencies :]
+        # Back to the time domain via the transposed basis (scaled inverse DFT).
+        reconstructed = (
+            mixed_real @ self._cos.transpose(1, 0) + mixed_imag @ self._sin.transpose(1, 0)
+        ) * (2.0 / self.config.input_length)
+
+        cross_channel = self.channel_mixer(reconstructed.transpose(0, 2, 1)).transpose(0, 2, 1)
+        forecast = self.head(reconstructed + cross_channel)        # [b, c, L]
+        return self.normalizer.denormalize(forecast.transpose(0, 2, 1), last)
+
+
+def nn_concat(real: Tensor, imaginary: Tensor) -> Tensor:
+    """Concatenate real and imaginary parts along the last axis."""
+    from ..nn import concatenate
+
+    return concatenate([real, imaginary], axis=-1)

@@ -1,0 +1,58 @@
+"""iTransformer baseline (Liu et al., ICLR 2024).
+
+The "inverted" Transformer: each *variate* (channel) becomes one token whose
+embedding is the whole input window; self-attention therefore exchanges
+information across channels rather than across time.  A linear head maps
+each variate token back to the forecast horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import Dropout, LayerNorm, Linear, ModuleList, Tensor
+from ..core.base import ForecastModel
+from ..core.revin import LastValueNormalizer
+from .patchtst import TransformerEncoderLayer
+
+__all__ = ["ITransformer"]
+
+
+class ITransformer(ForecastModel):
+    """Variate-token Transformer encoder."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        embed_dim = config.hidden_dim
+        self.normalizer = LastValueNormalizer()
+        self.variate_embedding = Linear(config.input_length, embed_dim, rng=generator)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    embed_dim, config.n_heads, dropout=config.dropout, rng=generator
+                )
+                for _ in range(config.n_layers)
+            ]
+        )
+        self.norm = LayerNorm(embed_dim)
+        self.dropout = Dropout(config.dropout, rng=generator)
+        self.head = Linear(embed_dim, config.horizon, rng=generator)
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        normalized, last = self.normalizer.normalize(x)
+        variate_tokens = self.variate_embedding(normalized.transpose(0, 2, 1))  # [b, c, d]
+        for layer in self.layers:
+            variate_tokens = layer(variate_tokens)
+        variate_tokens = self.norm(variate_tokens)
+        forecast = self.head(self.dropout(variate_tokens)).transpose(0, 2, 1)   # [b, L, c]
+        return self.normalizer.denormalize(forecast, last)

@@ -1,0 +1,76 @@
+"""LightTS-style baseline: light sampling-oriented MLP forecasting.
+
+LightTS (Zhang et al.) forecasts with two complementary down-sampling views
+of the input — *continuous* chunks that preserve local detail and *interval*
+(strided) samples that expose periodicity — each processed by a small MLP
+and fused by a linear head.  It is the other "lightweight" family member in
+the paper's Table I and a useful sanity check that LiPFormer's gains are not
+simply due to being small.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..core.base import ForecastModel
+from ..core.revin import LastValueNormalizer
+from ..nn import GELU, Linear, Sequential, Tensor
+from ..nn import concatenate
+
+__all__ = ["LightTS"]
+
+
+class LightTS(ForecastModel):
+    """Continuous + interval down-sampling MLP forecaster."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        chunk_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        self.chunk_size = chunk_size or config.patch_length
+        if config.input_length % self.chunk_size != 0:
+            raise ValueError(
+                f"chunk_size ({self.chunk_size}) must divide input_length ({config.input_length})"
+            )
+        self.n_chunks = config.input_length // self.chunk_size
+        hidden = config.hidden_dim
+        self.normalizer = LastValueNormalizer()
+        # MLP over the continuous view: mixes within each chunk.
+        self.continuous_mlp = Sequential(
+            Linear(self.chunk_size, hidden, rng=generator), GELU(), Linear(hidden, 1, rng=generator)
+        )
+        # MLP over the interval view: mixes within each strided sample.
+        self.interval_mlp = Sequential(
+            Linear(self.n_chunks, hidden, rng=generator), GELU(), Linear(hidden, 1, rng=generator)
+        )
+        self.head = Linear(self.n_chunks + self.chunk_size, config.horizon, rng=generator)
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        batch, length, channels = x.shape
+        normalized, last = self.normalizer.normalize(x)
+        series = normalized.transpose(0, 2, 1).reshape(batch * channels, length)
+
+        # Continuous view: [b*c, n_chunks, chunk] -> one value per chunk.
+        continuous = series.reshape(batch * channels, self.n_chunks, self.chunk_size)
+        continuous_features = self.continuous_mlp(continuous).squeeze(-1)          # [b*c, n_chunks]
+
+        # Interval view: [b*c, chunk, n_chunks] (stride = chunk) -> one value per offset.
+        interval = continuous.transpose(0, 2, 1)
+        interval_features = self.interval_mlp(interval).squeeze(-1)                 # [b*c, chunk]
+
+        fused = concatenate([continuous_features, interval_features], axis=-1)
+        forecast = self.head(fused).reshape(batch, channels, self.config.horizon)
+        return self.normalizer.denormalize(forecast.transpose(0, 2, 1), last)

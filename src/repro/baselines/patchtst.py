@@ -1,0 +1,100 @@
+"""PatchTST baseline (Nie et al., ICLR 2023).
+
+Channel-independent patching followed by a standard Transformer encoder
+(multi-head attention + LayerNorm + feed-forward) over patch tokens, with a
+flattened linear forecasting head.  This is the strongest Transformer
+baseline in the paper and the architecture LiPFormer "lightweights".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import (
+    Dropout,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadSelfAttention,
+    Sequential,
+    Tensor,
+)
+from ..core.base import ForecastModel
+from ..core.patching import patchify
+from ..core.revin import LastValueNormalizer
+from .common import sinusoidal_positional_encoding
+
+__all__ = ["TransformerEncoderLayer", "PatchTST"]
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm Transformer encoder block: MHA + FFN, both with residuals."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        n_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        ffn_dim = ffn_dim if ffn_dim is not None else 4 * embed_dim
+        self.attention = MultiHeadSelfAttention(embed_dim, n_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+        self.ffn = Sequential(
+            Linear(embed_dim, ffn_dim, rng=rng),
+            GELU(),
+            Dropout(dropout, rng=rng),
+            Linear(ffn_dim, embed_dim, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        return x + self.ffn(self.norm2(x))
+
+
+class PatchTST(ForecastModel):
+    """Patch-wise Transformer with channel independence."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        embed_dim = config.hidden_dim
+        self.normalizer = LastValueNormalizer()
+        self.patch_embedding = Linear(config.patch_length, embed_dim, rng=generator)
+        self.positional = Tensor(sinusoidal_positional_encoding(config.n_patches, embed_dim))
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    embed_dim, config.n_heads, dropout=config.dropout, rng=generator
+                )
+                for _ in range(config.n_layers)
+            ]
+        )
+        self.dropout = Dropout(config.dropout, rng=generator)
+        self.head = Linear(config.n_patches * embed_dim, config.horizon, rng=generator)
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        batch, _, channels = x.shape
+        normalized, last = self.normalizer.normalize(x)
+        patches = patchify(normalized, self.config.patch_length)       # [b*c, n, pl]
+        tokens = self.patch_embedding(patches) + self.positional        # [b*c, n, d]
+        for layer in self.layers:
+            tokens = layer(tokens)
+        flattened = tokens.reshape(batch * channels, self.config.n_patches * self.config.hidden_dim)
+        forecast = self.head(self.dropout(flattened))                   # [b*c, L]
+        forecast = forecast.reshape(batch, channels, self.config.horizon).transpose(0, 2, 1)
+        return self.normalizer.denormalize(forecast, last)

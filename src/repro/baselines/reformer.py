@@ -1,0 +1,73 @@
+"""Reformer-style baseline: chunked (bucketed) attention over point tokens.
+
+Reformer (Kitaev et al., ICLR 2020) reduces the O(T^2) attention cost by
+restricting attention to hash buckets.  Without locality-sensitive hashing
+machinery, the defining cost structure is preserved here by *chunked local
+attention*: tokens attend only within fixed-size contiguous chunks, giving
+O(T·chunk) cost.  The model otherwise follows the point-wise Transformer
+baseline (value embedding + positional encoding + flattened head).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import ModuleList, Tensor
+from .patchtst import TransformerEncoderLayer
+from .transformer import _PointWiseTransformerBase
+
+__all__ = ["Reformer"]
+
+
+class Reformer(_PointWiseTransformerBase):
+    """Point-wise Transformer with chunked local attention."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        chunk_size: int = 24,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config, rng=rng)
+        if chunk_size < 2:
+            raise ValueError(f"chunk_size must be at least 2, got {chunk_size}")
+        self.chunk_size = min(chunk_size, config.input_length)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    config.hidden_dim, config.n_heads, dropout=config.dropout, rng=self._rng
+                )
+                for _ in range(config.n_layers)
+            ]
+        )
+
+    def _chunked(self, tokens: Tensor, layer: TransformerEncoderLayer) -> Tensor:
+        """Apply an encoder layer independently to contiguous chunks."""
+        batch, length, dim = tokens.shape
+        chunk = self.chunk_size
+        usable = (length // chunk) * chunk
+        body = tokens[:, :usable, :].reshape(batch * (usable // chunk), chunk, dim)
+        body = layer(body).reshape(batch, usable, dim)
+        if usable == length:
+            return body
+        tail = layer(tokens[:, usable:, :])
+        from ..nn import concatenate
+
+        return concatenate([body, tail], axis=1)
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        batch = x.shape[0]
+        normalized, last = self.normalizer.normalize(x)
+        tokens = self._embed(normalized)
+        for layer in self.layers:
+            tokens = self._chunked(tokens, layer)
+        return self.normalizer.denormalize(self._project(tokens, batch), last)

@@ -1,0 +1,72 @@
+"""Model registry / factory used by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..core.base import ForecastModel
+from ..core.lipformer import LiPFormer
+from .crossformer import Crossformer
+from .dlinear import DLinear, NLinear
+from .fgnn import FGNN
+from .itransformer import ITransformer
+from .lightts import LightTS
+from .patchtst import PatchTST
+from .reformer import Reformer
+from .tide import TiDE
+from .timemixer import TimeMixer
+from .transformer import Autoformer, Informer, VanillaTransformer
+
+__all__ = ["MODEL_REGISTRY", "available_models", "create_model", "PAPER_BASELINES"]
+
+ModelFactory = Callable[..., ForecastModel]
+
+MODEL_REGISTRY: Dict[str, ModelFactory] = {
+    "LiPFormer": LiPFormer,
+    "PatchTST": PatchTST,
+    "DLinear": DLinear,
+    "NLinear": NLinear,
+    "TiDE": TiDE,
+    "iTransformer": ITransformer,
+    "TimeMixer": TimeMixer,
+    "FGNN": FGNN,
+    "Transformer": VanillaTransformer,
+    "Informer": Informer,
+    "Autoformer": Autoformer,
+    "Crossformer": Crossformer,
+    "LightTS": LightTS,
+    "Reformer": Reformer,
+}
+
+#: the comparison set used in the paper's Table III / V / IX
+PAPER_BASELINES: List[str] = [
+    "iTransformer",
+    "TimeMixer",
+    "FGNN",
+    "PatchTST",
+    "DLinear",
+    "TiDE",
+]
+
+
+def available_models() -> List[str]:
+    """Names of all registered forecasting models."""
+    return list(MODEL_REGISTRY)
+
+
+def create_model(
+    name: str,
+    config: ModelConfig,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> ForecastModel:
+    """Instantiate a registered model by (case-insensitive) name."""
+    lookup = {key.lower(): key for key in MODEL_REGISTRY}
+    key = lookup.get(name.lower())
+    if key is None:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    factory = MODEL_REGISTRY[key]
+    return factory(config, rng=rng, **kwargs)

@@ -1,0 +1,102 @@
+"""TimeMixer-style baseline (Wang et al., 2024), simplified.
+
+TimeMixer forecasts with decomposable multi-scale mixing: the input is
+downsampled into several temporal scales, each scale is decomposed into
+seasonal and trend parts which are mixed across scales with MLPs, and a
+per-scale prediction head ensembles the forecasts.  This implementation
+keeps the two defining ingredients — multi-scale downsampling and
+season/trend mixing MLPs — at a size comparable to the original small
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import GELU, Linear, ModuleList, Sequential, Tensor
+from ..core.base import ForecastModel
+from ..core.revin import LastValueNormalizer
+from .common import moving_average_matrix
+
+__all__ = ["TimeMixer"]
+
+
+class TimeMixer(ForecastModel):
+    """Multi-scale season/trend mixing MLP forecaster."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        n_scales: int = 3,
+        kernel_size: int = 25,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        self.n_scales = n_scales
+        self.normalizer = LastValueNormalizer()
+        self._scale_lengths: List[int] = []
+        self._pool_matrices: List[Tensor] = []
+        self._average_matrices: List[Tensor] = []
+        length = config.input_length
+        for scale in range(n_scales):
+            self._scale_lengths.append(length)
+            self._average_matrices.append(Tensor(moving_average_matrix(length, kernel_size)))
+            if scale < n_scales - 1:
+                next_length = max(length // 2, 4)
+                pool = np.zeros((next_length, length), dtype=np.float32)
+                ratio = length / next_length
+                for row in range(next_length):
+                    start = int(row * ratio)
+                    stop = max(start + int(ratio), start + 1)
+                    pool[row, start:stop] = 1.0 / (stop - start)
+                self._pool_matrices.append(Tensor(pool))
+                length = next_length
+
+        hidden = config.hidden_dim
+        self.seasonal_mixers = ModuleList(
+            [
+                Sequential(Linear(l, hidden, rng=generator), GELU(), Linear(hidden, l, rng=generator))
+                for l in self._scale_lengths
+            ]
+        )
+        self.trend_mixers = ModuleList(
+            [
+                Sequential(Linear(l, hidden, rng=generator), GELU(), Linear(hidden, l, rng=generator))
+                for l in self._scale_lengths
+            ]
+        )
+        self.heads = ModuleList(
+            [Linear(l, config.horizon, rng=generator) for l in self._scale_lengths]
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        normalized, last = self.normalizer.normalize(x)
+        series = normalized.transpose(0, 2, 1)  # [b, c, T]
+
+        scales = [series]
+        for pool in self._pool_matrices:
+            scales.append(scales[-1] @ pool.transpose(1, 0))
+
+        forecast = None
+        for index, scale_series in enumerate(scales):
+            trend = scale_series @ self._average_matrices[index].transpose(1, 0)
+            seasonal = scale_series - trend
+            mixed = (
+                self.seasonal_mixers[index](seasonal)
+                + self.trend_mixers[index](trend)
+                + scale_series
+            )
+            scale_forecast = self.heads[index](mixed)
+            forecast = scale_forecast if forecast is None else forecast + scale_forecast
+        forecast = forecast / float(len(scales))
+        return self.normalizer.denormalize(forecast.transpose(0, 2, 1), last)

@@ -1,0 +1,172 @@
+"""Point-wise Transformer baselines: vanilla Transformer, Informer, Autoformer.
+
+These three heavyweight models share a point-wise (per-timestamp) token
+embedding and a stack of encoder layers; they differ in how the encoder
+processes tokens:
+
+* ``VanillaTransformer`` — the standard encoder (MHA + LN + FFN) applied to
+  all ``T`` tokens, complexity ``O(T^2)``;
+* ``Informer`` — adds Informer's *distilling*: after each encoder layer the
+  sequence length is halved by average pooling, approximating the effect of
+  ProbSparse attention + self-attention distilling on cost;
+* ``Autoformer`` — applies series decomposition (moving average) inside each
+  block and processes the seasonal part with attention while accumulating
+  the trend part, following Autoformer's progressive decomposition.
+
+All three use a flattened linear head for direct multi-step forecasting so
+that the comparison with LiPFormer isolates the encoder cost, matching how
+the paper deploys them for Table VII and Table XII.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import Dropout, LayerNorm, Linear, ModuleList, Tensor
+from ..core.base import ForecastModel
+from ..core.revin import LastValueNormalizer
+from .common import moving_average_matrix, sinusoidal_positional_encoding
+from .patchtst import TransformerEncoderLayer
+
+__all__ = ["VanillaTransformer", "Informer", "Autoformer"]
+
+
+class _PointWiseTransformerBase(ForecastModel):
+    """Shared embedding / head machinery for the point-wise models."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        self._rng = generator
+        embed_dim = config.hidden_dim
+        self.normalizer = LastValueNormalizer()
+        self.value_embedding = Linear(config.n_channels, embed_dim, rng=generator)
+        self.positional = Tensor(sinusoidal_positional_encoding(config.input_length, embed_dim))
+        self.dropout = Dropout(config.dropout, rng=generator)
+        self.head = Linear(embed_dim, config.horizon * config.n_channels, rng=generator)
+
+    def _embed(self, normalized: Tensor) -> Tensor:
+        return self.value_embedding(normalized) + self.positional
+
+    def _project(self, encoded: Tensor, batch: int) -> Tensor:
+        pooled = encoded.mean(axis=1)                                   # [b, d]
+        flat = self.head(self.dropout(pooled))                           # [b, L*c]
+        return flat.reshape(batch, self.config.horizon, self.config.n_channels)
+
+
+class VanillaTransformer(_PointWiseTransformerBase):
+    """Standard Transformer encoder over per-timestamp tokens."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config, rng=rng)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    config.hidden_dim, config.n_heads, dropout=config.dropout, rng=self._rng
+                )
+                for _ in range(config.n_layers)
+            ]
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        batch = x.shape[0]
+        normalized, last = self.normalizer.normalize(x)
+        tokens = self._embed(normalized)
+        for layer in self.layers:
+            tokens = layer(tokens)
+        return self.normalizer.denormalize(self._project(tokens, batch), last)
+
+
+class Informer(_PointWiseTransformerBase):
+    """Transformer encoder with Informer-style sequence distilling."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config, rng=rng)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    config.hidden_dim, config.n_heads, dropout=config.dropout, rng=self._rng
+                )
+                for _ in range(config.n_layers)
+            ]
+        )
+
+    @staticmethod
+    def _distill(tokens: Tensor) -> Tensor:
+        """Halve the token count by averaging adjacent pairs."""
+        batch, length, dim = tokens.shape
+        if length < 2:
+            return tokens
+        even_length = (length // 2) * 2
+        trimmed = tokens[:, :even_length, :]
+        pairs = trimmed.reshape(batch, even_length // 2, 2, dim)
+        return pairs.mean(axis=2)
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        batch = x.shape[0]
+        normalized, last = self.normalizer.normalize(x)
+        tokens = self._embed(normalized)
+        for index, layer in enumerate(self.layers):
+            tokens = layer(tokens)
+            if index < len(self.layers) - 1:
+                tokens = self._distill(tokens)
+        return self.normalizer.denormalize(self._project(tokens, batch), last)
+
+
+class Autoformer(_PointWiseTransformerBase):
+    """Decomposition Transformer with progressive trend accumulation."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        kernel_size: int = 25,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config, rng=rng)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    config.hidden_dim, config.n_heads, dropout=config.dropout, rng=self._rng
+                )
+                for _ in range(config.n_layers)
+            ]
+        )
+        self._average = Tensor(moving_average_matrix(config.input_length, kernel_size))
+        self.trend_head = Linear(config.input_length, config.horizon, rng=self._rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        batch = x.shape[0]
+        normalized, last = self.normalizer.normalize(x)
+        # Progressive decomposition: attention models the seasonal part,
+        # a linear layer extrapolates the trend part.
+        series = normalized.transpose(0, 2, 1)                    # [b, c, T]
+        trend = series @ self._average.transpose(1, 0)
+        seasonal = (series - trend).transpose(0, 2, 1)             # [b, T, c]
+
+        tokens = self._embed(seasonal)
+        for layer in self.layers:
+            tokens = layer(tokens)
+        seasonal_forecast = self._project(tokens, batch)            # [b, L, c]
+        trend_forecast = self.trend_head(trend).transpose(0, 2, 1)  # [b, L, c]
+        return self.normalizer.denormalize(seasonal_forecast + trend_forecast, last)

@@ -1,0 +1,45 @@
+"""``repro.core`` — the paper's primary contribution: LiPFormer."""
+
+from .attention_blocks import CrossPatchAttention, InterPatchAttention
+from .base import ForecastModel
+from .base_predictor import BasePredictor
+from .covariate_encoder import CovariateEncoder, TargetEncoder
+from .dual_encoder import DualEncoder
+from .lipformer import LiPFormer
+from .patching import patchify, trend_sequences, unpatchify_forecast
+from .revin import LastValueNormalizer
+from .variants import (
+    ABLATION_VARIANTS,
+    lipformer_full,
+    lipformer_with_ffn,
+    lipformer_with_ffn_and_layernorm,
+    lipformer_with_layernorm,
+    lipformer_without_both,
+    lipformer_without_covariate_guidance,
+    lipformer_without_cross_patch,
+    lipformer_without_inter_patch,
+)
+
+__all__ = [
+    "CrossPatchAttention",
+    "InterPatchAttention",
+    "ForecastModel",
+    "BasePredictor",
+    "CovariateEncoder",
+    "TargetEncoder",
+    "DualEncoder",
+    "LiPFormer",
+    "patchify",
+    "trend_sequences",
+    "unpatchify_forecast",
+    "LastValueNormalizer",
+    "ABLATION_VARIANTS",
+    "lipformer_full",
+    "lipformer_with_ffn",
+    "lipformer_with_layernorm",
+    "lipformer_with_ffn_and_layernorm",
+    "lipformer_without_cross_patch",
+    "lipformer_without_inter_patch",
+    "lipformer_without_both",
+    "lipformer_without_covariate_guidance",
+]

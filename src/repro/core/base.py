@@ -1,0 +1,77 @@
+"""Common interface implemented by LiPFormer and every baseline model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import Module, Tensor, as_tensor
+
+__all__ = ["ForecastModel"]
+
+
+class ForecastModel(Module):
+    """Base class for multivariate forecasters.
+
+    Sub-classes implement :meth:`forward` taking a history tensor of shape
+    ``[batch, input_length, channels]`` plus optional future covariates and
+    returning a forecast of shape ``[batch, horizon, channels]``.
+
+    ``supports_covariates`` advertises whether the model consumes the
+    covariate arguments; the trainer passes them only when supported so that
+    covariate-agnostic baselines (DLinear, PatchTST, ...) match the paper's
+    protocol.
+    """
+
+    #: whether the model consumes explicit/implicit future covariates
+    supports_covariates: bool = False
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__()
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def predict(
+        self,
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Inference helper: NumPy in, NumPy out, no gradient tracking."""
+        from ..nn import no_grad
+
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                output = self.forward(
+                    as_tensor(np.asarray(x, dtype=np.float32)),
+                    future_numerical=future_numerical,
+                    future_categorical=future_categorical,
+                )
+        finally:
+            self.train(was_training)
+        return output.data
+
+    def _validate_input(self, x: Tensor) -> None:
+        if x.ndim != 3:
+            raise ValueError(f"expected input of shape [batch, time, channels], got {x.shape}")
+        if x.shape[1] != self.config.input_length:
+            raise ValueError(
+                f"expected input_length {self.config.input_length}, got {x.shape[1]}"
+            )
+        if x.shape[2] != self.config.n_channels:
+            raise ValueError(
+                f"expected {self.config.n_channels} channels, got {x.shape[2]}"
+            )

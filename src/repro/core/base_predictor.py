@@ -1,0 +1,128 @@
+"""LiPFormer's Base Predictor backbone (paper Figure 4).
+
+Pipeline for one mini-batch ``[b, T, c]``:
+
+1. instance normalisation (subtract the last observed value);
+2. channel-independent patch division into ``[b*c, n, pl]``;
+3. Cross-Patch attention over trend sequences (+ residual);
+4. linear embedding of each patch into the hidden space ``[b*c, n, hd]``
+   (the "Inter-Patch MLP");
+5. Inter-Patch attention over patch tokens (+ residual);
+6. an FFN-less prediction head: a linear mix across the patch axis
+   (``n -> nt``), a GELU, and a linear map back to patch values
+   (``hd -> pl``);
+7. reassembly into ``[b, L, c]`` and de-normalisation.
+
+The constructor flags ``use_cross_patch``, ``use_inter_patch_attention``,
+``use_layer_norm`` and ``use_ffn`` exist solely for the paper's ablation
+studies (Tables X and XI); the published LiPFormer uses the defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import Dropout, LayerNorm, Linear, Module, Sequential, GELU, Tensor
+from ..nn import functional as F
+from .attention_blocks import CrossPatchAttention, InterPatchAttention
+from .base import ForecastModel
+from .patching import patchify, unpatchify_forecast
+from .revin import LastValueNormalizer
+
+__all__ = ["BasePredictor"]
+
+
+class BasePredictor(ForecastModel):
+    """The lightweight patch-wise backbone used by LiPFormer."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        use_cross_patch: bool = True,
+        use_inter_patch_attention: bool = True,
+        use_layer_norm: bool = False,
+        use_ffn: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        pl = config.patch_length
+        hd = config.hidden_dim
+        n = config.n_patches
+        nt = config.n_target_patches
+
+        self.use_cross_patch = use_cross_patch
+        self.use_inter_patch_attention = use_inter_patch_attention
+        self.use_layer_norm = use_layer_norm
+        self.use_ffn = use_ffn
+        self.normalizer = LastValueNormalizer()
+
+        if use_cross_patch:
+            self.cross_patch = CrossPatchAttention(n, pl, dropout=config.dropout, rng=generator)
+        else:
+            # Ablation "w/o Cross-Patch attn.": a plain linear layer instead.
+            self.cross_patch_linear = Linear(pl, pl, rng=generator)
+
+        self.patch_embedding = Linear(pl, hd, rng=generator)
+
+        if use_inter_patch_attention:
+            self.inter_patch = InterPatchAttention(hd, pl, dropout=config.dropout, rng=generator)
+        else:
+            # Ablation "w/o Inter-Patch attn.": a plain linear layer instead.
+            self.inter_patch_linear = Linear(hd, hd, rng=generator)
+
+        if use_layer_norm:
+            self.layer_norm = LayerNorm(hd)
+        if use_ffn:
+            self.ffn = Sequential(
+                Linear(hd, 4 * hd, rng=generator),
+                GELU(),
+                Linear(4 * hd, hd, rng=generator),
+            )
+
+        self.dropout = Dropout(config.dropout, rng=generator)
+        self.temporal_head = Linear(n, nt, rng=generator)
+        self.value_head = Linear(hd, pl, rng=generator)
+        # Zero-initialise the final projection so an untrained model exactly
+        # reproduces the naive last-value forecast (the instance-normalisation
+        # baseline); training then only has to learn the residual structure.
+        self.value_head.weight.data[...] = 0.0
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        self._validate_input(x)
+        batch, _, channels = x.shape
+        normalized, last_value = self.normalizer.normalize(x)
+
+        patches = patchify(normalized, self.config.patch_length)  # [b*c, n, pl]
+        if self.use_cross_patch:
+            patches = self.cross_patch(patches)
+        else:
+            patches = self.cross_patch_linear(patches) + patches
+
+        tokens = self.patch_embedding(patches)  # [b*c, n, hd]
+        if self.use_inter_patch_attention:
+            tokens = self.inter_patch(tokens)
+        else:
+            tokens = self.inter_patch_linear(tokens) + tokens
+
+        if self.use_layer_norm:
+            tokens = self.layer_norm(tokens)
+        if self.use_ffn:
+            tokens = self.ffn(tokens) + tokens
+
+        # FFN-less head: mix across the patch axis, then map back to values.
+        mixed = self.temporal_head(tokens.transpose(0, 2, 1))     # [b*c, hd, nt]
+        mixed = F.gelu(mixed).transpose(0, 2, 1)                   # [b*c, nt, hd]
+        target_patches = self.value_head(self.dropout(mixed))      # [b*c, nt, pl]
+
+        forecast = unpatchify_forecast(target_patches, batch, channels, self.config.horizon)
+        return self.normalizer.denormalize(forecast, last_value)

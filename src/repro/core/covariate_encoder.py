@@ -1,0 +1,139 @@
+"""Covariate Encoder and Target Encoder (paper Figure 5, Eqs. 3-7).
+
+The Covariate Encoder turns explicit (weather forecasts, load forecasts,
+holiday flags, ...) or implicit (calendar) future covariates into a single
+``[batch, horizon]`` representation vector; the Target Encoder does the same
+for ground-truth future sequences.  The two are trained jointly with a
+CLIP-style contrastive objective (see :mod:`repro.core.dual_encoder`) and the
+frozen Covariate Encoder then guides the Base Predictor through the Vector
+Mapping layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Embedding, Linear, Module, ModuleList, ResidualSelfAttention, Tensor, as_tensor
+from ..nn import concatenate
+
+__all__ = ["CovariateEncoder", "TargetEncoder"]
+
+
+class CovariateEncoder(Module):
+    """Encode future covariates into a ``[batch, horizon]`` vector.
+
+    Textual / categorical covariates are embedded and concatenated with the
+    numerical covariates (Eq. 3); the result is projected to the hidden size
+    (Eq. 4), passed through a residual self-attention over the horizon
+    (Eq. 5), flattened and projected down to ``horizon`` values (Eq. 6).
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        numerical_dim: int,
+        categorical_cardinalities: Sequence[int],
+        embed_dim: int = 8,
+        hidden_dim: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if numerical_dim < 0:
+            raise ValueError("numerical_dim must be non-negative")
+        if numerical_dim == 0 and not categorical_cardinalities:
+            raise ValueError("the covariate encoder needs at least one covariate channel")
+        generator = rng if rng is not None else np.random.default_rng(0)
+        self.horizon = horizon
+        self.numerical_dim = numerical_dim
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.embeddings = ModuleList(
+            [Embedding(cardinality, embed_dim, rng=generator) for cardinality in categorical_cardinalities]
+        )
+        total_dim = numerical_dim + len(categorical_cardinalities) * embed_dim
+        self.input_projection = Linear(total_dim, hidden_dim, rng=generator)
+        self.attention = ResidualSelfAttention(hidden_dim, rng=generator)
+        self.output_projection = Linear(horizon * hidden_dim, horizon, rng=generator)
+
+    # ------------------------------------------------------------------ #
+    def _concatenate_inputs(
+        self,
+        numerical: Optional[np.ndarray],
+        categorical: Optional[np.ndarray],
+    ) -> Tensor:
+        pieces = []
+        if self.numerical_dim:
+            if numerical is None:
+                raise ValueError("numerical covariates are required but missing")
+            numerical = np.asarray(numerical, dtype=np.float32)
+            if numerical.shape[-1] != self.numerical_dim:
+                raise ValueError(
+                    f"expected {self.numerical_dim} numerical covariates, got {numerical.shape[-1]}"
+                )
+            pieces.append(as_tensor(numerical))
+        if len(self.embeddings):
+            if categorical is None:
+                raise ValueError("categorical covariates are required but missing")
+            categorical = np.asarray(categorical, dtype=np.int64)
+            if categorical.shape[-1] != len(self.embeddings):
+                raise ValueError(
+                    f"expected {len(self.embeddings)} categorical covariates, "
+                    f"got {categorical.shape[-1]}"
+                )
+            for column, embedding in enumerate(self.embeddings):
+                pieces.append(embedding(categorical[..., column]))
+        return concatenate(pieces, axis=-1) if len(pieces) > 1 else pieces[0]
+
+    def forward(
+        self,
+        numerical: Optional[np.ndarray],
+        categorical: Optional[np.ndarray],
+    ) -> Tensor:
+        combined = self._concatenate_inputs(numerical, categorical)  # [b, L, cf']
+        if combined.shape[1] != self.horizon:
+            raise ValueError(
+                f"covariates must cover the forecast horizon {self.horizon}, got {combined.shape[1]}"
+            )
+        hidden = self.input_projection(combined)                     # [b, L, hd]
+        attended = self.attention(hidden)                            # [b, L, hd]
+        batch = attended.shape[0]
+        flattened = attended.reshape(batch, self.horizon * self.hidden_dim)
+        return self.output_projection(flattened)                     # [b, L]
+
+
+class TargetEncoder(Module):
+    """Encode ground-truth future sequences into a ``[batch, horizon]`` vector.
+
+    Mirrors the Covariate Encoder but skips the embedding / concatenation
+    step (Eq. 7): the target channels are projected straight to the hidden
+    size.
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        n_channels: int,
+        hidden_dim: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng(0)
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.input_projection = Linear(n_channels, hidden_dim, rng=generator)
+        self.attention = ResidualSelfAttention(hidden_dim, rng=generator)
+        self.output_projection = Linear(horizon * hidden_dim, horizon, rng=generator)
+
+    def forward(self, targets) -> Tensor:
+        targets = as_tensor(np.asarray(targets, dtype=np.float32) if isinstance(targets, np.ndarray) else targets)
+        if targets.shape[1] != self.horizon:
+            raise ValueError(
+                f"targets must cover the forecast horizon {self.horizon}, got {targets.shape[1]}"
+            )
+        hidden = self.input_projection(targets)
+        attended = self.attention(hidden)
+        batch = attended.shape[0]
+        flattened = attended.reshape(batch, self.horizon * self.hidden_dim)
+        return self.output_projection(flattened)

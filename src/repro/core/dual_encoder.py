@@ -1,0 +1,57 @@
+"""Dual-encoder contrastive pre-training (paper Section III-B, Figure 1 top).
+
+Given a batch of ``(future covariates, target sequence)`` pairs, the
+Covariate Encoder and the Target Encoder each produce a ``[batch, horizon]``
+representation; a CLIP-style symmetric cross-entropy pulls the ``b``
+matching pairs together and pushes the ``b^2 - b`` mismatched pairs apart.
+After pre-training the Target Encoder is discarded and the frozen Covariate
+Encoder guides the Base Predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module, SymmetricContrastiveLoss, Tensor
+from .covariate_encoder import CovariateEncoder, TargetEncoder
+
+__all__ = ["DualEncoder"]
+
+
+class DualEncoder(Module):
+    """Covariate Encoder + Target Encoder + symmetric contrastive loss."""
+
+    def __init__(
+        self,
+        covariate_encoder: CovariateEncoder,
+        target_encoder: TargetEncoder,
+        temperature: float = 0.07,
+    ) -> None:
+        super().__init__()
+        self.covariate_encoder = covariate_encoder
+        self.target_encoder = target_encoder
+        self.loss_fn = SymmetricContrastiveLoss(temperature=temperature)
+
+    def forward(
+        self,
+        targets: np.ndarray,
+        future_numerical: Optional[np.ndarray],
+        future_categorical: Optional[np.ndarray],
+    ) -> Tensor:
+        """Return the contrastive loss for one batch of covariate-target pairs."""
+        covariate_embeddings = self.covariate_encoder(future_numerical, future_categorical)
+        target_embeddings = self.target_encoder(targets)
+        return self.loss_fn(target_embeddings, covariate_embeddings)
+
+    def logits_matrix(
+        self,
+        targets: np.ndarray,
+        future_numerical: Optional[np.ndarray],
+        future_categorical: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Return the ``[b, b]`` similarity matrix visualised in paper Figure 7."""
+        covariate_embeddings = self.covariate_encoder(future_numerical, future_categorical)
+        target_embeddings = self.target_encoder(targets)
+        return self.loss_fn.logits(target_embeddings, covariate_embeddings).data

@@ -1,0 +1,123 @@
+"""The complete LiPFormer model (paper Figure 1).
+
+``prediction = BasePredictor(history) + VectorMapping(CovariateEncoder(F))``
+
+The Covariate Encoder is pre-trained contrastively against a Target Encoder
+(see :mod:`repro.core.dual_encoder`), then frozen; the Vector Mapping linear
+layer is trained together with the Base Predictor and learns how much of the
+covariate signal to inject (paper Eq. 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import Linear, Parameter, Tensor
+from .base import ForecastModel
+from .base_predictor import BasePredictor
+from .covariate_encoder import CovariateEncoder, TargetEncoder
+from .dual_encoder import DualEncoder
+
+__all__ = ["LiPFormer"]
+
+
+class LiPFormer(ForecastModel):
+    """Lightweight Patch-wise Transformer with weak data enriching."""
+
+    supports_covariates = True
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        use_covariate_guidance: bool = True,
+        use_cross_patch: bool = True,
+        use_inter_patch_attention: bool = True,
+        use_layer_norm: bool = False,
+        use_ffn: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        self.base_predictor = BasePredictor(
+            config,
+            use_cross_patch=use_cross_patch,
+            use_inter_patch_attention=use_inter_patch_attention,
+            use_layer_norm=use_layer_norm,
+            use_ffn=use_ffn,
+            rng=generator,
+        )
+        self.use_covariate_guidance = use_covariate_guidance and config.has_covariates
+        self.covariate_encoder: Optional[CovariateEncoder] = None
+        self.vector_mapping: Optional[Linear] = None
+        self._covariate_encoder_frozen = False
+        if self.use_covariate_guidance:
+            self.covariate_encoder = CovariateEncoder(
+                horizon=config.horizon,
+                numerical_dim=config.covariate_numerical_dim,
+                categorical_cardinalities=config.covariate_categorical_cardinalities,
+                embed_dim=config.covariate_embed_dim,
+                hidden_dim=config.covariate_hidden_dim,
+                rng=generator,
+            )
+            self.vector_mapping = Linear(config.horizon, config.horizon, rng=generator)
+            # Start with no covariate guidance: the Vector Mapping layer learns
+            # how much of the (frozen) Covariate Encoder signal to inject.
+            self.vector_mapping.weight.data[...] = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Pre-training support
+    # ------------------------------------------------------------------ #
+    def build_dual_encoder(self, rng: Optional[np.random.Generator] = None) -> DualEncoder:
+        """Create the dual encoder used for contrastive pre-training.
+
+        The returned object shares this model's Covariate Encoder, so
+        pre-training it updates the weights the forecaster will later use.
+        """
+        if self.covariate_encoder is None:
+            raise RuntimeError("this LiPFormer instance was built without covariate guidance")
+        target_encoder = TargetEncoder(
+            horizon=self.config.horizon,
+            n_channels=self.config.n_channels,
+            hidden_dim=self.config.covariate_hidden_dim,
+            rng=rng if rng is not None else np.random.default_rng(self.config.seed + 1),
+        )
+        return DualEncoder(self.covariate_encoder, target_encoder)
+
+    def freeze_covariate_encoder(self) -> None:
+        """Freeze the Covariate Encoder (called after pre-training)."""
+        self._covariate_encoder_frozen = True
+
+    @property
+    def covariate_encoder_frozen(self) -> bool:
+        return self._covariate_encoder_frozen
+
+    def optimizer_parameters(self) -> List[Parameter]:
+        """Parameters the prediction-oriented training should update.
+
+        Excludes the Covariate Encoder once it has been frozen, per the
+        paper's two-stage training procedure.
+        """
+        if not self._covariate_encoder_frozen or self.covariate_encoder is None:
+            return self.parameters()
+        frozen = {id(p) for p in self.covariate_encoder.parameters()}
+        return [p for p in self.parameters() if id(p) not in frozen]
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        base_forecast = self.base_predictor(x)
+        if not self.use_covariate_guidance or self.covariate_encoder is None:
+            return base_forecast
+        if future_numerical is None and future_categorical is None:
+            return base_forecast
+        covariate_vector = self.covariate_encoder(future_numerical, future_categorical)  # [b, L]
+        guidance = self.vector_mapping(covariate_vector)                                  # [b, L]
+        # Repeat across channels (Figure 1: "b x L -> repeat [b x L x c]").
+        return base_forecast + guidance.unsqueeze(-1)

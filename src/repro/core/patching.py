@@ -1,0 +1,47 @@
+"""Patch division and trend-sequence construction (paper Figures 2 and 3).
+
+A multivariate window ``[batch, T, C]`` is handled channel-independently:
+each univariate series is cut into ``n = T / pl`` non-overlapping patches of
+length ``pl``, giving a tensor ``[batch * C, n, pl]``.
+
+The *trend sequences* used by Cross-Patch attention are obtained by reading
+the same position of every patch in chronological order — i.e. simply the
+transpose ``[batch * C, pl, n]``: trend sequence ``k`` contains the ``k``-th
+data point of each patch and spans the whole input window.
+"""
+
+from __future__ import annotations
+
+from ..nn import Tensor
+
+__all__ = ["patchify", "unpatchify_forecast", "trend_sequences"]
+
+
+def patchify(x: Tensor, patch_length: int) -> Tensor:
+    """Reshape ``[b, T, c]`` into channel-independent patches ``[b*c, n, pl]``."""
+    batch, length, channels = x.shape
+    if length % patch_length != 0:
+        raise ValueError(
+            f"input length {length} is not divisible by patch length {patch_length}"
+        )
+    n_patches = length // patch_length
+    # [b, T, c] -> [b, c, T] -> [b*c, n, pl]
+    per_channel = x.transpose(0, 2, 1).reshape(batch * channels, length)
+    return per_channel.reshape(batch * channels, n_patches, patch_length)
+
+
+def trend_sequences(patches: Tensor) -> Tensor:
+    """Return the ``pl`` trend sequences ``[b*c, pl, n]`` of a patched input."""
+    return patches.transpose(0, 2, 1)
+
+
+def unpatchify_forecast(patches: Tensor, batch: int, channels: int, horizon: int) -> Tensor:
+    """Reassemble target patches ``[b*c, nt, pl]`` into a forecast ``[b, L, c]``.
+
+    When ``nt * pl`` exceeds the requested horizon the trailing surplus is
+    dropped (this happens when the horizon is not a multiple of the patch
+    length).
+    """
+    flat = patches.reshape(batch, channels, patches.shape[1] * patches.shape[2])
+    flat = flat[:, :, :horizon]
+    return flat.transpose(0, 2, 1)

@@ -1,0 +1,29 @@
+"""Instance normalisation by last-value subtraction (paper Section III-C1).
+
+LiPFormer mitigates distribution shift with the simple normalisation
+inherited from DLinear / NLinear: subtract the last observed value of each
+channel from the whole input window and add it back to the prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..nn import Tensor
+
+__all__ = ["LastValueNormalizer"]
+
+
+class LastValueNormalizer:
+    """Stateless helper implementing ``x' = x - x_T`` and ``ŷ = ŷ' + x_T``."""
+
+    @staticmethod
+    def normalize(x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(x - last, last)`` where ``last`` is ``x[:, -1:, :]``."""
+        last = x[:, -1:, :]
+        return x - last, last
+
+    @staticmethod
+    def denormalize(prediction: Tensor, last: Tensor) -> Tensor:
+        """Add back the stored last value."""
+        return prediction + last

@@ -1,0 +1,92 @@
+"""Plug the Covariate Encoder into arbitrary forecasting models.
+
+Paper Section IV-E6 / Table XII demonstrates that the weak-data-enriching
+architecture "can be seamlessly transplanted into existing time series
+forecasting frameworks": Transformer, Informer and Autoformer all improve
+when the pre-trained Covariate Encoder output is added through a Vector
+Mapping layer.  :class:`CovariateEnrichedModel` implements that wrapper for
+any :class:`~repro.core.base.ForecastModel`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..nn import Linear, Parameter, Tensor
+from .base import ForecastModel
+from .covariate_encoder import CovariateEncoder, TargetEncoder
+from .dual_encoder import DualEncoder
+
+__all__ = ["CovariateEnrichedModel"]
+
+
+class CovariateEnrichedModel(ForecastModel):
+    """Wrap a base forecaster with Covariate Encoder guidance (Eq. 8)."""
+
+    supports_covariates = True
+
+    def __init__(
+        self,
+        base_model: ForecastModel,
+        config: Optional[ModelConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        config = config or base_model.config
+        super().__init__(config)
+        if not config.has_covariates:
+            raise ValueError("CovariateEnrichedModel requires covariate dimensions in the config")
+        generator = rng if rng is not None else np.random.default_rng(config.seed + 7)
+        self.base_model = base_model
+        self.covariate_encoder = CovariateEncoder(
+            horizon=config.horizon,
+            numerical_dim=config.covariate_numerical_dim,
+            categorical_cardinalities=config.covariate_categorical_cardinalities,
+            embed_dim=config.covariate_embed_dim,
+            hidden_dim=config.covariate_hidden_dim,
+            rng=generator,
+        )
+        self.vector_mapping = Linear(config.horizon, config.horizon, rng=generator)
+        # As in LiPFormer, guidance starts at zero and is learned.
+        self.vector_mapping.weight.data[...] = 0.0
+        self._covariate_encoder_frozen = False
+
+    # ------------------------------------------------------------------ #
+    def build_dual_encoder(self, rng: Optional[np.random.Generator] = None) -> DualEncoder:
+        """Dual encoder for contrastive pre-training of the wrapped encoder."""
+        target_encoder = TargetEncoder(
+            horizon=self.config.horizon,
+            n_channels=self.config.n_channels,
+            hidden_dim=self.config.covariate_hidden_dim,
+            rng=rng if rng is not None else np.random.default_rng(self.config.seed + 11),
+        )
+        return DualEncoder(self.covariate_encoder, target_encoder)
+
+    def freeze_covariate_encoder(self) -> None:
+        self._covariate_encoder_frozen = True
+
+    @property
+    def covariate_encoder_frozen(self) -> bool:
+        return self._covariate_encoder_frozen
+
+    def optimizer_parameters(self) -> List[Parameter]:
+        if not self._covariate_encoder_frozen:
+            return self.parameters()
+        frozen = {id(p) for p in self.covariate_encoder.parameters()}
+        return [p for p in self.parameters() if id(p) not in frozen]
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        x: Tensor,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        base_forecast = self.base_model(x)
+        if future_numerical is None and future_categorical is None:
+            return base_forecast
+        covariate_vector = self.covariate_encoder(future_numerical, future_categorical)
+        guidance = self.vector_mapping(covariate_vector)
+        return base_forecast + guidance.unsqueeze(-1)

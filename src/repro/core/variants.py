@@ -1,0 +1,96 @@
+"""Named LiPFormer variants used by the paper's ablation studies.
+
+Table X (lightweight-architecture ablation) adds back the components
+LiPFormer removed from the Transformer:
+
+* ``lipformer_with_ffn``        — "+FFNs"
+* ``lipformer_with_layernorm``  — "+LN"
+* ``lipformer_with_ffn_and_layernorm`` — "+FFNs+LN"
+
+Table XI (patch-wise attention ablation) removes the new attention blocks:
+
+* ``lipformer_without_cross_patch``  — Cross-Patch attention replaced by a linear layer
+* ``lipformer_without_inter_patch``  — Inter-Patch attention replaced by a linear layer
+* ``lipformer_without_both``         — only the traditional patching technique
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from .lipformer import LiPFormer
+
+__all__ = [
+    "lipformer_full",
+    "lipformer_with_ffn",
+    "lipformer_with_layernorm",
+    "lipformer_with_ffn_and_layernorm",
+    "lipformer_without_cross_patch",
+    "lipformer_without_inter_patch",
+    "lipformer_without_both",
+    "lipformer_without_covariate_guidance",
+    "ABLATION_VARIANTS",
+]
+
+
+def lipformer_full(config: ModelConfig, rng: Optional[np.random.Generator] = None) -> LiPFormer:
+    """The published LiPFormer configuration."""
+    return LiPFormer(config, rng=rng)
+
+
+def lipformer_with_ffn(config: ModelConfig, rng: Optional[np.random.Generator] = None) -> LiPFormer:
+    """Ablation "+FFNs": add a Transformer feed-forward block back."""
+    return LiPFormer(config, use_ffn=True, rng=rng)
+
+
+def lipformer_with_layernorm(config: ModelConfig, rng: Optional[np.random.Generator] = None) -> LiPFormer:
+    """Ablation "+LN": add Layer Normalization back."""
+    return LiPFormer(config, use_layer_norm=True, rng=rng)
+
+
+def lipformer_with_ffn_and_layernorm(
+    config: ModelConfig, rng: Optional[np.random.Generator] = None
+) -> LiPFormer:
+    """Ablation "+FFNs+LN": add both heavy components back."""
+    return LiPFormer(config, use_ffn=True, use_layer_norm=True, rng=rng)
+
+
+def lipformer_without_cross_patch(
+    config: ModelConfig, rng: Optional[np.random.Generator] = None
+) -> LiPFormer:
+    """Ablation: Cross-Patch attention replaced by a linear layer."""
+    return LiPFormer(config, use_cross_patch=False, rng=rng)
+
+
+def lipformer_without_inter_patch(
+    config: ModelConfig, rng: Optional[np.random.Generator] = None
+) -> LiPFormer:
+    """Ablation: Inter-Patch attention replaced by a linear layer."""
+    return LiPFormer(config, use_inter_patch_attention=False, rng=rng)
+
+
+def lipformer_without_both(config: ModelConfig, rng: Optional[np.random.Generator] = None) -> LiPFormer:
+    """Ablation: only the traditional patching technique remains."""
+    return LiPFormer(config, use_cross_patch=False, use_inter_patch_attention=False, rng=rng)
+
+
+def lipformer_without_covariate_guidance(
+    config: ModelConfig, rng: Optional[np.random.Generator] = None
+) -> LiPFormer:
+    """LiPFormer with the Covariate Encoder disabled (Figure 6 ablation)."""
+    return LiPFormer(config, use_covariate_guidance=False, rng=rng)
+
+
+ABLATION_VARIANTS: Dict[str, Callable[..., LiPFormer]] = {
+    "LiPFormer": lipformer_full,
+    "LiPFormer+FFNs": lipformer_with_ffn,
+    "LiPFormer+LN": lipformer_with_layernorm,
+    "LiPFormer+FFNs+LN": lipformer_with_ffn_and_layernorm,
+    "w/o Cross-Patch": lipformer_without_cross_patch,
+    "w/o Inter-Patch": lipformer_without_inter_patch,
+    "Neither": lipformer_without_both,
+    "w/o Covariate Encoder": lipformer_without_covariate_guidance,
+}

@@ -1,0 +1,56 @@
+"""``repro.data`` — synthetic benchmark datasets and the forecasting pipeline."""
+
+from .containers import FutureCovariates, MultivariateTimeSeries
+from .covariates import (
+    CYCLE_SCHEMA,
+    ELECTRICITY_PRICE_SCHEMA,
+    CovariateField,
+    CovariateSchema,
+    implicit_temporal_covariates,
+)
+from .csvio import load_csv, save_csv
+from .datasets import DATASET_SPECS, DatasetSpec, available_datasets, dataset_statistics, load_dataset
+from .loader import DataLoader
+from .pipeline import ForecastingData, prepare_forecasting_data
+from .scalers import MinMaxScaler, StandardScaler
+from .splits import chronological_split
+from .timefeatures import (
+    TIME_FEATURE_CARDINALITIES,
+    TIME_FEATURE_NAMES,
+    categorical_time_features,
+    is_weekend,
+    make_timestamps,
+    normalized_time_features,
+)
+from .windows import SlidingWindowDataset, WindowSample
+
+__all__ = [
+    "FutureCovariates",
+    "MultivariateTimeSeries",
+    "CovariateField",
+    "CovariateSchema",
+    "CYCLE_SCHEMA",
+    "ELECTRICITY_PRICE_SCHEMA",
+    "implicit_temporal_covariates",
+    "load_csv",
+    "save_csv",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "available_datasets",
+    "dataset_statistics",
+    "load_dataset",
+    "DataLoader",
+    "ForecastingData",
+    "prepare_forecasting_data",
+    "StandardScaler",
+    "MinMaxScaler",
+    "chronological_split",
+    "TIME_FEATURE_NAMES",
+    "TIME_FEATURE_CARDINALITIES",
+    "make_timestamps",
+    "normalized_time_features",
+    "categorical_time_features",
+    "is_weekend",
+    "SlidingWindowDataset",
+    "WindowSample",
+]

@@ -1,0 +1,160 @@
+"""Data containers shared across the data pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["FutureCovariates", "MultivariateTimeSeries"]
+
+
+@dataclass
+class FutureCovariates:
+    """Time-aligned covariates known ahead of time (weak labels).
+
+    Attributes
+    ----------
+    numerical:
+        ``[T, cn]`` float array of numerical covariates (e.g. temperature,
+        load forecast, normalised time features).
+    categorical:
+        ``[T, ct]`` integer array of categorical covariates (e.g. weather
+        condition, holiday flag, hour of day).
+    numerical_names / categorical_names:
+        column names, in order.
+    cardinalities:
+        vocabulary size for each categorical column (same order as
+        ``categorical_names``).
+    """
+
+    numerical: np.ndarray
+    categorical: np.ndarray
+    numerical_names: List[str] = field(default_factory=list)
+    categorical_names: List[str] = field(default_factory=list)
+    cardinalities: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.numerical = np.asarray(self.numerical, dtype=np.float32)
+        self.categorical = np.asarray(self.categorical, dtype=np.int64)
+        if self.numerical.ndim != 2 or self.categorical.ndim != 2:
+            raise ValueError("covariate arrays must be 2-D [T, channels]")
+        if len(self.numerical) != len(self.categorical):
+            raise ValueError("numerical and categorical covariates must share the time axis")
+        if self.categorical.shape[1] != len(self.cardinalities):
+            raise ValueError("one cardinality per categorical column is required")
+        for column in range(self.categorical.shape[1]):
+            max_code = self.categorical[:, column].max(initial=0)
+            if max_code >= self.cardinalities[column]:
+                raise ValueError(
+                    f"categorical column {column} contains code {max_code} "
+                    f">= cardinality {self.cardinalities[column]}"
+                )
+
+    @property
+    def n_numerical(self) -> int:
+        return self.numerical.shape[1]
+
+    @property
+    def n_categorical(self) -> int:
+        return self.categorical.shape[1]
+
+    @property
+    def n_total(self) -> int:
+        return self.n_numerical + self.n_categorical
+
+    def __len__(self) -> int:
+        return len(self.numerical)
+
+    def slice(self, start: int, stop: int) -> "FutureCovariates":
+        """Return the covariates restricted to ``[start, stop)``."""
+        return FutureCovariates(
+            numerical=self.numerical[start:stop],
+            categorical=self.categorical[start:stop],
+            numerical_names=list(self.numerical_names),
+            categorical_names=list(self.categorical_names),
+            cardinalities=list(self.cardinalities),
+        )
+
+
+@dataclass
+class MultivariateTimeSeries:
+    """A multivariate series plus optional future covariates.
+
+    Attributes
+    ----------
+    values:
+        ``[T, C]`` float array of observed channels (forecast targets).
+    timestamps:
+        ``[T]`` array of ``datetime64`` timestamps.
+    channel_names:
+        names of the ``C`` channels.
+    covariates:
+        optional :class:`FutureCovariates` aligned with ``values``.
+    name:
+        dataset name, for reporting.
+    """
+
+    values: np.ndarray
+    timestamps: np.ndarray
+    channel_names: List[str] = field(default_factory=list)
+    covariates: Optional[FutureCovariates] = None
+    name: str = "series"
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float32)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be [T, C], got shape {self.values.shape}")
+        if len(self.timestamps) != len(self.values):
+            raise ValueError("timestamps and values must have the same length")
+        if not self.channel_names:
+            self.channel_names = [f"ch{i}" for i in range(self.values.shape[1])]
+        if len(self.channel_names) != self.values.shape[1]:
+            raise ValueError("one channel name per column is required")
+        if self.covariates is not None and len(self.covariates) != len(self.values):
+            raise ValueError("covariates must be aligned with values")
+
+    @property
+    def n_timestamps(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def has_covariates(self) -> bool:
+        return self.covariates is not None
+
+    def __len__(self) -> int:
+        return self.n_timestamps
+
+    def slice(self, start: int, stop: int) -> "MultivariateTimeSeries":
+        """Return the series restricted to ``[start, stop)``."""
+        return MultivariateTimeSeries(
+            values=self.values[start:stop],
+            timestamps=self.timestamps[start:stop],
+            channel_names=list(self.channel_names),
+            covariates=self.covariates.slice(start, stop) if self.covariates else None,
+            name=self.name,
+        )
+
+    def select_channels(self, indices: List[int]) -> "MultivariateTimeSeries":
+        """Return a copy keeping only the given channel indices."""
+        return MultivariateTimeSeries(
+            values=self.values[:, indices],
+            timestamps=self.timestamps,
+            channel_names=[self.channel_names[i] for i in indices],
+            covariates=self.covariates,
+            name=self.name,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Small dictionary of dataset statistics (mirrors paper Table II)."""
+        return {
+            "name": self.name,
+            "variables": self.n_channels,
+            "timestamps": self.n_timestamps,
+            "has_future_covariates": self.has_covariates,
+        }

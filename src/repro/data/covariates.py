@@ -1,0 +1,160 @@
+"""Future-covariate schemas and builders (paper Table IV + Section IV-B1).
+
+Two datasets in the paper ship *explicit* future covariates:
+
+* **Electricity-Price** — grid-dispatch forecasts (load, wind, photovoltaic),
+  per-location weather forecasts and a holiday flag (61 fields);
+* **Cycle** — Seattle Fremont-bridge bicycle counts with weather-forecast
+  covariates and a weekend flag (22 fields).
+
+Datasets without explicit covariates are enriched with *implicit* temporal
+features (hour of day, day of week, day of month, month of year), following
+the paper's weak-data-enriching recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .containers import FutureCovariates
+from .timefeatures import (
+    TIME_FEATURE_CARDINALITIES,
+    TIME_FEATURE_NAMES,
+    categorical_time_features,
+    is_weekend,
+    normalized_time_features,
+)
+
+__all__ = [
+    "CovariateField",
+    "CovariateSchema",
+    "ELECTRICITY_PRICE_SCHEMA",
+    "CYCLE_SCHEMA",
+    "implicit_temporal_covariates",
+]
+
+
+@dataclass(frozen=True)
+class CovariateField:
+    """One future-covariate field: a name, a width and a type."""
+
+    name: str
+    width: int
+    kind: str  # "numerical" or "categorical"
+    cardinality: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numerical", "categorical"):
+            raise ValueError(f"unknown covariate kind {self.kind!r}")
+        if self.kind == "categorical" and self.cardinality < 2:
+            raise ValueError(f"categorical field {self.name!r} needs a cardinality >= 2")
+        if self.width < 1:
+            raise ValueError(f"field {self.name!r} must have positive width")
+
+
+@dataclass(frozen=True)
+class CovariateSchema:
+    """Ordered collection of covariate fields for one dataset."""
+
+    dataset: str
+    fields: List[CovariateField] = field(default_factory=list)
+
+    @property
+    def n_numerical(self) -> int:
+        return sum(f.width for f in self.fields if f.kind == "numerical")
+
+    @property
+    def n_categorical(self) -> int:
+        return sum(f.width for f in self.fields if f.kind == "categorical")
+
+    @property
+    def n_total(self) -> int:
+        return self.n_numerical + self.n_categorical
+
+    def numerical_names(self) -> List[str]:
+        names: List[str] = []
+        for f in self.fields:
+            if f.kind != "numerical":
+                continue
+            if f.width == 1:
+                names.append(f.name)
+            else:
+                names.extend(f"{f.name}_{i}" for i in range(f.width))
+        return names
+
+    def categorical_names(self) -> List[str]:
+        names: List[str] = []
+        for f in self.fields:
+            if f.kind != "categorical":
+                continue
+            if f.width == 1:
+                names.append(f.name)
+            else:
+                names.extend(f"{f.name}_{i}" for i in range(f.width))
+        return names
+
+    def cardinalities(self) -> List[int]:
+        out: List[int] = []
+        for f in self.fields:
+            if f.kind == "categorical":
+                out.extend([f.cardinality] * f.width)
+        return out
+
+
+# Paper Table IV, Electricity-Price rows (61 future covariate fields).
+ELECTRICITY_PRICE_SCHEMA = CovariateSchema(
+    dataset="electricity_price",
+    fields=[
+        CovariateField("unified_load_forecast_mw", 1, "numerical"),
+        CovariateField("outgoing_forecast_mw", 1, "numerical"),
+        CovariateField("wind_plus_solar_projection", 1, "numerical"),
+        CovariateField("wind_power_projection", 1, "numerical"),
+        CovariateField("photovoltaic_forecast", 1, "numerical"),
+        CovariateField("location_temperature_extremes", 22, "numerical"),
+        CovariateField("location_wind_rating", 11, "numerical"),
+        CovariateField("location_wind_direction", 11, "numerical"),
+        CovariateField("location_weather_condition", 11, "categorical", cardinality=6),
+        CovariateField("holiday", 1, "categorical", cardinality=2),
+    ],
+)
+
+# Paper Table IV, Cycle rows (22 future covariate fields).
+CYCLE_SCHEMA = CovariateSchema(
+    dataset="cycle",
+    fields=[
+        CovariateField("temperature", 3, "numerical"),
+        CovariateField("dew_point", 3, "numerical"),
+        CovariateField("humidity", 3, "numerical"),
+        CovariateField("sea_level_pressure", 3, "numerical"),
+        CovariateField("visibility_miles", 3, "numerical"),
+        CovariateField("wind_speed_and_direction", 3, "numerical"),
+        CovariateField("max_gust_speed", 1, "numerical"),
+        CovariateField("precipitation", 1, "numerical"),
+        CovariateField("cloud_cover", 1, "numerical"),
+        CovariateField("weekend", 1, "categorical", cardinality=2),
+    ],
+)
+
+
+def implicit_temporal_covariates(timestamps: np.ndarray) -> FutureCovariates:
+    """Build the implicit weak labels used when no explicit covariates exist.
+
+    The numerical part holds Informer-style normalised encodings; the
+    categorical part holds the raw integer codes so that the Covariate
+    Encoder's embedding path is exercised as in the paper.
+    """
+    numerical = normalized_time_features(timestamps)
+    categorical = categorical_time_features(timestamps)
+    weekend = is_weekend(timestamps).astype(np.int64)[:, None]
+    categorical = np.concatenate([categorical, weekend], axis=1)
+    cardinalities = [TIME_FEATURE_CARDINALITIES[name] for name in TIME_FEATURE_NAMES] + [2]
+    return FutureCovariates(
+        numerical=numerical,
+        categorical=categorical,
+        numerical_names=[f"{name}_norm" for name in TIME_FEATURE_NAMES],
+        categorical_names=list(TIME_FEATURE_NAMES) + ["weekend"],
+        cardinalities=cardinalities,
+    )

@@ -1,0 +1,58 @@
+"""CSV round-trip for generated datasets.
+
+The original benchmarks are distributed as CSV files with a ``date`` column
+followed by one column per channel.  These helpers write and read the same
+layout so downstream users can inspect the synthetic data with any CSV tool
+or swap in the real files when they have them.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from .containers import MultivariateTimeSeries
+
+__all__ = ["save_csv", "load_csv"]
+
+_DATE_FORMAT_LENGTH = 16  # "YYYY-MM-DDTHH:MM"
+
+
+def save_csv(series: MultivariateTimeSeries, path: str) -> None:
+    """Write ``series`` to ``path`` as ``date,channel...`` rows."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["date"] + list(series.channel_names))
+        timestamps = series.timestamps.astype("datetime64[m]").astype(str)
+        for stamp, row in zip(timestamps, series.values):
+            writer.writerow([stamp[:_DATE_FORMAT_LENGTH]] + [f"{value:.6f}" for value in row])
+
+
+def load_csv(path: str, name: Optional[str] = None) -> MultivariateTimeSeries:
+    """Read a CSV written by :func:`save_csv` (or a real benchmark CSV)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if not header or header[0].lower() != "date":
+            raise ValueError(f"{path}: expected a 'date' first column, got {header[:1]}")
+        channel_names: List[str] = header[1:]
+        timestamps: List[np.datetime64] = []
+        rows: List[List[float]] = []
+        for row in reader:
+            if not row:
+                continue
+            timestamps.append(np.datetime64(row[0].replace(" ", "T"), "m"))
+            rows.append([float(value) for value in row[1:]])
+    if not rows:
+        raise ValueError(f"{path}: no data rows found")
+    return MultivariateTimeSeries(
+        values=np.asarray(rows, dtype=np.float32),
+        timestamps=np.asarray(timestamps),
+        channel_names=channel_names,
+        name=name or os.path.splitext(os.path.basename(path))[0],
+    )

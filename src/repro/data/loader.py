@@ -1,0 +1,53 @@
+"""Mini-batch iteration over a sliding-window dataset."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from .windows import SlidingWindowDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over mini-batches of forecasting windows.
+
+    Each batch is a dictionary with keys ``x`` (``[b, T, C]``), ``y``
+    (``[b, L, C]``) and, when the underlying series carries future
+    covariates, ``future_numerical`` (``[b, L, cn]``) and
+    ``future_categorical`` (``[b, L, ct]``).
+    """
+
+    def __init__(
+        self,
+        dataset: SlidingWindowDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Dict[str, Optional[np.ndarray]]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            chunk = indices[start : start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            yield self.dataset.as_arrays(chunk)

@@ -1,0 +1,125 @@
+"""End-to-end data preparation pipeline for forecasting experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .containers import MultivariateTimeSeries
+from .datasets import DATASET_SPECS, load_dataset
+from .loader import DataLoader
+from .scalers import StandardScaler
+from .splits import chronological_split
+from .windows import SlidingWindowDataset
+
+__all__ = ["ForecastingData", "prepare_forecasting_data"]
+
+
+@dataclass
+class ForecastingData:
+    """Everything a trainer needs for one dataset / horizon configuration."""
+
+    name: str
+    input_length: int
+    horizon: int
+    train: SlidingWindowDataset
+    validation: SlidingWindowDataset
+    test: SlidingWindowDataset
+    scaler: StandardScaler
+    covariate_numerical_dim: int
+    covariate_categorical_cardinalities: Tuple[int, ...]
+    n_channels: int
+
+    def loaders(
+        self,
+        batch_size: int,
+        shuffle_train: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[DataLoader, DataLoader, DataLoader]:
+        """Build train / validation / test loaders."""
+        generator = rng if rng is not None else np.random.default_rng(0)
+        return (
+            DataLoader(self.train, batch_size, shuffle=shuffle_train, rng=generator),
+            DataLoader(self.validation, batch_size, shuffle=False),
+            DataLoader(self.test, batch_size, shuffle=False),
+        )
+
+
+def _scale_series(series: MultivariateTimeSeries, scaler: StandardScaler) -> MultivariateTimeSeries:
+    return MultivariateTimeSeries(
+        values=scaler.transform(series.values),
+        timestamps=series.timestamps,
+        channel_names=list(series.channel_names),
+        covariates=series.covariates,
+        name=series.name,
+    )
+
+
+def _scale_covariates(series: MultivariateTimeSeries) -> MultivariateTimeSeries:
+    """Standardise numerical covariates in place (fit on the full range).
+
+    Covariates are forecasts/calendar features known ahead of time, so using
+    their global statistics does not leak target information.
+    """
+    if series.covariates is None or series.covariates.numerical.shape[1] == 0:
+        return series
+    covariate_scaler = StandardScaler()
+    scaled = covariate_scaler.fit_transform(series.covariates.numerical)
+    series.covariates.numerical = scaled
+    return series
+
+
+def prepare_forecasting_data(
+    dataset: str,
+    input_length: int,
+    horizon: int,
+    n_timestamps: Optional[int] = None,
+    n_channels: Optional[int] = None,
+    stride: int = 1,
+    seed: int = 2021,
+    include_covariates: bool = True,
+    series: Optional[MultivariateTimeSeries] = None,
+) -> ForecastingData:
+    """Load (or accept) a series and produce scaled, windowed splits.
+
+    The scaler is fitted on the training split only, as in the paper's data
+    loading protocol inherited from DLinear.
+    """
+    if series is None:
+        series = load_dataset(
+            dataset,
+            n_timestamps=n_timestamps,
+            n_channels=n_channels,
+            seed=seed,
+            include_covariates=include_covariates,
+        )
+    spec = DATASET_SPECS.get(series.name)
+    ratios = spec.split_ratio if spec is not None else (0.7, 0.1, 0.2)
+    series = _scale_covariates(series)
+    context = input_length
+    train_raw, val_raw, test_raw = chronological_split(series, ratios, context_length=context)
+    scaler = StandardScaler().fit(train_raw.values)
+    train = _scale_series(train_raw, scaler)
+    validation = _scale_series(val_raw, scaler)
+    test = _scale_series(test_raw, scaler)
+
+    covariate_dim = 0
+    cardinalities: Tuple[int, ...] = ()
+    if series.covariates is not None:
+        covariate_dim = series.covariates.n_numerical
+        cardinalities = tuple(series.covariates.cardinalities)
+
+    return ForecastingData(
+        name=series.name,
+        input_length=input_length,
+        horizon=horizon,
+        train=SlidingWindowDataset(train, input_length, horizon, stride=stride),
+        validation=SlidingWindowDataset(validation, input_length, horizon, stride=stride),
+        test=SlidingWindowDataset(test, input_length, horizon, stride=stride),
+        scaler=scaler,
+        covariate_numerical_dim=covariate_dim,
+        covariate_categorical_cardinalities=cardinalities,
+        n_channels=series.n_channels,
+    )

@@ -1,0 +1,75 @@
+"""Feature scaling fitted on the training split only."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Per-channel standardisation ``(x - mean) / std``."""
+
+    def __init__(self, eps: float = 1e-8) -> None:
+        self.eps = eps
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"expected a [T, C] array, got shape {values.shape}")
+        self.mean_ = values.mean(axis=0)
+        self.std_ = values.std(axis=0)
+        self.std_ = np.where(self.std_ < self.eps, 1.0, self.std_)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return ((np.asarray(values, dtype=np.float64) - self.mean_) / self.std_).astype(np.float32)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) * self.std_ + self.mean_).astype(np.float32)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fitted before use")
+
+
+class MinMaxScaler:
+    """Per-channel scaling into ``[0, 1]``."""
+
+    def __init__(self, eps: float = 1e-8) -> None:
+        self.eps = eps
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"expected a [T, C] array, got shape {values.shape}")
+        self.min_ = values.min(axis=0)
+        spread = values.max(axis=0) - self.min_
+        self.range_ = np.where(spread < self.eps, 1.0, spread)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return ((np.asarray(values, dtype=np.float64) - self.min_) / self.range_).astype(np.float32)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) * self.range_ + self.min_).astype(np.float32)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self) -> None:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("scaler must be fitted before use")

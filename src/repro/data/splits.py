@@ -1,0 +1,47 @@
+"""Chronological train / validation / test splits."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .containers import MultivariateTimeSeries
+
+__all__ = ["chronological_split"]
+
+
+def chronological_split(
+    series: MultivariateTimeSeries,
+    ratios: Tuple[float, float, float],
+    context_length: int = 0,
+) -> Tuple[MultivariateTimeSeries, MultivariateTimeSeries, MultivariateTimeSeries]:
+    """Split a series chronologically into train / validation / test.
+
+    Parameters
+    ----------
+    series:
+        the full series.
+    ratios:
+        fractions for (train, validation, test); must sum to 1 (paper uses
+        6:2:2 for ETT and 7:1:2 for the remaining datasets).
+    context_length:
+        number of timestamps of overlap prepended to the validation and test
+        portions so the first forecast windows have full history (standard
+        practice in the long-term-forecasting literature).
+    """
+    total = sum(ratios)
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"split ratios must sum to 1, got {ratios} (sum {total})")
+    if any(r <= 0 for r in ratios):
+        raise ValueError(f"all split ratios must be positive, got {ratios}")
+    length = len(series)
+    train_end = int(length * ratios[0])
+    val_end = int(length * (ratios[0] + ratios[1]))
+    if train_end <= context_length or val_end <= train_end:
+        raise ValueError(
+            f"series of length {length} is too short for ratios {ratios} "
+            f"with context_length {context_length}"
+        )
+    train = series.slice(0, train_end)
+    validation = series.slice(max(train_end - context_length, 0), val_end)
+    test = series.slice(max(val_end - context_length, 0), length)
+    return train, validation, test

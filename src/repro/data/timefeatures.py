@@ -1,0 +1,87 @@
+"""Temporal feature encodings (the paper's *implicit* weak labels).
+
+The paper augments datasets that lack explicit future covariates with
+date-derived features — hour of day, day of week, day of month, month of
+year — "in a similar way to the time encoding in Informer" (Section IV-B1).
+Two encodings are provided:
+
+* :func:`normalized_time_features` — continuous values scaled to
+  ``[-0.5, 0.5]`` (Informer style), used as numerical covariates;
+* :func:`categorical_time_features` — raw integer codes, used by the
+  Covariate Encoder's embedding path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TIME_FEATURE_NAMES",
+    "TIME_FEATURE_CARDINALITIES",
+    "make_timestamps",
+    "normalized_time_features",
+    "categorical_time_features",
+    "is_weekend",
+]
+
+TIME_FEATURE_NAMES: List[str] = ["hour_of_day", "day_of_week", "day_of_month", "month_of_year"]
+
+TIME_FEATURE_CARDINALITIES: Dict[str, int] = {
+    "hour_of_day": 24,
+    "day_of_week": 7,
+    "day_of_month": 31,
+    "month_of_year": 12,
+}
+
+
+def make_timestamps(length: int, freq_minutes: int, start: str = "2016-07-01T00:00") -> np.ndarray:
+    """Return ``length`` equally spaced ``datetime64[m]`` timestamps."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if freq_minutes <= 0:
+        raise ValueError(f"freq_minutes must be positive, got {freq_minutes}")
+    origin = np.datetime64(start, "m")
+    offsets = np.arange(length, dtype=np.int64) * freq_minutes
+    return origin + offsets.astype("timedelta64[m]")
+
+
+def _calendar_fields(timestamps: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ts = timestamps.astype("datetime64[m]")
+    minutes = ts.astype("int64")
+    hour = (minutes // 60) % 24
+    days = ts.astype("datetime64[D]")
+    # 1970-01-01 is a Thursday; shift so Monday == 0 like pandas.
+    day_of_week = (days.astype("int64") + 3) % 7
+    months = ts.astype("datetime64[M]")
+    day_of_month = (days - months.astype("datetime64[D]")).astype("int64")
+    month_of_year = months.astype("int64") % 12
+    return hour, day_of_week, day_of_month, month_of_year
+
+
+def categorical_time_features(timestamps: np.ndarray) -> np.ndarray:
+    """Integer codes ``[T, 4]``: hour, weekday, day-of-month (0-based), month (0-based)."""
+    hour, dow, dom, month = _calendar_fields(timestamps)
+    return np.stack([hour, dow, dom, month], axis=-1).astype(np.int64)
+
+
+def normalized_time_features(timestamps: np.ndarray) -> np.ndarray:
+    """Continuous encodings in ``[-0.5, 0.5]`` of shape ``[T, 4]``."""
+    hour, dow, dom, month = _calendar_fields(timestamps)
+    features = np.stack(
+        [
+            hour / 23.0 - 0.5,
+            dow / 6.0 - 0.5,
+            dom / 30.0 - 0.5,
+            month / 11.0 - 0.5,
+        ],
+        axis=-1,
+    )
+    return features.astype(np.float32)
+
+
+def is_weekend(timestamps: np.ndarray) -> np.ndarray:
+    """Boolean array marking Saturdays and Sundays."""
+    _, dow, _, _ = _calendar_fields(timestamps)
+    return dow >= 5

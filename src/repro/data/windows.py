@@ -1,0 +1,99 @@
+"""Sliding-window forecasting samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .containers import MultivariateTimeSeries
+
+__all__ = ["WindowSample", "SlidingWindowDataset"]
+
+
+@dataclass
+class WindowSample:
+    """One (history, future) pair with aligned future covariates."""
+
+    x: np.ndarray                       # [input_length, C]
+    y: np.ndarray                       # [horizon, C]
+    future_numerical: Optional[np.ndarray]    # [horizon, cn]
+    future_categorical: Optional[np.ndarray]  # [horizon, ct]
+
+
+class SlidingWindowDataset:
+    """Index a :class:`MultivariateTimeSeries` into forecasting windows.
+
+    Window ``i`` covers history ``[i, i + input_length)`` and forecast target
+    ``[i + input_length, i + input_length + horizon)``.  Future covariates,
+    when present on the series, are sliced over the *forecast* range — they
+    represent information known ahead of time (weather forecasts, calendar).
+    """
+
+    def __init__(
+        self,
+        series: MultivariateTimeSeries,
+        input_length: int,
+        horizon: int,
+        stride: int = 1,
+    ) -> None:
+        if input_length < 1 or horizon < 1:
+            raise ValueError("input_length and horizon must be positive")
+        if stride < 1:
+            raise ValueError("stride must be positive")
+        available = len(series) - input_length - horizon + 1
+        if available < 1:
+            raise ValueError(
+                f"series of length {len(series)} is too short for "
+                f"input_length={input_length} and horizon={horizon}"
+            )
+        self.series = series
+        self.input_length = input_length
+        self.horizon = horizon
+        self.stride = stride
+        self._n_windows = 1 + (available - 1) // stride
+
+    def __len__(self) -> int:
+        return self._n_windows
+
+    @property
+    def n_channels(self) -> int:
+        return self.series.n_channels
+
+    def __getitem__(self, index: int) -> WindowSample:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"window index {index} out of range [0, {len(self)})")
+        start = index * self.stride
+        split = start + self.input_length
+        end = split + self.horizon
+        values = self.series.values
+        future_numerical = None
+        future_categorical = None
+        if self.series.covariates is not None:
+            future_numerical = self.series.covariates.numerical[split:end]
+            future_categorical = self.series.covariates.categorical[split:end]
+        return WindowSample(
+            x=values[start:split],
+            y=values[split:end],
+            future_numerical=future_numerical,
+            future_categorical=future_categorical,
+        )
+
+    def as_arrays(self, indices: Optional[np.ndarray] = None) -> Dict[str, Optional[np.ndarray]]:
+        """Materialise windows (all, or the given indices) as stacked arrays."""
+        if indices is None:
+            indices = np.arange(len(self))
+        samples = [self[int(i)] for i in indices]
+        batch: Dict[str, Optional[np.ndarray]] = {
+            "x": np.stack([s.x for s in samples]),
+            "y": np.stack([s.y for s in samples]),
+            "future_numerical": None,
+            "future_categorical": None,
+        }
+        if samples and samples[0].future_numerical is not None:
+            batch["future_numerical"] = np.stack([s.future_numerical for s in samples])
+            batch["future_categorical"] = np.stack([s.future_categorical for s in samples])
+        return batch

@@ -1,0 +1,40 @@
+"""``repro.experiments`` — one driver per paper table / figure (see DESIGN.md)."""
+
+from .efficiency_report import run_efficiency_report
+from .figure6_covariate_ablation import run_figure6
+from .figure7_logits import LogitsResult, run_figure7
+from .profiles import PAPER, QUICK, SMOKE, ExperimentProfile, get_profile
+from .table3_multivariate import run_table3, summarize_winners
+from .table5_univariate import run_table5
+from .table6_pretraining import run_table6
+from .table7_edge_inference import run_table7
+from .table8_patch_size import run_table8
+from .table9_input_length import run_table9
+from .table10_lightweight_ablation import run_table10
+from .table11_attention_ablation import run_table11
+from .table12_transplant import run_table12
+from .run_all import EXPERIMENT_RUNNERS, run_all
+
+__all__ = [
+    "EXPERIMENT_RUNNERS",
+    "run_all",
+    "ExperimentProfile",
+    "PAPER",
+    "QUICK",
+    "SMOKE",
+    "get_profile",
+    "run_table3",
+    "summarize_winners",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "run_table9",
+    "run_table10",
+    "run_table11",
+    "run_table12",
+    "run_figure6",
+    "run_figure7",
+    "LogitsResult",
+    "run_efficiency_report",
+]

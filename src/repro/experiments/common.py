@@ -1,0 +1,109 @@
+"""Shared plumbing for the per-table experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..baselines import create_model
+from ..config import ModelConfig
+from ..core.base import ForecastModel
+from ..core.lipformer import LiPFormer
+from ..data.pipeline import ForecastingData, prepare_forecasting_data
+from ..profiling import measure_macs
+from ..training import ExperimentResult, run_experiment
+from .profiles import ExperimentProfile
+
+__all__ = [
+    "prepare_profile_data",
+    "config_for_data",
+    "train_model_on",
+    "COVARIATE_DATASETS",
+]
+
+#: the two datasets that ship explicit future covariates (paper Table IV)
+COVARIATE_DATASETS = ("ElectricityPrice", "Cycle")
+
+_DATA_CACHE: Dict[Tuple, ForecastingData] = {}
+
+
+def prepare_profile_data(
+    profile: ExperimentProfile,
+    dataset: str,
+    horizon: int,
+    input_length: Optional[int] = None,
+    seed: Optional[int] = None,
+    use_cache: bool = True,
+) -> ForecastingData:
+    """Prepare (and memoise) windowed data for one dataset under a profile."""
+    length = input_length if input_length is not None else profile.input_length
+    key = (profile.name, dataset, horizon, length, seed or profile.seed)
+    if use_cache and key in _DATA_CACHE:
+        return _DATA_CACHE[key]
+    data = prepare_forecasting_data(
+        dataset,
+        input_length=length,
+        horizon=horizon,
+        n_timestamps=profile.n_timestamps,
+        n_channels=profile.channel_cap,
+        stride=profile.window_stride,
+        seed=seed or profile.seed,
+        include_covariates=True,
+    )
+    if use_cache:
+        _DATA_CACHE[key] = data
+    return data
+
+
+def config_for_data(
+    profile: ExperimentProfile,
+    data: ForecastingData,
+    input_length: Optional[int] = None,
+    patch_length: Optional[int] = None,
+    with_covariates: bool = True,
+) -> ModelConfig:
+    """Derive the model configuration matching a prepared dataset."""
+    return profile.model_config(
+        n_channels=data.n_channels,
+        horizon=data.horizon,
+        covariate_numerical_dim=data.covariate_numerical_dim if with_covariates else 0,
+        covariate_categorical_cardinalities=(
+            data.covariate_categorical_cardinalities if with_covariates else ()
+        ),
+        input_length=input_length if input_length is not None else data.input_length,
+        patch_length=patch_length,
+    )
+
+
+def train_model_on(
+    model_name: str,
+    profile: ExperimentProfile,
+    data: ForecastingData,
+    model: Optional[ForecastModel] = None,
+    pretrain: Optional[bool] = None,
+    patch_length: Optional[int] = None,
+    with_macs: bool = False,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Build (or accept) a model, train it on ``data`` and report results.
+
+    LiPFormer is pre-trained contrastively by default; baselines are not,
+    matching the paper's protocol.
+    """
+    config = config_for_data(profile, data, patch_length=patch_length)
+    if model is None:
+        model = create_model(model_name, config, rng=np.random.default_rng(seed or profile.seed))
+    if pretrain is None:
+        pretrain = isinstance(model, LiPFormer) and model.use_covariate_guidance
+    result = run_experiment(
+        model,
+        data,
+        training_config=profile.training_config(),
+        model_name=model_name,
+        pretrain=pretrain,
+        seed=seed or profile.seed,
+    )
+    if with_macs:
+        result.macs = measure_macs(model, batch_size=min(32, profile.batch_size))
+    return result

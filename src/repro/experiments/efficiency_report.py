@@ -1,0 +1,71 @@
+"""E12 — efficiency detail of Table III: parameters, MACs and step timings.
+
+Accuracy aside, Table III reports four efficiency figures per model:
+training seconds per epoch, inference seconds, MACs and parameter count.
+This driver measures all four on untrained models (they do not depend on
+the weights' values) so the comparison can be regenerated in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..baselines import PAPER_BASELINES, create_model
+from ..data.datasets import DATASET_SPECS
+from ..profiling import (
+    count_parameters,
+    human_readable_count,
+    measure_macs,
+    time_inference,
+    time_training_step,
+)
+from ..training import ResultsTable
+from .profiles import QUICK, ExperimentProfile
+
+__all__ = ["DEFAULT_MODELS", "run_efficiency_report", "main"]
+
+DEFAULT_MODELS = ("LiPFormer",) + tuple(PAPER_BASELINES) + ("Transformer",)
+
+
+def run_efficiency_report(
+    profile: ExperimentProfile = QUICK,
+    dataset: str = "ETTh1",
+    models: Optional[Sequence[str]] = None,
+    horizon: Optional[int] = None,
+    batch_size: int = 32,
+    seed: Optional[int] = None,
+) -> ResultsTable:
+    """Measure parameters / MACs / step time for each model on one dataset."""
+    models = tuple(models) if models else DEFAULT_MODELS
+    horizon = horizon if horizon is not None else profile.horizons[0]
+    n_channels = DATASET_SPECS[dataset].n_channels
+    if profile.channel_cap:
+        n_channels = min(n_channels, profile.channel_cap)
+    config = profile.model_config(n_channels=n_channels, horizon=horizon)
+    table = ResultsTable(title="Table III (efficiency columns) — parameters, MACs, timing")
+    rng = np.random.default_rng(seed or profile.seed)
+    for model_name in models:
+        model = create_model(model_name, config, rng=rng)
+        parameters = count_parameters(model)
+        macs = measure_macs(model, batch_size=batch_size)
+        table.add_row(
+            model=model_name,
+            dataset=dataset,
+            parameters=parameters,
+            parameters_human=human_readable_count(parameters),
+            macs=macs,
+            macs_human=human_readable_count(macs),
+            train_step_s=time_training_step(model, batch_size=batch_size),
+            inference_s=time_inference(model, batch_size=batch_size),
+        )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_efficiency_report().to_text(float_format="{:.4f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""E7 — Table X: ablation of the lightweight architecture (LN / FFN removal).
+
+Adding back Layer Normalization and/or the Transformer feed-forward block is
+expected to *hurt* accuracy on time series, validating LiPFormer's decision
+to drop both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.variants import (
+    lipformer_full,
+    lipformer_with_ffn,
+    lipformer_with_ffn_and_layernorm,
+    lipformer_with_layernorm,
+)
+from ..training import ResultsTable
+from .common import config_for_data, prepare_profile_data, train_model_on
+from .profiles import QUICK, ExperimentProfile
+
+__all__ = ["DEFAULT_DATASETS", "VARIANTS", "run_table10", "main"]
+
+DEFAULT_DATASETS = ("ETTh1", "ETTm2")
+
+VARIANTS = {
+    "LiPFormer": lipformer_full,
+    "LiPFormer+FFNs": lipformer_with_ffn,
+    "LiPFormer+LN": lipformer_with_layernorm,
+    "LiPFormer+FFNs+LN": lipformer_with_ffn_and_layernorm,
+}
+
+
+def run_table10(
+    profile: ExperimentProfile = QUICK,
+    datasets: Optional[Sequence[str]] = None,
+    horizons: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+) -> ResultsTable:
+    """Regenerate (a slice of) Table X: +FFNs / +LN ablations."""
+    datasets = tuple(datasets) if datasets else DEFAULT_DATASETS
+    horizons = tuple(horizons) if horizons else (profile.horizons[0],)
+    table = ResultsTable(title="Table X — lightweight architecture ablation")
+    for dataset in datasets:
+        for horizon in horizons:
+            data = prepare_profile_data(profile, dataset, horizon, seed=seed)
+            config = config_for_data(profile, data)
+            for variant_name, factory in VARIANTS.items():
+                model = factory(config, rng=np.random.default_rng(seed or profile.seed))
+                result = train_model_on(
+                    variant_name, profile, data, model=model, pretrain=True, seed=seed
+                )
+                table.add_row(
+                    dataset=dataset,
+                    horizon=horizon,
+                    variant=variant_name,
+                    mse=result.mse,
+                    mae=result.mae,
+                    parameters=result.parameters,
+                )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_table10().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

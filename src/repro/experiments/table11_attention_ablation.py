@@ -1,0 +1,70 @@
+"""E8 — Table XI: ablation of the Cross-Patch and Inter-Patch attentions.
+
+Each attention block is replaced by a linear layer in turn ("w/o
+Cross-Patch", "w/o Inter-Patch", "Neither") and compared against the full
+LiPFormer on the ETT datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.variants import (
+    lipformer_full,
+    lipformer_without_both,
+    lipformer_without_cross_patch,
+    lipformer_without_inter_patch,
+)
+from ..training import ResultsTable
+from .common import config_for_data, prepare_profile_data, train_model_on
+from .profiles import QUICK, ExperimentProfile
+
+__all__ = ["DEFAULT_DATASETS", "VARIANTS", "run_table11", "main"]
+
+DEFAULT_DATASETS = ("ETTh1", "ETTm2")
+
+VARIANTS = {
+    "Without Cross-Patch attn.": lipformer_without_cross_patch,
+    "Without Inter-Patch attn.": lipformer_without_inter_patch,
+    "Neither": lipformer_without_both,
+    "LiPFormer": lipformer_full,
+}
+
+
+def run_table11(
+    profile: ExperimentProfile = QUICK,
+    datasets: Optional[Sequence[str]] = None,
+    horizons: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+) -> ResultsTable:
+    """Regenerate (a slice of) Table XI: patch-wise attention ablations."""
+    datasets = tuple(datasets) if datasets else DEFAULT_DATASETS
+    horizons = tuple(horizons) if horizons else (profile.horizons[0],)
+    table = ResultsTable(title="Table XI — patch-wise attention ablation")
+    for dataset in datasets:
+        for horizon in horizons:
+            data = prepare_profile_data(profile, dataset, horizon, seed=seed)
+            config = config_for_data(profile, data)
+            for variant_name, factory in VARIANTS.items():
+                model = factory(config, rng=np.random.default_rng(seed or profile.seed))
+                result = train_model_on(
+                    variant_name, profile, data, model=model, pretrain=True, seed=seed
+                )
+                table.add_row(
+                    dataset=dataset,
+                    horizon=horizon,
+                    variant=variant_name,
+                    mse=result.mse,
+                    mae=result.mae,
+                )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_table11().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

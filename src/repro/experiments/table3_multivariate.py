@@ -1,0 +1,71 @@
+"""E1 — Table III: multivariate forecasting accuracy and efficiency.
+
+The paper compares LiPFormer against six baselines on nine datasets and four
+horizons, reporting MSE/MAE plus training time, inference time, MACs and
+parameter counts.  This driver regenerates the same rows for any subset of
+datasets / horizons / models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..baselines import PAPER_BASELINES
+from ..training import ResultsTable
+from .common import prepare_profile_data, train_model_on
+from .profiles import QUICK, ExperimentProfile
+
+__all__ = ["DEFAULT_DATASETS", "DEFAULT_MODELS", "run_table3", "main"]
+
+#: the paper evaluates all nine datasets; the quick default keeps a
+#: representative subset covering volatile (ETT), smooth (Weather) and
+#: covariate-bearing (Cycle / Electricity-Price) data.
+DEFAULT_DATASETS = ("ETTh1", "ETTh2", "Weather", "Cycle", "ElectricityPrice")
+DEFAULT_MODELS = ("LiPFormer",) + tuple(PAPER_BASELINES)
+
+
+def run_table3(
+    profile: ExperimentProfile = QUICK,
+    datasets: Optional[Sequence[str]] = None,
+    horizons: Optional[Sequence[int]] = None,
+    models: Optional[Sequence[str]] = None,
+    with_efficiency: bool = True,
+    seed: Optional[int] = None,
+) -> ResultsTable:
+    """Regenerate (a slice of) Table III."""
+    datasets = tuple(datasets) if datasets else DEFAULT_DATASETS
+    horizons = tuple(horizons) if horizons else profile.horizons
+    models = tuple(models) if models else DEFAULT_MODELS
+    table = ResultsTable(title="Table III — multivariate long-term forecasting")
+    for dataset in datasets:
+        for horizon in horizons:
+            data = prepare_profile_data(profile, dataset, horizon, seed=seed)
+            for model_name in models:
+                result = train_model_on(
+                    model_name, profile, data, with_macs=with_efficiency, seed=seed
+                )
+                table.add_row(**result.as_row())
+    return table
+
+
+def summarize_winners(table: ResultsTable) -> ResultsTable:
+    """Count first places per model (the paper's last "Count" row)."""
+    counts: dict = {}
+    best = table.best_by("mse", group_keys=("dataset", "horizon"))
+    for row in best.values():
+        counts[row["model"]] = counts.get(row["model"], 0) + 1
+    summary = ResultsTable(title="First-place counts (by MSE)")
+    for model, count in sorted(counts.items(), key=lambda item: -item[1]):
+        summary.add_row(model=model, first_places=count)
+    return summary
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    table = run_table3()
+    print(table.to_text())
+    print()
+    print(summarize_winners(table).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,58 @@
+"""E2 — Table V: univariate long-term forecasting on the ETT datasets.
+
+The univariate protocol forecasts only the target channel (oil temperature,
+the last column of the ETT datasets) from its own history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..data.datasets import load_dataset
+from ..data.pipeline import prepare_forecasting_data
+from ..training import ResultsTable
+from .common import train_model_on
+from .profiles import QUICK, ExperimentProfile
+
+__all__ = ["DEFAULT_DATASETS", "DEFAULT_MODELS", "run_table5", "main"]
+
+DEFAULT_DATASETS = ("ETTh1", "ETTh2", "ETTm1", "ETTm2")
+DEFAULT_MODELS = ("LiPFormer", "PatchTST", "DLinear", "iTransformer", "TiDE")
+
+
+def run_table5(
+    profile: ExperimentProfile = QUICK,
+    datasets: Optional[Sequence[str]] = None,
+    horizons: Optional[Sequence[int]] = None,
+    models: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+) -> ResultsTable:
+    """Regenerate (a slice of) Table V: univariate ETT forecasting."""
+    datasets = tuple(datasets) if datasets else DEFAULT_DATASETS
+    horizons = tuple(horizons) if horizons else profile.horizons
+    models = tuple(models) if models else DEFAULT_MODELS
+    table = ResultsTable(title="Table V — univariate long-term forecasting (ETT)")
+    for dataset in datasets:
+        series = load_dataset(dataset, n_timestamps=profile.n_timestamps, seed=seed or profile.seed)
+        # Univariate protocol: keep only the target channel (oil temperature).
+        univariate = series.select_channels([series.n_channels - 1])
+        for horizon in horizons:
+            data = prepare_forecasting_data(
+                dataset,
+                input_length=profile.input_length,
+                horizon=horizon,
+                stride=profile.window_stride,
+                series=univariate,
+            )
+            for model_name in models:
+                result = train_model_on(model_name, profile, data, seed=seed)
+                table.add_row(**result.as_row())
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_table5().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

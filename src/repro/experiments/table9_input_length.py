@@ -1,0 +1,58 @@
+"""E6 — Table IX: impact of the input-sequence length.
+
+Longer histories should help models that genuinely capture long-range
+dependencies.  The paper sweeps input lengths {96, 192, 336, 720} over the
+ETT and Weather datasets (prediction length 96) and reports MSE for
+LiPFormer and the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..training import ResultsTable
+from .common import prepare_profile_data, train_model_on
+from .profiles import QUICK, ExperimentProfile
+
+__all__ = ["DEFAULT_DATASETS", "DEFAULT_MODELS", "run_table9", "main"]
+
+DEFAULT_DATASETS = ("ETTh1", "ETTm2")
+DEFAULT_MODELS = ("LiPFormer", "PatchTST", "DLinear", "TiDE")
+
+
+def run_table9(
+    profile: ExperimentProfile = QUICK,
+    datasets: Optional[Sequence[str]] = None,
+    input_lengths: Optional[Sequence[int]] = None,
+    models: Optional[Sequence[str]] = None,
+    horizon: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ResultsTable:
+    """Regenerate (a slice of) Table IX: MSE as the input length grows."""
+    datasets = tuple(datasets) if datasets else DEFAULT_DATASETS
+    models = tuple(models) if models else DEFAULT_MODELS
+    horizon = horizon if horizon is not None else profile.horizons[0]
+    if input_lengths is None:
+        input_lengths = (
+            profile.input_length // 2,
+            profile.input_length,
+            profile.input_length * 2,
+        )
+    table = ResultsTable(title="Table IX — impact of input sequence length (MSE)")
+    for dataset in datasets:
+        for input_length in input_lengths:
+            data = prepare_profile_data(profile, dataset, horizon, input_length=input_length, seed=seed)
+            row = {"dataset": dataset, "input_length": input_length, "horizon": horizon}
+            for model_name in models:
+                result = train_model_on(model_name, profile, data, seed=seed)
+                row[model_name] = result.mse
+            table.add_row(**row)
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_table9().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""``repro.nn`` — a compact NumPy deep-learning substrate.
+
+The paper's artifact is implemented in PyTorch; this package provides the
+equivalent primitives (autograd tensors, layers, attention, losses,
+optimizers) so that LiPFormer and every baseline can be trained end to end
+without external deep-learning dependencies.
+"""
+
+from . import functional
+from .attention import MultiHeadSelfAttention, ResidualSelfAttention, SelfAttention
+from .gradcheck import check_gradients, numerical_gradient
+from .layers import (
+    GELU,
+    Dropout,
+    Embedding,
+    Flatten,
+    Identity,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .losses import (
+    CrossEntropyLoss,
+    MAELoss,
+    MSELoss,
+    SmoothL1Loss,
+    SymmetricContrastiveLoss,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, AdamW, Optimizer
+from .scheduler import CosineAnnealingLR, LRScheduler, ReduceLROnPlateau, StepLR
+from .serialization import load_module, load_state, save_module, save_state
+from .tensor import (
+    Tensor,
+    arange,
+    as_tensor,
+    concatenate,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    randn,
+    set_default_dtype,
+    stack,
+    zeros,
+)
+from .utils import clip_grad_norm, count_parameters, seed_everything
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "zeros",
+    "ones",
+    "randn",
+    "arange",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Dropout",
+    "LayerNorm",
+    "Embedding",
+    "GELU",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Flatten",
+    "SelfAttention",
+    "MultiHeadSelfAttention",
+    "ResidualSelfAttention",
+    "MSELoss",
+    "MAELoss",
+    "SmoothL1Loss",
+    "CrossEntropyLoss",
+    "SymmetricContrastiveLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ReduceLROnPlateau",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+    "seed_everything",
+    "count_parameters",
+    "clip_grad_norm",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,94 @@
+"""Attention modules shared by LiPFormer and the Transformer baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor, concatenate
+
+__all__ = ["SelfAttention", "MultiHeadSelfAttention", "ResidualSelfAttention"]
+
+
+class SelfAttention(Module):
+    """Single-head self-attention with separate Q/K/V projections.
+
+    This is the ``Attn`` block of LiPFormer's Inter-Patch / Cross-Patch
+    attention (Figure 4 of the paper): three linear projections followed by
+    scaled dot-product attention, with no output projection, no LayerNorm and
+    no feed-forward network.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.query = Linear(embed_dim, embed_dim, rng=rng)
+        self.key = Linear(embed_dim, embed_dim, rng=rng)
+        self.value = Linear(embed_dim, embed_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        q = self.query(x)
+        k = self.key(x)
+        v = self.value(x)
+        out = F.scaled_dot_product_attention(q, k, v)
+        return self.dropout(out)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention used by the Transformer baselines."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(f"embed_dim ({embed_dim}) must be divisible by num_heads ({num_heads})")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.qkv = Linear(embed_dim, 3 * embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        qkv = self.qkv(x)
+        q = self._split_heads(qkv[:, :, : self.embed_dim], batch, length)
+        k = self._split_heads(qkv[:, :, self.embed_dim : 2 * self.embed_dim], batch, length)
+        v = self._split_heads(qkv[:, :, 2 * self.embed_dim :], batch, length)
+        attended = F.scaled_dot_product_attention(q, k, v)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, length, self.embed_dim)
+        return self.dropout(self.out_proj(merged))
+
+
+class ResidualSelfAttention(Module):
+    """Self-attention with a residual connection (Covariate Encoder block)."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attention = SelfAttention(embed_dim, dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.attention(x) + x

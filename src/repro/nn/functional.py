@@ -1,0 +1,134 @@
+"""Functional building blocks used by layers and models.
+
+These functions operate on :class:`repro.nn.tensor.Tensor` objects and are
+fully differentiable through the autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concatenate, stack, where_mask
+
+__all__ = [
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "linear",
+    "layer_norm",
+    "scaled_dot_product_attention",
+    "one_hot",
+    "concatenate",
+    "stack",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    x = as_tensor(x)
+    inner = (x + x * x * x * 0.044715) * 0.7978845608028654
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax along ``axis``, computed stably."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` matching ``torch.nn.functional.linear``."""
+    out = x @ weight.swapaxes(-1, -2)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalised = centered / (variance + eps).sqrt()
+    return normalised * weight + bias
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    dropout_p: float = 0.0,
+    training: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Standard scaled dot-product attention ``softmax(QK^T / sqrt(d)) V``."""
+    d_k = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) / float(np.sqrt(d_k))
+    weights = softmax(scores, axis=-1)
+    if dropout_p > 0.0:
+        weights = dropout(weights, dropout_p, training, rng=rng)
+    return weights @ value
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer array (plain NumPy, no gradient)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float32)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def smooth_l1(prediction: Tensor, target: Tensor, beta: float = 1.0) -> Tensor:
+    """Smooth L1 (Huber-style) loss used by the paper's Base Predictor."""
+    diff = prediction - as_tensor(target)
+    abs_diff = diff.abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear_branch = abs_diff - 0.5 * beta
+    mask = (abs_diff.data < beta).astype(diff.dtype)
+    return where_mask(mask, quadratic, linear_branch).mean()

@@ -1,0 +1,64 @@
+"""Numerical gradient checking used to validate the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, get_default_dtype, set_default_dtype
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central-difference estimate of d fn / d inputs[index]."""
+    base = [np.array(arr, dtype=np.float64) for arr in inputs]
+    grad = np.zeros_like(base[index])
+    flat = base[index].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for position in range(flat.size):
+        original = flat[position]
+        flat[position] = original + eps
+        plus = float(fn([Tensor(arr) for arr in base]).item())
+        flat[position] = original - eps
+        minus = float(fn([Tensor(arr) for arr in base]).item())
+        flat[position] = original
+        grad_flat[position] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    eps: float = 1e-4,
+) -> bool:
+    """Compare analytic and numerical gradients of a scalar-valued ``fn``.
+
+    Runs in float64 regardless of the library default so the finite
+    difference estimate is meaningful.
+    """
+    previous_dtype = get_default_dtype()
+    set_default_dtype(np.float64)
+    try:
+        tensors = [Tensor(np.array(arr, dtype=np.float64), requires_grad=True) for arr in inputs]
+        output = fn(tensors)
+        output.backward()
+        for index, tensor in enumerate(tensors):
+            numeric = numerical_gradient(fn, inputs, index, eps=eps)
+            analytic = tensor.grad if tensor.grad is not None else np.zeros_like(numeric)
+            if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+                max_err = float(np.max(np.abs(analytic - numeric)))
+                raise AssertionError(
+                    f"gradient mismatch for input {index}: max abs err {max_err:.3e}"
+                )
+        return True
+    finally:
+        set_default_dtype(previous_dtype)

@@ -1,0 +1,53 @@
+"""Weight initialisation utilities."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros_", "uniform_"]
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 2:
+        fan = int(shape[0]) if shape else 1
+        return fan, fan
+    fan_out, fan_in = shape[0], shape[1]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (generator.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (fan-in mode)."""
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return generator.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros_(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def uniform_(shape: Tuple[int, ...], low: float, high: float, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    generator = rng if rng is not None else np.random.default_rng()
+    return generator.uniform(low, high, size=shape).astype(np.float32)

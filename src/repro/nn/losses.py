@@ -1,0 +1,98 @@
+"""Loss functions for forecasting training and contrastive pre-training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "MSELoss",
+    "MAELoss",
+    "SmoothL1Loss",
+    "CrossEntropyLoss",
+    "SymmetricContrastiveLoss",
+]
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        diff = prediction - as_tensor(target)
+        return (diff * diff).mean()
+
+
+class MAELoss(Module):
+    """Mean absolute error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return (prediction - as_tensor(target)).abs().mean()
+
+
+class SmoothL1Loss(Module):
+    """Smooth L1 loss with threshold ``beta`` (paper Section III-B).
+
+    Quadratic for absolute errors below ``beta`` (L2 behaviour, smooth
+    gradients near the optimum) and linear above (L1 behaviour, robust to
+    outliers).
+    """
+
+    def __init__(self, beta: float = 1.0) -> None:
+        super().__init__()
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = beta
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.smooth_l1(prediction, as_tensor(target), beta=self.beta)
+
+
+class CrossEntropyLoss(Module):
+    """Cross entropy over raw logits with integer class targets."""
+
+    def forward(self, logits: Tensor, target: np.ndarray) -> Tensor:
+        target = np.asarray(target, dtype=np.int64)
+        log_probs = F.log_softmax(logits, axis=-1)
+        batch = logits.shape[0]
+        picked = log_probs[np.arange(batch), target]
+        return -picked.mean()
+
+
+class SymmetricContrastiveLoss(Module):
+    """CLIP-style symmetric cross-entropy over a similarity matrix.
+
+    Given target-sequence embeddings ``V_T`` and covariate embeddings ``V_C``
+    of a batch, the loss maximises the similarity of the ``b`` diagonal
+    (matching) pairs while minimising the remaining ``b^2 - b`` pairs, taking
+    the mean of a row-wise and a column-wise cross-entropy (paper Eq. for
+    ``L_sce``).
+    """
+
+    def __init__(self, temperature: float = 0.07) -> None:
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.temperature = temperature
+        self._cross_entropy = CrossEntropyLoss()
+
+    def logits(self, target_embeddings: Tensor, covariate_embeddings: Tensor) -> Tensor:
+        """Return the ``b x b`` scaled cosine-similarity matrix."""
+        target_norm = _l2_normalise(target_embeddings)
+        covariate_norm = _l2_normalise(covariate_embeddings)
+        return (target_norm @ covariate_norm.swapaxes(-1, -2)) / self.temperature
+
+    def forward(self, target_embeddings: Tensor, covariate_embeddings: Tensor) -> Tensor:
+        logits = self.logits(target_embeddings, covariate_embeddings)
+        batch = logits.shape[0]
+        labels = np.arange(batch)
+        loss_rows = self._cross_entropy(logits, labels)
+        loss_cols = self._cross_entropy(logits.swapaxes(-1, -2), labels)
+        return (loss_rows + loss_cols) * 0.5
+
+
+def _l2_normalise(x: Tensor, eps: float = 1e-8) -> Tensor:
+    norm = ((x * x).sum(axis=-1, keepdims=True) + eps).sqrt()
+    return x / norm

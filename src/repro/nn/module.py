@@ -1,0 +1,164 @@
+"""Module / Parameter abstractions, mirroring a small subset of ``torch.nn``."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable model parameter."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for every neural-network component.
+
+    Sub-modules and parameters assigned as attributes are registered
+    automatically, which makes ``parameters()``, ``state_dict()`` and
+    ``train()/eval()`` work without any per-model bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(param.size for param in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Training / evaluation state
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # State dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter names to arrays (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    # Forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run sub-modules in order, feeding each output to the next module."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._layers.append(module)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+
+class ModuleList(Module):
+    """A list of sub-modules that is properly registered for parameters."""
+
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, f"item{len(self._items)}", module)
+        self._items.append(module)
+        return self
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("ModuleList is a container and cannot be called")

@@ -1,0 +1,87 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "ReduceLROnPlateau"]
+
+
+class LRScheduler:
+    """Base class: adjusts ``optimizer.lr`` as training progresses."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def step(self, metric: float | None = None) -> None:
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr(metric)
+
+    def get_lr(self, metric: float | None = None) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 1, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, metric: float | None = None) -> float:
+        exponent = self.last_epoch // self.step_size
+        return self.base_lr * (self.gamma**exponent)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, metric: float | None = None) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * progress))
+
+
+class ReduceLROnPlateau(LRScheduler):
+    """Halve the learning rate when a monitored metric stops improving."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 2,
+        min_lr: float = 1e-6,
+    ) -> None:
+        super().__init__(optimizer)
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self._best = math.inf
+        self._bad_epochs = 0
+        self._current = optimizer.lr
+
+    def get_lr(self, metric: float | None = None) -> float:
+        if metric is None:
+            return self._current
+        if metric < self._best - 1e-12:
+            self._best = metric
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+            if self._bad_epochs > self.patience:
+                self._current = max(self._current * self.factor, self.min_lr)
+                self._bad_epochs = 0
+        return self._current

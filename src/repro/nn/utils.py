@@ -1,0 +1,38 @@
+"""Miscellaneous utilities for the neural-network substrate."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["seed_everything", "count_parameters", "clip_grad_norm"]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python and NumPy RNGs; return a fresh ``Generator`` for reuse."""
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    return np.random.default_rng(seed)
+
+
+def count_parameters(module: Module, trainable_only: bool = True) -> int:
+    """Number of scalar parameters in ``module``."""
+    return module.num_parameters()
+
+
+def clip_grad_norm(module: Module, max_norm: float) -> float:
+    """Clip the global gradient norm in place; return the pre-clip norm."""
+    grads = [p.grad for p in module.parameters() if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in module.parameters():
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return total

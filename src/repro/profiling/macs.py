@@ -1,0 +1,56 @@
+"""Multiply-accumulate (MAC) measurement for one forward pass.
+
+The paper's efficiency comparison reports MACs per inference; here they are
+measured exactly by counting every matrix product executed during a single
+forward pass (see ``repro.nn.tensor.count_macs``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import ForecastModel
+from ..nn import Tensor, no_grad
+from ..nn.tensor import count_macs
+
+__all__ = ["measure_macs"]
+
+
+def measure_macs(
+    model: ForecastModel,
+    batch_size: int = 32,
+    future_numerical: Optional[np.ndarray] = None,
+    future_categorical: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """MACs of one forward pass over a batch of ``batch_size`` windows."""
+    generator = rng if rng is not None else np.random.default_rng(0)
+    config = model.config
+    x = generator.standard_normal((batch_size, config.input_length, config.n_channels)).astype(np.float32)
+    if model.supports_covariates and config.has_covariates:
+        if future_numerical is None and config.covariate_numerical_dim:
+            future_numerical = generator.standard_normal(
+                (batch_size, config.horizon, config.covariate_numerical_dim)
+            ).astype(np.float32)
+        if future_categorical is None and config.covariate_categorical_cardinalities:
+            future_categorical = np.stack(
+                [
+                    generator.integers(0, cardinality, size=(batch_size, config.horizon))
+                    for cardinality in config.covariate_categorical_cardinalities
+                ],
+                axis=-1,
+            )
+    else:
+        future_numerical = None
+        future_categorical = None
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad(), count_macs() as counter:
+            model(Tensor(x), future_numerical=future_numerical, future_categorical=future_categorical)
+    finally:
+        model.train(was_training)
+    return counter.total

@@ -1,0 +1,34 @@
+"""Parameter counting and per-module breakdowns (Table III efficiency columns)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..nn import Module
+
+__all__ = ["count_parameters", "parameter_breakdown", "human_readable_count"]
+
+
+def count_parameters(module: Module) -> int:
+    """Total number of scalar parameters of a model."""
+    return module.num_parameters()
+
+
+def parameter_breakdown(module: Module) -> Dict[str, int]:
+    """Parameter counts grouped by top-level sub-module name."""
+    breakdown: Dict[str, int] = {}
+    for name, parameter in module.named_parameters():
+        top_level = name.split(".")[0]
+        breakdown[top_level] = breakdown.get(top_level, 0) + parameter.size
+    return breakdown
+
+
+def human_readable_count(count: int) -> str:
+    """Format ``count`` like the paper's tables ("66K", "6.4M", "1.42T")."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if count >= threshold:
+            value = count / threshold
+            return f"{value:.2f}{suffix}" if value < 10 else f"{value:.1f}{suffix}"
+    return str(count)

@@ -1,0 +1,75 @@
+"""Model summaries: per-module parameter tables and efficiency cards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.base import ForecastModel
+from ..nn import Module
+from .macs import measure_macs
+from .params import human_readable_count, parameter_breakdown
+
+__all__ = ["ModelCard", "model_summary", "model_card"]
+
+
+@dataclass
+class ModelCard:
+    """Compact efficiency description of a forecaster (Table III style)."""
+
+    name: str
+    parameters: int
+    macs: int
+    input_length: int
+    horizon: int
+    n_channels: int
+    breakdown: Dict[str, int]
+
+    def to_text(self) -> str:
+        lines = [
+            f"model: {self.name}",
+            f"  input_length={self.input_length}  horizon={self.horizon}  channels={self.n_channels}",
+            f"  parameters: {self.parameters:,} ({human_readable_count(self.parameters)})",
+            f"  MACs/forward (batch 32): {self.macs:,} ({human_readable_count(self.macs)})",
+            "  parameter breakdown:",
+        ]
+        for module_name, count in sorted(self.breakdown.items(), key=lambda item: -item[1]):
+            share = 100.0 * count / max(self.parameters, 1)
+            lines.append(f"    {module_name:<24s} {count:>10,d}  ({share:5.1f}%)")
+        return "\n".join(lines)
+
+
+def model_summary(module: Module, max_depth: int = 2) -> str:
+    """Render a per-module parameter table, similar to ``torchsummary``."""
+    if max_depth < 1:
+        raise ValueError("max_depth must be at least 1")
+    rows: List[tuple] = []
+    for name, submodule in module.named_modules():
+        if not name:
+            continue
+        depth = name.count(".") + 1
+        if depth > max_depth:
+            continue
+        own = sum(p.size for _, p in submodule.named_parameters())
+        rows.append((name, type(submodule).__name__, own))
+    width = max((len(name) for name, _, _ in rows), default=10)
+    lines = [f"{'module':<{width}s}  {'type':<24s}  {'params':>12s}"]
+    lines.append("-" * (width + 40))
+    for name, type_name, count in rows:
+        lines.append(f"{name:<{width}s}  {type_name:<24s}  {count:>12,d}")
+    lines.append("-" * (width + 40))
+    lines.append(f"{'total':<{width}s}  {'':<24s}  {module.num_parameters():>12,d}")
+    return "\n".join(lines)
+
+
+def model_card(model: ForecastModel, name: Optional[str] = None, batch_size: int = 32) -> ModelCard:
+    """Build a :class:`ModelCard` for a forecaster (measures MACs once)."""
+    return ModelCard(
+        name=name or type(model).__name__,
+        parameters=model.num_parameters(),
+        macs=measure_macs(model, batch_size=batch_size),
+        input_length=model.config.input_length,
+        horizon=model.config.horizon,
+        n_channels=model.config.n_channels,
+        breakdown=parameter_breakdown(model),
+    )

@@ -1,0 +1,43 @@
+"""``repro.training`` — metrics, training loops and experiment utilities."""
+
+from .analysis import (
+    PairwiseComparison,
+    average_improvement,
+    pairwise_comparison,
+    per_step_errors,
+    rank_models,
+    win_counts,
+)
+from .early_stopping import EarlyStopping
+from .experiment import ExperimentResult, measure_inference_time, run_experiment
+from .metrics import evaluate_forecast, mae, mape, mse, rmse
+from .pretrainer import ContrastivePretrainer, PretrainingHistory, pretrain_covariate_encoder
+from .results import ResultsTable
+from .sweep import SweepResult, grid_search
+from .trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "PairwiseComparison",
+    "average_improvement",
+    "pairwise_comparison",
+    "per_step_errors",
+    "rank_models",
+    "win_counts",
+    "SweepResult",
+    "grid_search",
+    "EarlyStopping",
+    "ExperimentResult",
+    "measure_inference_time",
+    "run_experiment",
+    "evaluate_forecast",
+    "mae",
+    "mape",
+    "mse",
+    "rmse",
+    "ContrastivePretrainer",
+    "PretrainingHistory",
+    "pretrain_covariate_encoder",
+    "ResultsTable",
+    "Trainer",
+    "TrainingHistory",
+]

@@ -1,0 +1,170 @@
+"""Result analysis utilities: per-horizon errors, win counts, pairwise comparisons.
+
+These helpers operate on plain forecast arrays or on
+:class:`~repro.training.results.ResultsTable` rows and implement the simple
+aggregate statistics the paper reports (first/second-place counts, average
+improvement percentages) plus a per-step error profile useful when studying
+long-horizon behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .results import ResultsTable
+
+__all__ = [
+    "per_step_errors",
+    "win_counts",
+    "average_improvement",
+    "rank_models",
+    "PairwiseComparison",
+    "pairwise_comparison",
+]
+
+
+def per_step_errors(prediction: np.ndarray, target: np.ndarray) -> Dict[str, np.ndarray]:
+    """Per-forecast-step MSE and MAE profiles.
+
+    Parameters are ``[n_windows, horizon, channels]`` arrays; the result maps
+    ``"mse"`` / ``"mae"`` to arrays of length ``horizon``.  Errors typically
+    grow with the forecast step; comparing profiles shows *where* a model
+    wins (early vs late horizon).
+    """
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    if prediction.ndim != 3:
+        raise ValueError("expected [windows, horizon, channels] arrays")
+    difference = prediction - target
+    return {
+        "mse": (difference**2).mean(axis=(0, 2)),
+        "mae": np.abs(difference).mean(axis=(0, 2)),
+    }
+
+
+def win_counts(
+    table: ResultsTable,
+    metric: str = "mse",
+    group_keys: Sequence[str] = ("dataset", "horizon"),
+    top_k: int = 2,
+) -> Dict[str, List[int]]:
+    """First..k-th place counts per model (the paper's "Count" row).
+
+    Returns a mapping ``model -> [first places, second places, ...]``.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be at least 1")
+    groups: Dict[tuple, List[dict]] = {}
+    for row in table.rows:
+        if metric not in row or "model" not in row:
+            continue
+        key = tuple(row.get(k) for k in group_keys)
+        groups.setdefault(key, []).append(row)
+    counts: Dict[str, List[int]] = {}
+    for rows in groups.values():
+        ranking = sorted(rows, key=lambda row: row[metric])
+        for place, row in enumerate(ranking[:top_k]):
+            counts.setdefault(row["model"], [0] * top_k)[place] += 1
+    return counts
+
+
+def average_improvement(
+    table: ResultsTable,
+    baseline: str,
+    candidate: str,
+    metric: str = "mse",
+    group_keys: Sequence[str] = ("dataset", "horizon"),
+) -> float:
+    """Mean relative improvement (%) of ``candidate`` over ``baseline``.
+
+    This is how the paper summarises Table III ("LiPFormer outperforms
+    DLinear by 10.4%"): the per-cell relative MSE reduction, averaged over
+    all cells where both models are present.
+    """
+    baseline_rows = {tuple(row.get(k) for k in group_keys): row for row in table.rows if row.get("model") == baseline}
+    candidate_rows = {tuple(row.get(k) for k in group_keys): row for row in table.rows if row.get("model") == candidate}
+    shared = sorted(set(baseline_rows) & set(candidate_rows))
+    if not shared:
+        raise ValueError(f"no overlapping cells between {baseline!r} and {candidate!r}")
+    improvements = [
+        100.0 * (baseline_rows[key][metric] - candidate_rows[key][metric]) / baseline_rows[key][metric]
+        for key in shared
+    ]
+    return float(np.mean(improvements))
+
+
+def rank_models(
+    table: ResultsTable,
+    metric: str = "mse",
+    group_keys: Sequence[str] = ("dataset", "horizon"),
+) -> Dict[str, float]:
+    """Average rank of each model across groups (1 = best), lower is better."""
+    groups: Dict[tuple, List[dict]] = {}
+    for row in table.rows:
+        if metric not in row or "model" not in row:
+            continue
+        key = tuple(row.get(k) for k in group_keys)
+        groups.setdefault(key, []).append(row)
+    accumulated: Dict[str, List[int]] = {}
+    for rows in groups.values():
+        ranking = sorted(rows, key=lambda row: row[metric])
+        for place, row in enumerate(ranking, start=1):
+            accumulated.setdefault(row["model"], []).append(place)
+    return {model: float(np.mean(places)) for model, places in accumulated.items()}
+
+
+@dataclass
+class PairwiseComparison:
+    """Paired comparison of two models over matched experiment cells."""
+
+    baseline: str
+    candidate: str
+    n_cells: int
+    candidate_wins: int
+    baseline_wins: int
+    mean_difference: float        # baseline - candidate (positive = candidate better)
+    mean_relative_improvement: float
+
+    @property
+    def win_rate(self) -> float:
+        return self.candidate_wins / max(self.n_cells, 1)
+
+
+def pairwise_comparison(
+    table: ResultsTable,
+    baseline: str,
+    candidate: str,
+    metric: str = "mse",
+    group_keys: Sequence[str] = ("dataset", "horizon"),
+) -> PairwiseComparison:
+    """Cell-by-cell comparison of two models on a results table."""
+    baseline_rows = {tuple(row.get(k) for k in group_keys): row for row in table.rows if row.get("model") == baseline}
+    candidate_rows = {tuple(row.get(k) for k in group_keys): row for row in table.rows if row.get("model") == candidate}
+    shared = sorted(set(baseline_rows) & set(candidate_rows))
+    if not shared:
+        raise ValueError(f"no overlapping cells between {baseline!r} and {candidate!r}")
+    differences = []
+    candidate_wins = 0
+    baseline_wins = 0
+    for key in shared:
+        baseline_value = baseline_rows[key][metric]
+        candidate_value = candidate_rows[key][metric]
+        differences.append(baseline_value - candidate_value)
+        if candidate_value < baseline_value:
+            candidate_wins += 1
+        elif baseline_value < candidate_value:
+            baseline_wins += 1
+    return PairwiseComparison(
+        baseline=baseline,
+        candidate=candidate,
+        n_cells=len(shared),
+        candidate_wins=candidate_wins,
+        baseline_wins=baseline_wins,
+        mean_difference=float(np.mean(differences)),
+        mean_relative_improvement=average_improvement(table, baseline, candidate, metric, group_keys),
+    )

@@ -1,0 +1,40 @@
+"""Early stopping on the validation score (paper uses patience 3)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Track the best validation score and signal when to stop.
+
+    Also keeps a copy of the best model state so training can restore it,
+    matching "we choose the final model based on the best validation score".
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0) -> None:
+        if patience < 0:
+            raise ValueError("patience must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_score = math.inf
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.bad_epochs = 0
+        self.should_stop = False
+
+    def update(self, score: float, state: Optional[Dict[str, np.ndarray]] = None) -> bool:
+        """Record an epoch's validation score; return True if it improved."""
+        if score < self.best_score - self.min_delta:
+            self.best_score = score
+            self.best_state = state
+            self.bad_epochs = 0
+            return True
+        self.bad_epochs += 1
+        if self.bad_epochs > self.patience:
+            self.should_stop = True
+        return False

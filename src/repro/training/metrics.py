@@ -1,0 +1,49 @@
+"""Forecast accuracy metrics (paper Section IV-A2)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["mse", "mae", "rmse", "mape", "evaluate_forecast"]
+
+
+def _validate(prediction: np.ndarray, target: np.ndarray) -> tuple:
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    return prediction, target
+
+
+def mse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.mean((prediction - target) ** 2))
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(prediction, target)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error (with an epsilon to avoid division by zero)."""
+    prediction, target = _validate(prediction, target)
+    return float(np.mean(np.abs((prediction - target) / (np.abs(target) + eps))))
+
+
+def evaluate_forecast(prediction: np.ndarray, target: np.ndarray) -> Dict[str, float]:
+    """Return the paper's metric pair (MSE, MAE) plus RMSE for convenience."""
+    return {
+        "mse": mse(prediction, target),
+        "mae": mae(prediction, target),
+        "rmse": rmse(prediction, target),
+    }

@@ -1,0 +1,85 @@
+"""Contrastive pre-training of the dual encoder (paper Section III-B, top half)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..core.dual_encoder import DualEncoder
+from ..data.pipeline import ForecastingData
+from ..nn import Adam, clip_grad_norm
+
+__all__ = ["PretrainingHistory", "ContrastivePretrainer", "pretrain_covariate_encoder"]
+
+
+class _SupportsDualEncoder(Protocol):
+    def build_dual_encoder(self, rng: Optional[np.random.Generator] = None) -> DualEncoder: ...
+
+    def freeze_covariate_encoder(self) -> None: ...
+
+
+@dataclass
+class PretrainingHistory:
+    """Per-epoch contrastive losses."""
+
+    losses: List[float] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+
+class ContrastivePretrainer:
+    """Optimise the CLIP-style symmetric contrastive loss over covariate/target pairs."""
+
+    def __init__(self, dual_encoder: DualEncoder, config: Optional[TrainingConfig] = None) -> None:
+        self.dual_encoder = dual_encoder
+        self.config = config or TrainingConfig()
+        self.optimizer = Adam(dual_encoder.parameters(), lr=self.config.pretrain_learning_rate)
+
+    def fit(self, data: ForecastingData, rng: Optional[np.random.Generator] = None) -> PretrainingHistory:
+        generator = rng if rng is not None else np.random.default_rng(self.config.seed + 101)
+        train_loader, _, _ = data.loaders(self.config.batch_size, rng=generator)
+        history = PretrainingHistory()
+        start = time.perf_counter()
+        for _ in range(self.config.pretrain_epochs):
+            total, count = 0.0, 0
+            for batch in train_loader:
+                if batch["future_numerical"] is None and batch["future_categorical"] is None:
+                    raise ValueError(
+                        "contrastive pre-training requires future covariates; "
+                        "prepare the dataset with include_covariates=True"
+                    )
+                if len(batch["y"]) < 2:
+                    continue  # a single pair has no negatives
+                self.optimizer.zero_grad()
+                loss = self.dual_encoder(
+                    batch["y"], batch["future_numerical"], batch["future_categorical"]
+                )
+                loss.backward()
+                clip_grad_norm(self.dual_encoder, self.config.gradient_clip or 5.0)
+                self.optimizer.step()
+                total += loss.item()
+                count += 1
+            history.losses.append(total / max(count, 1))
+        history.total_seconds = time.perf_counter() - start
+        return history
+
+
+def pretrain_covariate_encoder(
+    model: _SupportsDualEncoder,
+    data: ForecastingData,
+    config: Optional[TrainingConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> PretrainingHistory:
+    """Pre-train a model's Covariate Encoder and freeze it.
+
+    Works for :class:`~repro.core.lipformer.LiPFormer` and for
+    :class:`~repro.core.transplant.CovariateEnrichedModel`.
+    """
+    dual_encoder = model.build_dual_encoder(rng=rng)
+    pretrainer = ContrastivePretrainer(dual_encoder, config)
+    history = pretrainer.fit(data, rng=rng)
+    model.freeze_covariate_encoder()
+    return history

@@ -1,0 +1,110 @@
+"""Accumulating and formatting experiment result tables."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ResultsTable"]
+
+
+@dataclass
+class ResultsTable:
+    """A list of result rows (dictionaries) with pretty-printing helpers.
+
+    Experiments append one row per (dataset, model, horizon, ...) cell and
+    the benchmarks print the table in the same layout as the paper's tables.
+    """
+
+    title: str = ""
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append one result row."""
+        self.rows.append(dict(values))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def columns(self) -> List[str]:
+        """Union of all row keys, in first-seen order."""
+        seen: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def filter(self, **criteria: object) -> "ResultsTable":
+        """Return a new table with rows matching all criteria."""
+        matching = [
+            row for row in self.rows if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return ResultsTable(title=self.title, rows=matching)
+
+    def column(self, name: str) -> List[object]:
+        """Values of one column across all rows (missing entries skipped)."""
+        return [row[name] for row in self.rows if name in row]
+
+    def best_by(self, metric: str, group_keys: Sequence[str]) -> Dict[tuple, Dict[str, object]]:
+        """Per group (tuple of ``group_keys`` values), the row minimising ``metric``."""
+        best: Dict[tuple, Dict[str, object]] = {}
+        for row in self.rows:
+            if metric not in row:
+                continue
+            key = tuple(row.get(k) for k in group_keys)
+            if key not in best or row[metric] < best[key][metric]:
+                best[key] = row
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Rendering / persistence
+    # ------------------------------------------------------------------ #
+    def to_text(self, float_format: str = "{:.4f}") -> str:
+        """Render as a fixed-width text table."""
+        columns = self.columns()
+        if not columns:
+            return f"{self.title}\n(empty)"
+
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        body = [[fmt(row.get(col, "")) for col in columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(line[i]) for line in body)) if body else len(col)
+            for i, col in enumerate(columns)
+        ]
+        header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+        separator = "-+-".join("-" * widths[i] for i in range(len(columns)))
+        lines = [self.title, header, separator] if self.title else [header, separator]
+        for line in body:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        return "\n".join(lines)
+
+    def save_csv(self, path: str) -> None:
+        """Write the table to ``path`` as CSV."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        columns = self.columns()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({key: row.get(key, "") for key in columns})
+
+    def save_json(self, path: str) -> None:
+        """Write the table to ``path`` as JSON."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump({"title": self.title, "rows": self.rows}, handle, indent=2, default=str)
+
+    @classmethod
+    def load_json(cls, path: str) -> "ResultsTable":
+        """Read a table previously written by :meth:`save_json`."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        return cls(title=payload.get("title", ""), rows=payload.get("rows", []))

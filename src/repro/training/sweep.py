@@ -1,0 +1,102 @@
+"""Grid search over model / training hyper-parameters.
+
+A small utility for the kind of sweeps the paper's Tables VIII and IX run
+(patch length, input length) and for practical tuning of LiPFormer on new
+datasets.  Every combination of the supplied overrides is trained with
+:func:`repro.training.experiment.run_experiment` and the results are
+collected in a :class:`~repro.training.results.ResultsTable`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ModelConfig, TrainingConfig
+from ..core.base import ForecastModel
+from ..data.pipeline import ForecastingData
+from .experiment import ExperimentResult, run_experiment
+from .results import ResultsTable
+
+__all__ = ["SweepResult", "grid_search"]
+
+ModelFactory = Callable[[ModelConfig], ForecastModel]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a grid search: all results plus the best configuration."""
+
+    table: ResultsTable
+    results: List[ExperimentResult] = field(default_factory=list)
+    best_overrides: Dict[str, object] = field(default_factory=dict)
+    best_result: Optional[ExperimentResult] = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _combinations(grid: Dict[str, Iterable]) -> List[Dict[str, object]]:
+    keys = list(grid)
+    values = [list(grid[key]) for key in keys]
+    return [dict(zip(keys, combo)) for combo in itertools.product(*values)]
+
+
+def grid_search(
+    model_factory: ModelFactory,
+    data: ForecastingData,
+    base_model_config: ModelConfig,
+    model_grid: Optional[Dict[str, Iterable]] = None,
+    training_grid: Optional[Dict[str, Iterable]] = None,
+    base_training_config: Optional[TrainingConfig] = None,
+    metric: str = "mse",
+    pretrain: bool = False,
+    seed: int = 2021,
+) -> SweepResult:
+    """Train one model per hyper-parameter combination and rank them.
+
+    ``model_grid`` / ``training_grid`` map field names of :class:`ModelConfig`
+    / :class:`TrainingConfig` to iterables of candidate values; every
+    combination of both grids is evaluated.
+    """
+    model_grid = model_grid or {}
+    training_grid = training_grid or {}
+    base_training_config = base_training_config or TrainingConfig()
+    if metric not in ("mse", "mae"):
+        raise ValueError(f"metric must be 'mse' or 'mae', got {metric!r}")
+
+    table = ResultsTable(title="hyper-parameter sweep")
+    sweep = SweepResult(table=table)
+    best_score = float("inf")
+    for model_overrides in _combinations(model_grid):
+        for training_overrides in _combinations(training_grid):
+            model_config = base_model_config.with_overrides(**model_overrides)
+            training_config = base_training_config.with_overrides(**training_overrides)
+            model = model_factory(model_config)
+            label = ", ".join(
+                f"{key}={value}" for key, value in {**model_overrides, **training_overrides}.items()
+            )
+            result = run_experiment(
+                model,
+                data,
+                training_config,
+                model_name=label or type(model).__name__,
+                pretrain=pretrain,
+                seed=seed,
+            )
+            sweep.results.append(result)
+            table.add_row(
+                **{**model_overrides, **training_overrides},
+                mse=result.mse,
+                mae=result.mae,
+                parameters=result.parameters,
+            )
+            score = getattr(result, metric)
+            if score < best_score:
+                best_score = score
+                sweep.best_overrides = {**model_overrides, **training_overrides}
+                sweep.best_result = result
+    return sweep

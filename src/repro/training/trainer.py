@@ -1,0 +1,134 @@
+"""Prediction-oriented training loop (paper Section III-B, bottom half)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..core.base import ForecastModel
+from ..data.loader import DataLoader
+from ..data.pipeline import ForecastingData
+from ..nn import AdamW, SmoothL1Loss, Tensor, clip_grad_norm, no_grad
+from ..nn.scheduler import StepLR
+from .early_stopping import EarlyStopping
+from .metrics import evaluate_forecast
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses plus the timing figures reported in Table III."""
+
+    train_losses: List[float] = field(default_factory=list)
+    validation_losses: List[float] = field(default_factory=list)
+    epochs_run: int = 0
+    seconds_per_epoch: float = 0.0
+    total_seconds: float = 0.0
+    best_validation_loss: float = float("inf")
+
+
+class Trainer:
+    """Train a :class:`ForecastModel` with Smooth-L1 loss, AdamW and early stopping."""
+
+    def __init__(
+        self,
+        model: ForecastModel,
+        config: Optional[TrainingConfig] = None,
+        loss: Optional[object] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+        beta = getattr(model.config, "smooth_l1_beta", 1.0)
+        self.loss_fn = loss if loss is not None else SmoothL1Loss(beta=beta)
+        parameters = (
+            model.optimizer_parameters()
+            if hasattr(model, "optimizer_parameters")
+            else model.parameters()
+        )
+        self.optimizer = AdamW(
+            parameters,
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        # Per-epoch exponential LR decay (paper-style "adjust learning rate"
+        # schedule); gamma == 1 leaves the learning rate constant.
+        self.scheduler = (
+            StepLR(self.optimizer, step_size=1, gamma=self.config.lr_decay_gamma)
+            if self.config.lr_decay_gamma < 1.0
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def _model_inputs(self, batch: Dict[str, Optional[np.ndarray]]) -> Dict[str, Optional[np.ndarray]]:
+        if not self.model.supports_covariates:
+            return {"future_numerical": None, "future_categorical": None}
+        return {
+            "future_numerical": batch.get("future_numerical"),
+            "future_categorical": batch.get("future_categorical"),
+        }
+
+    def train_epoch(self, loader: DataLoader) -> float:
+        """One optimisation pass over the loader; returns the mean loss."""
+        self.model.train()
+        total, count = 0.0, 0
+        for batch in loader:
+            self.optimizer.zero_grad()
+            prediction = self.model(Tensor(batch["x"]), **self._model_inputs(batch))
+            loss = self.loss_fn(prediction, batch["y"])
+            loss.backward()
+            if self.config.gradient_clip:
+                clip_grad_norm(self.model, self.config.gradient_clip)
+            self.optimizer.step()
+            total += loss.item() * len(batch["x"])
+            count += len(batch["x"])
+        return total / max(count, 1)
+
+    def evaluate(self, loader: DataLoader) -> Dict[str, float]:
+        """Compute MSE / MAE / RMSE over a loader without gradient tracking."""
+        self.model.eval()
+        predictions, targets = [], []
+        with no_grad():
+            for batch in loader:
+                output = self.model(Tensor(batch["x"]), **self._model_inputs(batch))
+                predictions.append(output.data)
+                targets.append(batch["y"])
+        self.model.train()
+        if not predictions:
+            raise ValueError("evaluation loader produced no batches")
+        return evaluate_forecast(np.concatenate(predictions), np.concatenate(targets))
+
+    def fit(self, data: ForecastingData, rng: Optional[np.random.Generator] = None) -> TrainingHistory:
+        """Full training run with validation-based early stopping."""
+        generator = rng if rng is not None else np.random.default_rng(self.config.seed)
+        train_loader, val_loader, _ = data.loaders(self.config.batch_size, rng=generator)
+        history = TrainingHistory()
+        stopper = EarlyStopping(patience=self.config.patience)
+        start = time.perf_counter()
+        for epoch in range(self.config.epochs):
+            train_loss = self.train_epoch(train_loader)
+            validation = self.evaluate(val_loader)
+            history.train_losses.append(train_loss)
+            history.validation_losses.append(validation["mse"])
+            history.epochs_run = epoch + 1
+            stopper.update(validation["mse"], state=self.model.state_dict())
+            if stopper.should_stop:
+                break
+            if self.scheduler is not None:
+                self.scheduler.step()
+        history.total_seconds = time.perf_counter() - start
+        history.seconds_per_epoch = history.total_seconds / max(history.epochs_run, 1)
+        history.best_validation_loss = stopper.best_score
+        if stopper.best_state is not None:
+            self.model.load_state_dict(stopper.best_state)
+        return history
+
+    # ------------------------------------------------------------------ #
+    def test(self, data: ForecastingData) -> Dict[str, float]:
+        """Evaluate on the held-out test split."""
+        _, _, test_loader = data.loaders(self.config.batch_size, shuffle_train=False)
+        return self.evaluate(test_loader)

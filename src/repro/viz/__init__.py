@@ -1,0 +1,13 @@
+"""``repro.viz`` — dependency-free rendering of matrices, forecasts and curves."""
+
+from .heatmap import ascii_heatmap, normalise_matrix, save_pgm
+from .plots import forecast_plot, loss_curve, sparkline
+
+__all__ = [
+    "ascii_heatmap",
+    "normalise_matrix",
+    "save_pgm",
+    "forecast_plot",
+    "loss_curve",
+    "sparkline",
+]

@@ -1,0 +1,74 @@
+"""Text and image-file rendering of matrices (Figure 7 logits heatmaps).
+
+The environment has no plotting libraries, so two render paths are provided:
+
+* :func:`ascii_heatmap` — a terminal-friendly rendering using a density
+  character ramp, good enough to see the diagonal / stripe structure of the
+  contrastive logits matrices;
+* :func:`save_pgm` — a portable graymap (PGM) image file, viewable with any
+  image viewer and produced without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "save_pgm", "normalise_matrix"]
+
+_DENSITY_RAMP = " .:-=+*#%@"
+
+
+def normalise_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Scale a matrix to ``[0, 1]`` (constant matrices map to 0.5)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    low, high = matrix.min(), matrix.max()
+    if high - low < 1e-12:
+        return np.full_like(matrix, 0.5)
+    return (matrix - low) / (high - low)
+
+
+def ascii_heatmap(matrix: np.ndarray, max_size: int = 48, title: Optional[str] = None) -> str:
+    """Render a matrix as an ASCII heatmap string.
+
+    Large matrices are downsampled by block averaging to at most
+    ``max_size`` rows/columns so the output fits in a terminal.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    if max_size < 2:
+        raise ValueError("max_size must be at least 2")
+    rows, cols = matrix.shape
+    row_step = max(1, int(np.ceil(rows / max_size)))
+    col_step = max(1, int(np.ceil(cols / max_size)))
+    if row_step > 1 or col_step > 1:
+        trimmed = matrix[: (rows // row_step) * row_step, : (cols // col_step) * col_step]
+        matrix = trimmed.reshape(
+            trimmed.shape[0] // row_step, row_step, trimmed.shape[1] // col_step, col_step
+        ).mean(axis=(1, 3))
+    scaled = normalise_matrix(matrix)
+    indices = np.minimum((scaled * len(_DENSITY_RAMP)).astype(int), len(_DENSITY_RAMP) - 1)
+    lines = ["".join(_DENSITY_RAMP[index] for index in row) for row in indices]
+    if title:
+        lines.insert(0, title)
+    return "\n".join(lines)
+
+
+def save_pgm(matrix: np.ndarray, path: str, invert: bool = False) -> None:
+    """Write a matrix as an 8-bit binary PGM image."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    scaled = normalise_matrix(matrix)
+    if invert:
+        scaled = 1.0 - scaled
+    pixels = (scaled * 255).astype(np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    height, width = pixels.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(pixels.tobytes())

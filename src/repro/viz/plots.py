@@ -1,0 +1,58 @@
+"""Terminal plotting helpers for forecasts and training curves."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "forecast_plot", "loss_curve"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence as a unicode sparkline."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    low, high = values.min(), values.max()
+    if high - low < 1e-12:
+        return _SPARK_LEVELS[0] * values.size
+    scaled = (values - low) / (high - low)
+    indices = np.minimum((scaled * len(_SPARK_LEVELS)).astype(int), len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[index] for index in indices)
+
+
+def forecast_plot(
+    history: np.ndarray,
+    forecast: np.ndarray,
+    actual: Optional[np.ndarray] = None,
+    channel: int = 0,
+    label: str = "forecast",
+) -> str:
+    """Render history / forecast / actual for one channel as sparklines."""
+    history = np.asarray(history, dtype=np.float64)
+    forecast = np.asarray(forecast, dtype=np.float64)
+    if history.ndim == 2:
+        history = history[:, channel]
+    if forecast.ndim == 2:
+        forecast = forecast[:, channel]
+    lines = [
+        f"history  ({len(history):3d} steps): {sparkline(history)}",
+        f"{label:<9s}({len(forecast):3d} steps): {sparkline(forecast)}",
+    ]
+    if actual is not None:
+        actual = np.asarray(actual, dtype=np.float64)
+        if actual.ndim == 2:
+            actual = actual[:, channel]
+        lines.append(f"actual   ({len(actual):3d} steps): {sparkline(actual)}")
+    return "\n".join(lines)
+
+
+def loss_curve(losses: Sequence[float], label: str = "loss") -> str:
+    """Render a per-epoch loss curve as a sparkline with endpoints."""
+    losses = list(losses)
+    if not losses:
+        return f"{label}: (no data)"
+    return f"{label}: {sparkline(losses)}  first={losses[0]:.4f} last={losses[-1]:.4f}"

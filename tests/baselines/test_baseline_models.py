@@ -1,0 +1,198 @@
+"""Shape, behaviour and trainability tests for every baseline forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Autoformer,
+    Crossformer,
+    DLinear,
+    FGNN,
+    Informer,
+    ITransformer,
+    LightTS,
+    NLinear,
+    PatchTST,
+    Reformer,
+    TiDE,
+    TimeMixer,
+    VanillaTransformer,
+    available_models,
+    create_model,
+)
+from repro.nn import AdamW, MSELoss, Tensor
+
+ALL_BASELINE_CLASSES = [
+    DLinear,
+    NLinear,
+    PatchTST,
+    TiDE,
+    ITransformer,
+    TimeMixer,
+    FGNN,
+    VanillaTransformer,
+    Informer,
+    Autoformer,
+    Crossformer,
+    LightTS,
+    Reformer,
+]
+
+
+@pytest.fixture
+def x_batch(small_config, rng):
+    return Tensor(rng.standard_normal((4, small_config.input_length, small_config.n_channels)))
+
+
+@pytest.fixture
+def covariates(small_config, rng):
+    numerical = rng.standard_normal(
+        (4, small_config.horizon, small_config.covariate_numerical_dim)
+    ).astype(np.float32)
+    categorical = np.stack(
+        [
+            rng.integers(0, cardinality, size=(4, small_config.horizon))
+            for cardinality in small_config.covariate_categorical_cardinalities
+        ],
+        axis=-1,
+    )
+    return numerical, categorical
+
+
+class TestForecastShapes:
+    @pytest.mark.parametrize("model_class", ALL_BASELINE_CLASSES)
+    def test_output_shape(self, model_class, small_config, x_batch, rng):
+        model = model_class(small_config, rng=rng)
+        out = model(x_batch)
+        assert out.shape == (4, small_config.horizon, small_config.n_channels)
+
+    @pytest.mark.parametrize("model_class", ALL_BASELINE_CLASSES)
+    def test_input_validation(self, model_class, small_config, rng):
+        model = model_class(small_config, rng=rng)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((2, small_config.input_length + 1, small_config.n_channels))))
+
+    @pytest.mark.parametrize("model_class", ALL_BASELINE_CLASSES)
+    def test_gradients_reach_all_parameters(self, model_class, small_config, x_batch, rng):
+        model = model_class(small_config, rng=rng)
+        model(x_batch).sum().backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"{model_class.__name__}: no gradient for {missing}"
+
+
+class TestCovariateSupport:
+    def test_tide_uses_covariates(self, small_config, x_batch, covariates, rng):
+        model = TiDE(small_config, rng=rng)
+        model.eval()
+        numerical, categorical = covariates
+        with_covariates = model(x_batch, numerical, categorical).data
+        without = model(x_batch).data
+        assert model.supports_covariates
+        assert not np.allclose(with_covariates, without)
+
+    def test_tide_without_covariate_config(self, no_covariate_config, rng):
+        model = TiDE(no_covariate_config, rng=rng)
+        x = Tensor(rng.standard_normal((2, no_covariate_config.input_length, no_covariate_config.n_channels)))
+        assert model(x).shape == (2, no_covariate_config.horizon, no_covariate_config.n_channels)
+
+    @pytest.mark.parametrize("model_class", [DLinear, PatchTST, ITransformer, TimeMixer, FGNN])
+    def test_covariate_agnostic_models_ignore_covariates(
+        self, model_class, small_config, x_batch, covariates, rng
+    ):
+        model = model_class(small_config, rng=rng)
+        model.eval()
+        numerical, categorical = covariates
+        assert not model.supports_covariates
+        np.testing.assert_allclose(
+            model(x_batch, numerical, categorical).data, model(x_batch).data, rtol=1e-6
+        )
+
+
+class TestArchitectureProperties:
+    def test_dlinear_is_smallest(self, small_config, rng):
+        dlinear = DLinear(small_config, rng=rng).num_parameters()
+        patchtst = PatchTST(small_config, rng=rng).num_parameters()
+        transformer = VanillaTransformer(small_config, rng=rng).num_parameters()
+        assert dlinear < patchtst
+        assert dlinear < transformer
+
+    def test_nlinear_level_shift_equivariance(self, small_config, rng):
+        model = NLinear(small_config, rng=rng)
+        model.eval()
+        x = rng.standard_normal((2, small_config.input_length, small_config.n_channels)).astype(np.float32)
+        base = model(Tensor(x)).data
+        shifted = model(Tensor(x + 10)).data
+        np.testing.assert_allclose(shifted, base + 10, rtol=1e-4, atol=1e-3)
+
+    def test_dlinear_decomposition_sums_to_linear_response(self, small_config, rng):
+        """Trend + seasonal forecasts must both contribute (non-degenerate)."""
+        model = DLinear(small_config, rng=rng)
+        assert model.trend_linear.weight.shape == (small_config.horizon, small_config.input_length)
+        assert model.seasonal_linear.weight.shape == (small_config.horizon, small_config.input_length)
+
+    def test_patchtst_channel_permutation_equivariance(self, small_config, rng):
+        model = PatchTST(small_config, rng=rng)
+        model.eval()
+        x = rng.standard_normal((2, small_config.input_length, small_config.n_channels)).astype(np.float32)
+        permutation = [2, 0, 1]
+        out = model(Tensor(x)).data
+        permuted = model(Tensor(x[:, :, permutation])).data
+        np.testing.assert_allclose(permuted, out[:, :, permutation], rtol=1e-4, atol=1e-5)
+
+    def test_informer_distillation_halves_tokens(self, small_config, rng):
+        tokens = Tensor(rng.standard_normal((2, 10, 8)))
+        assert Informer._distill(tokens).shape == (2, 5, 8)
+        odd = Tensor(rng.standard_normal((2, 7, 8)))
+        assert Informer._distill(odd).shape == (2, 3, 8)
+
+    def test_itransformer_uses_variate_tokens(self, small_config, rng):
+        model = ITransformer(small_config, rng=rng)
+        # the variate embedding maps the whole input window to the hidden size
+        assert model.variate_embedding.weight.shape == (
+            small_config.hidden_dim,
+            small_config.input_length,
+        )
+
+
+class TestRegistry:
+    def test_all_models_listed(self):
+        names = available_models()
+        assert "LiPFormer" in names
+        assert len(names) == 14
+
+    def test_create_model_case_insensitive(self, small_config):
+        model = create_model("dlinear", small_config)
+        assert isinstance(model, DLinear)
+
+    def test_create_unknown_model_raises(self, small_config):
+        with pytest.raises(KeyError):
+            create_model("NotAModel", small_config)
+
+    @pytest.mark.parametrize("name", ["LiPFormer", "PatchTST", "DLinear", "TiDE", "iTransformer"])
+    def test_factory_roundtrip(self, name, small_config, x_batch):
+        model = create_model(name, small_config)
+        assert model(x_batch).shape == (4, small_config.horizon, small_config.n_channels)
+
+
+class TestTrainability:
+    @pytest.mark.parametrize("model_class", [DLinear, PatchTST, TiDE, ITransformer, TimeMixer, FGNN])
+    def test_short_training_reduces_loss(self, model_class, small_config, rng):
+        """A few optimisation steps on a sinusoid continuation should reduce the loss."""
+        model = model_class(small_config, rng=rng)
+        length = small_config.input_length + small_config.horizon
+        t = np.arange(length)
+        windows = np.stack(
+            [np.sin(2 * np.pi * (t + shift) / 24.0) for shift in rng.integers(0, 100, size=32)]
+        ).astype(np.float32)[:, :, None]
+        windows = np.repeat(windows, small_config.n_channels, axis=2)
+        x, y = windows[:, : small_config.input_length], windows[:, small_config.input_length :]
+        optimizer = AdamW(model.parameters(), lr=5e-3)
+        loss_fn = MSELoss()
+        losses = []
+        for _ in range(20):
+            optimizer.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

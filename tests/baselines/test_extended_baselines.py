@@ -1,0 +1,74 @@
+"""Behaviour tests specific to the extended baselines (Crossformer, LightTS, Reformer)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Crossformer, LightTS, Reformer, VanillaTransformer
+from repro.config import ModelConfig
+from repro.nn import Tensor
+from repro.profiling import measure_macs
+
+
+class TestCrossformer:
+    def test_cross_channel_dependence(self, small_config, rng):
+        """Crossformer attends across channels: perturbing one channel's input
+        must change the forecasts of the *other* channels (channel-independent
+        models like PatchTST would leave them untouched)."""
+        model = Crossformer(small_config, rng=rng)
+        model.eval()
+        x = rng.standard_normal((2, small_config.input_length, small_config.n_channels)).astype(np.float32)
+        perturbed = x.copy()
+        # A non-constant perturbation (a constant offset would be removed by
+        # the last-value instance normalisation).
+        perturbed[:, :, 2] += rng.standard_normal(small_config.input_length).astype(np.float32)
+        out = model(Tensor(x)).data
+        out_perturbed = model(Tensor(perturbed)).data
+        assert not np.allclose(out_perturbed[:, :, 0], out[:, :, 0], atol=1e-5)
+
+    def test_output_shape(self, small_config, rng):
+        model = Crossformer(small_config, rng=rng)
+        x = Tensor(rng.standard_normal((3, small_config.input_length, small_config.n_channels)))
+        assert model(x).shape == (3, small_config.horizon, small_config.n_channels)
+
+
+class TestLightTS:
+    def test_chunk_size_validation(self, small_config, rng):
+        with pytest.raises(ValueError):
+            LightTS(small_config, chunk_size=7, rng=rng)
+
+    def test_is_lightweight(self, small_config, rng):
+        light = LightTS(small_config, rng=rng)
+        transformer = VanillaTransformer(small_config, rng=rng)
+        assert light.num_parameters() < transformer.num_parameters() / 3
+
+    def test_level_shift_equivariance(self, small_config, rng):
+        model = LightTS(small_config, rng=rng)
+        model.eval()
+        x = rng.standard_normal((2, small_config.input_length, small_config.n_channels)).astype(np.float32)
+        base = model(Tensor(x)).data
+        shifted = model(Tensor(x + 5.0)).data
+        np.testing.assert_allclose(shifted, base + 5.0, rtol=1e-3, atol=1e-3)
+
+
+class TestReformer:
+    def test_chunk_size_validation(self, small_config):
+        with pytest.raises(ValueError):
+            Reformer(small_config, chunk_size=1)
+
+    def test_chunked_attention_is_cheaper_than_full(self, rng):
+        config = ModelConfig(
+            input_length=192, horizon=24, n_channels=3, patch_length=24, hidden_dim=32, dropout=0.0,
+            n_heads=2, n_layers=2,
+        )
+        reformer = Reformer(config, chunk_size=24, rng=rng)
+        transformer = VanillaTransformer(config, rng=rng)
+        assert measure_macs(reformer, batch_size=4) < measure_macs(transformer, batch_size=4)
+
+    def test_handles_length_not_divisible_by_chunk(self, rng):
+        config = ModelConfig(
+            input_length=60, horizon=12, n_channels=2, patch_length=12, hidden_dim=16, dropout=0.0,
+            n_heads=2, n_layers=1,
+        )
+        model = Reformer(config, chunk_size=16, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 60, 2))))
+        assert out.shape == (2, 12, 2)

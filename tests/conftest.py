@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.data import prepare_forecasting_data
+from repro.experiments.profiles import SMOKE
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_config() -> ModelConfig:
+    """A tiny LiPFormer-compatible configuration used across model tests."""
+    return ModelConfig(
+        input_length=48,
+        horizon=12,
+        n_channels=3,
+        patch_length=12,
+        hidden_dim=16,
+        dropout=0.0,
+        n_heads=2,
+        n_layers=1,
+        covariate_numerical_dim=4,
+        covariate_categorical_cardinalities=(24, 7, 31, 12, 2),
+        covariate_embed_dim=2,
+        covariate_hidden_dim=8,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def no_covariate_config(small_config: ModelConfig) -> ModelConfig:
+    """Same as ``small_config`` but without covariate channels."""
+    return small_config.with_overrides(
+        covariate_numerical_dim=0, covariate_categorical_cardinalities=()
+    )
+
+
+@pytest.fixture
+def training_config() -> TrainingConfig:
+    """A one-epoch training configuration for fast integration tests."""
+    return TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, patience=1, pretrain_epochs=1)
+
+
+@pytest.fixture(scope="session")
+def smoke_profile():
+    """The smallest experiment profile (used by experiment-driver tests)."""
+    return SMOKE
+
+
+@pytest.fixture(scope="session")
+def etth1_smoke_data():
+    """Small pre-windowed ETTh1 data shared across integration tests."""
+    return prepare_forecasting_data(
+        "ETTh1", input_length=48, horizon=12, n_timestamps=1200, stride=8, seed=5
+    )
+
+
+@pytest.fixture(scope="session")
+def cycle_smoke_data():
+    """Small pre-windowed Cycle data (explicit covariates) for integration tests."""
+    return prepare_forecasting_data(
+        "Cycle", input_length=48, horizon=12, n_timestamps=1200, n_channels=3, stride=8, seed=5
+    )
+
+
+def batch_from(data, size: int = 8):
+    """Helper: materialise the first ``size`` training windows of a dataset."""
+    indices = np.arange(min(size, len(data.train)))
+    return data.train.as_arrays(indices)

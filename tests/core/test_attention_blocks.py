@@ -1,0 +1,76 @@
+"""Tests for Cross-Patch and Inter-Patch attention blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import CrossPatchAttention, InterPatchAttention
+from repro.nn import Tensor
+
+
+class TestCrossPatchAttention:
+    def test_output_shape_preserved(self, rng):
+        block = CrossPatchAttention(n_patches=4, patch_length=12, rng=rng)
+        x = Tensor(rng.standard_normal((6, 4, 12)))
+        assert block(x).shape == (6, 4, 12)
+
+    def test_residual_connection_present(self, rng):
+        block = CrossPatchAttention(n_patches=4, patch_length=12, rng=rng)
+        block.eval()
+        x = Tensor(rng.standard_normal((2, 4, 12)))
+        out = block(x)
+        # The block output is attention + input; removing the input leaves
+        # the (bounded) attention component, so out - x must differ from out.
+        assert not np.allclose(out.data, (out - x).data)
+
+    def test_wrong_shape_raises(self, rng):
+        block = CrossPatchAttention(n_patches=4, patch_length=12, rng=rng)
+        with pytest.raises(ValueError):
+            block(Tensor(rng.standard_normal((2, 5, 12))))
+
+    def test_parameters_scale_with_n_patches_not_patch_length(self, rng):
+        small = CrossPatchAttention(n_patches=4, patch_length=64, rng=rng)
+        large = CrossPatchAttention(n_patches=16, patch_length=64, rng=rng)
+        assert large.num_parameters() > small.num_parameters()
+        # patch length does not change the Q/K/V projections
+        other = CrossPatchAttention(n_patches=4, patch_length=128, rng=rng)
+        assert other.num_parameters() == small.num_parameters()
+
+    def test_gradients_flow(self, rng):
+        block = CrossPatchAttention(n_patches=3, patch_length=8, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 8)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in block.parameters())
+
+
+class TestInterPatchAttention:
+    def test_output_shape_preserved(self, rng):
+        block = InterPatchAttention(hidden_dim=16, attention_dim=8, rng=rng)
+        x = Tensor(rng.standard_normal((6, 4, 16)))
+        assert block(x).shape == (6, 4, 16)
+
+    def test_wrong_hidden_dim_raises(self, rng):
+        block = InterPatchAttention(hidden_dim=16, attention_dim=8, rng=rng)
+        with pytest.raises(ValueError):
+            block(Tensor(rng.standard_normal((2, 4, 12))))
+
+    def test_parameter_budget_is_linear_in_hidden_dim(self, rng):
+        # The paper claims O(hd * pl) parameters rather than O(hd^2).
+        attention_dim = 8
+        small = InterPatchAttention(hidden_dim=32, attention_dim=attention_dim, rng=rng)
+        large = InterPatchAttention(hidden_dim=64, attention_dim=attention_dim, rng=rng)
+        ratio = large.num_parameters() / small.num_parameters()
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_far_fewer_parameters_than_full_attention(self, rng):
+        hidden = 128
+        block = InterPatchAttention(hidden_dim=hidden, attention_dim=16, rng=rng)
+        full_attention_parameters = 3 * hidden * hidden
+        assert block.num_parameters() < full_attention_parameters / 3
+
+    def test_gradients_flow(self, rng):
+        block = InterPatchAttention(hidden_dim=12, attention_dim=6, rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 12)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in block.parameters())

@@ -1,0 +1,119 @@
+"""Tests for the Base Predictor backbone."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import BasePredictor
+from repro.nn import AdamW, SmoothL1Loss, Tensor
+
+
+@pytest.fixture
+def backbone_config(no_covariate_config):
+    return no_covariate_config
+
+
+class TestShapes:
+    def test_forecast_shape(self, backbone_config, rng):
+        model = BasePredictor(backbone_config, rng=rng)
+        x = Tensor(rng.standard_normal((5, 48, 3)))
+        assert model(x).shape == (5, 12, 3)
+
+    def test_horizon_not_multiple_of_patch(self, rng):
+        config = ModelConfig(
+            input_length=48, horizon=10, n_channels=2, patch_length=12, hidden_dim=16, dropout=0.0
+        )
+        model = BasePredictor(config, rng=rng)
+        assert model(Tensor(rng.standard_normal((3, 48, 2)))).shape == (3, 10, 2)
+
+    def test_input_validation(self, backbone_config, rng):
+        model = BasePredictor(backbone_config, rng=rng)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((5, 47, 3))))
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((5, 48, 4))))
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((5, 48))))
+
+
+class TestChannelIndependence:
+    def test_channel_permutation_equivariance(self, backbone_config, rng):
+        """Channel-independent weights: permuting channels permutes forecasts."""
+        model = BasePredictor(backbone_config, rng=rng)
+        model.eval()
+        x = rng.standard_normal((2, 48, 3)).astype(np.float32)
+        permutation = [2, 0, 1]
+        out_original = model(Tensor(x)).data
+        out_permuted = model(Tensor(x[:, :, permutation])).data
+        np.testing.assert_allclose(out_permuted, out_original[:, :, permutation], rtol=1e-4, atol=1e-5)
+
+    def test_level_shift_equivariance(self, backbone_config, rng):
+        """Instance normalisation: adding a constant shifts the forecast by it."""
+        model = BasePredictor(backbone_config, rng=rng)
+        model.eval()
+        x = rng.standard_normal((2, 48, 3)).astype(np.float32)
+        base = model(Tensor(x)).data
+        shifted = model(Tensor(x + 50.0)).data
+        np.testing.assert_allclose(shifted, base + 50.0, rtol=1e-3, atol=1e-2)
+
+
+class TestAblationFlags:
+    def test_ffn_variant_has_more_parameters(self, backbone_config, rng):
+        base = BasePredictor(backbone_config, rng=rng).num_parameters()
+        with_ffn = BasePredictor(backbone_config, use_ffn=True, rng=rng).num_parameters()
+        with_ln = BasePredictor(backbone_config, use_layer_norm=True, rng=rng).num_parameters()
+        assert with_ffn > base
+        assert with_ln == base + 2 * backbone_config.hidden_dim
+
+    def test_all_variants_forward(self, backbone_config, rng):
+        x = Tensor(rng.standard_normal((2, 48, 3)))
+        for flags in (
+            {"use_cross_patch": False},
+            {"use_inter_patch_attention": False},
+            {"use_cross_patch": False, "use_inter_patch_attention": False},
+            {"use_layer_norm": True},
+            {"use_ffn": True},
+            {"use_layer_norm": True, "use_ffn": True},
+        ):
+            model = BasePredictor(backbone_config, rng=rng, **flags)
+            assert model(x).shape == (2, 12, 3)
+
+    def test_linear_substitutes_have_fewer_parameters_than_attention(self, backbone_config, rng):
+        full = BasePredictor(backbone_config, rng=rng)
+        neither = BasePredictor(
+            backbone_config, use_cross_patch=False, use_inter_patch_attention=False, rng=rng
+        )
+        assert full.num_parameters() != neither.num_parameters()
+
+
+class TestTrainability:
+    def test_loss_decreases_on_learnable_signal(self, backbone_config, rng):
+        """The backbone should fit a simple periodic continuation task."""
+        model = BasePredictor(backbone_config, rng=rng)
+        t = np.arange(48 + 12)
+        windows = []
+        for start in rng.integers(0, 100, size=64):
+            series = np.sin(2 * np.pi * (t + start) / 12.0)
+            windows.append(series)
+        windows = np.asarray(windows, dtype=np.float32)[:, :, None]
+        x = np.repeat(windows[:, :48], 3, axis=2)
+        y = np.repeat(windows[:, 48:], 3, axis=2)
+
+        optimizer = AdamW(model.parameters(), lr=5e-3)
+        loss_fn = SmoothL1Loss()
+        first, last = None, None
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+            first = first if first is not None else loss.item()
+            last = loss.item()
+        assert last < first * 0.5
+
+    def test_gradients_reach_every_parameter(self, backbone_config, rng):
+        model = BasePredictor(backbone_config, rng=rng)
+        x = Tensor(rng.standard_normal((4, 48, 3)))
+        model(x).sum().backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"parameters without gradient: {missing}"

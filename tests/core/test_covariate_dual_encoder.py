@@ -1,0 +1,124 @@
+"""Tests for the Covariate Encoder, Target Encoder and dual-encoder pre-training."""
+
+import numpy as np
+import pytest
+
+from repro.core import CovariateEncoder, DualEncoder, TargetEncoder
+from repro.nn import Adam
+
+
+def _batch(rng, batch=6, horizon=12, numerical=3, categorical=(4, 2), channels=2):
+    numerical_covariates = rng.standard_normal((batch, horizon, numerical)).astype(np.float32)
+    categorical_covariates = np.stack(
+        [rng.integers(0, cardinality, size=(batch, horizon)) for cardinality in categorical], axis=-1
+    )
+    targets = rng.standard_normal((batch, horizon, channels)).astype(np.float32)
+    return targets, numerical_covariates, categorical_covariates
+
+
+class TestCovariateEncoder:
+    def test_output_shape(self, rng):
+        encoder = CovariateEncoder(horizon=12, numerical_dim=3, categorical_cardinalities=[4, 2], rng=rng)
+        _, numerical, categorical = _batch(rng)
+        assert encoder(numerical, categorical).shape == (6, 12)
+
+    def test_numerical_only(self, rng):
+        encoder = CovariateEncoder(horizon=12, numerical_dim=3, categorical_cardinalities=[], rng=rng)
+        _, numerical, _ = _batch(rng)
+        assert encoder(numerical, None).shape == (6, 12)
+
+    def test_categorical_only(self, rng):
+        encoder = CovariateEncoder(horizon=12, numerical_dim=0, categorical_cardinalities=[4, 2], rng=rng)
+        _, _, categorical = _batch(rng)
+        assert encoder(None, categorical).shape == (6, 12)
+
+    def test_requires_at_least_one_channel(self, rng):
+        with pytest.raises(ValueError):
+            CovariateEncoder(horizon=12, numerical_dim=0, categorical_cardinalities=[], rng=rng)
+
+    def test_missing_numerical_raises(self, rng):
+        encoder = CovariateEncoder(horizon=12, numerical_dim=3, categorical_cardinalities=[4], rng=rng)
+        _, _, categorical = _batch(rng, categorical=(4,))
+        with pytest.raises(ValueError):
+            encoder(None, categorical)
+
+    def test_wrong_numerical_width_raises(self, rng):
+        encoder = CovariateEncoder(horizon=12, numerical_dim=5, categorical_cardinalities=[], rng=rng)
+        _, numerical, _ = _batch(rng)
+        with pytest.raises(ValueError):
+            encoder(numerical, None)
+
+    def test_wrong_horizon_raises(self, rng):
+        encoder = CovariateEncoder(horizon=24, numerical_dim=3, categorical_cardinalities=[4, 2], rng=rng)
+        _, numerical, categorical = _batch(rng, horizon=12)
+        with pytest.raises(ValueError):
+            encoder(numerical, categorical)
+
+    def test_wrong_categorical_width_raises(self, rng):
+        encoder = CovariateEncoder(horizon=12, numerical_dim=3, categorical_cardinalities=[4], rng=rng)
+        _, numerical, categorical = _batch(rng)
+        with pytest.raises(ValueError):
+            encoder(numerical, categorical)
+
+
+class TestTargetEncoder:
+    def test_output_shape(self, rng):
+        encoder = TargetEncoder(horizon=12, n_channels=2, rng=rng)
+        targets, _, _ = _batch(rng)
+        assert encoder(targets).shape == (6, 12)
+
+    def test_wrong_horizon_raises(self, rng):
+        encoder = TargetEncoder(horizon=24, n_channels=2, rng=rng)
+        targets, _, _ = _batch(rng, horizon=12)
+        with pytest.raises(ValueError):
+            encoder(targets)
+
+
+class TestDualEncoder:
+    def _dual_encoder(self, rng):
+        covariate_encoder = CovariateEncoder(
+            horizon=12, numerical_dim=3, categorical_cardinalities=[4, 2], hidden_dim=16, rng=rng
+        )
+        target_encoder = TargetEncoder(horizon=12, n_channels=2, hidden_dim=16, rng=rng)
+        return DualEncoder(covariate_encoder, target_encoder)
+
+    def test_loss_is_scalar_and_positive(self, rng):
+        dual = self._dual_encoder(rng)
+        targets, numerical, categorical = _batch(rng)
+        loss = dual(targets, numerical, categorical)
+        assert loss.size == 1
+        assert loss.item() > 0
+
+    def test_logits_matrix_shape(self, rng):
+        dual = self._dual_encoder(rng)
+        targets, numerical, categorical = _batch(rng, batch=5)
+        assert dual.logits_matrix(targets, numerical, categorical).shape == (5, 5)
+
+    def test_contrastive_training_brightens_diagonal(self, rng):
+        """Pre-training on correlated pairs should make the diagonal dominant."""
+        dual = self._dual_encoder(rng)
+        optimizer = Adam(dual.parameters(), lr=5e-3)
+        batch = 16
+        for _ in range(60):
+            # Targets are a (noisy) linear readout of the numerical covariates,
+            # so matched pairs are genuinely more similar than mismatched ones.
+            numerical = rng.standard_normal((batch, 12, 3)).astype(np.float32)
+            categorical = np.stack(
+                [rng.integers(0, 4, size=(batch, 12)), rng.integers(0, 2, size=(batch, 12))], axis=-1
+            )
+            targets = np.repeat(numerical.mean(axis=2, keepdims=True), 2, axis=2).astype(np.float32)
+            targets += 0.05 * rng.standard_normal(targets.shape).astype(np.float32)
+            optimizer.zero_grad()
+            loss = dual(targets, numerical, categorical)
+            loss.backward()
+            optimizer.step()
+
+        numerical = rng.standard_normal((batch, 12, 3)).astype(np.float32)
+        categorical = np.stack(
+            [rng.integers(0, 4, size=(batch, 12)), rng.integers(0, 2, size=(batch, 12))], axis=-1
+        )
+        targets = np.repeat(numerical.mean(axis=2, keepdims=True), 2, axis=2).astype(np.float32)
+        logits = dual.logits_matrix(targets, numerical, categorical)
+        diagonal = np.diag(logits).mean()
+        off_diagonal = logits[~np.eye(batch, dtype=bool)].mean()
+        assert diagonal > off_diagonal

@@ -1,0 +1,185 @@
+"""Tests for the full LiPFormer model and its variants / transplant wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import LiPFormer
+from repro.core.transplant import CovariateEnrichedModel
+from repro.core.variants import ABLATION_VARIANTS
+from repro.baselines import DLinear
+from repro.nn import Tensor
+
+
+def _covariate_batch(config: ModelConfig, rng, batch=4):
+    x = rng.standard_normal((batch, config.input_length, config.n_channels)).astype(np.float32)
+    numerical = rng.standard_normal((batch, config.horizon, config.covariate_numerical_dim)).astype(np.float32)
+    categorical = np.stack(
+        [
+            rng.integers(0, cardinality, size=(batch, config.horizon))
+            for cardinality in config.covariate_categorical_cardinalities
+        ],
+        axis=-1,
+    )
+    return x, numerical, categorical
+
+
+class TestConfigValidation:
+    def test_input_length_must_be_divisible_by_patch(self):
+        with pytest.raises(ValueError):
+            ModelConfig(input_length=100, horizon=24, patch_length=48)
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ValueError):
+            ModelConfig(dropout=1.5)
+
+    def test_derived_quantities(self, small_config):
+        assert small_config.n_patches == 4
+        assert small_config.n_target_patches == 1
+        assert small_config.has_covariates
+
+    def test_with_overrides(self, small_config):
+        bigger = small_config.with_overrides(hidden_dim=64)
+        assert bigger.hidden_dim == 64
+        assert small_config.hidden_dim == 16
+
+
+class TestForward:
+    def test_forecast_shape_with_covariates(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        out = model(Tensor(x), numerical, categorical)
+        assert out.shape == (4, 12, 3)
+
+    def test_forecast_without_covariates_falls_back_to_base(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        model.eval()
+        x, _, _ = _covariate_batch(small_config, rng)
+        base = model.base_predictor(Tensor(x)).data
+        out = model(Tensor(x)).data
+        np.testing.assert_allclose(out, base, rtol=1e-6)
+
+    def test_covariate_guidance_starts_neutral_then_learns(self, small_config, rng):
+        """The Vector Mapping is zero-initialised (guidance off), but gradients
+        reach it and a non-zero mapping changes the forecast."""
+        model = LiPFormer(small_config, rng=rng)
+        model.eval()
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        without = model(Tensor(x)).data
+        neutral = model(Tensor(x), numerical, categorical).data
+        np.testing.assert_allclose(neutral, without, atol=1e-6)
+        # Gradients must reach the Vector Mapping so it can be learned.
+        model.train()
+        model(Tensor(x), numerical, categorical).sum().backward()
+        assert model.vector_mapping.weight.grad is not None
+        # A non-zero mapping injects guidance.
+        model.eval()
+        model.vector_mapping.weight.data[...] = 0.1
+        guided = model(Tensor(x), numerical, categorical).data
+        assert not np.allclose(guided, without)
+
+    def test_guidance_is_identical_across_channels(self, small_config, rng):
+        """Figure 1: the covariate vector is repeated across channels."""
+        model = LiPFormer(small_config, rng=rng)
+        model.eval()
+        model.vector_mapping.weight.data[...] = 0.1  # enable guidance
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        base = model.base_predictor(Tensor(x)).data
+        guided = model(Tensor(x), numerical, categorical).data
+        delta = guided - base
+        assert np.abs(delta).max() > 0
+        np.testing.assert_allclose(delta[..., 0], delta[..., 1], rtol=1e-4, atol=1e-5)
+
+    def test_model_without_guidance_flag(self, small_config, rng):
+        model = LiPFormer(small_config, use_covariate_guidance=False, rng=rng)
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        assert model.covariate_encoder is None
+        assert model(Tensor(x), numerical, categorical).shape == (4, 12, 3)
+
+    def test_predict_returns_numpy(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        out = model.predict(x, numerical, categorical)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (4, 12, 3)
+
+    def test_predict_leaves_training_mode_untouched(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        model.train()
+        model.predict(x, numerical, categorical)
+        assert model.training
+
+
+class TestPretrainingSupport:
+    def test_build_dual_encoder_shares_covariate_encoder(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        dual = model.build_dual_encoder()
+        assert dual.covariate_encoder is model.covariate_encoder
+
+    def test_build_dual_encoder_requires_guidance(self, small_config, rng):
+        model = LiPFormer(small_config, use_covariate_guidance=False, rng=rng)
+        with pytest.raises(RuntimeError):
+            model.build_dual_encoder()
+
+    def test_freeze_excludes_covariate_encoder_parameters(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        all_parameters = len(model.optimizer_parameters())
+        model.freeze_covariate_encoder()
+        frozen_parameters = len(model.optimizer_parameters())
+        assert frozen_parameters < all_parameters
+        assert model.covariate_encoder_frozen
+
+    def test_without_covariates_config(self, no_covariate_config, rng):
+        model = LiPFormer(no_covariate_config, rng=rng)
+        assert model.covariate_encoder is None
+        assert not model.use_covariate_guidance
+
+
+class TestVariants:
+    def test_all_named_variants_forward(self, small_config, rng):
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        for name, factory in ABLATION_VARIANTS.items():
+            model = factory(small_config, rng=np.random.default_rng(0))
+            out = model(Tensor(x), numerical, categorical)
+            assert out.shape == (4, 12, 3), name
+
+    def test_ffn_variant_is_heavier(self, small_config):
+        base = ABLATION_VARIANTS["LiPFormer"](small_config).num_parameters()
+        ffn = ABLATION_VARIANTS["LiPFormer+FFNs"](small_config).num_parameters()
+        both = ABLATION_VARIANTS["LiPFormer+FFNs+LN"](small_config).num_parameters()
+        assert ffn > base
+        assert both > ffn
+
+
+class TestCovariateEnrichedModel:
+    def test_requires_covariates_in_config(self, no_covariate_config, rng):
+        with pytest.raises(ValueError):
+            CovariateEnrichedModel(DLinear(no_covariate_config, rng=rng))
+
+    def test_wraps_any_model(self, small_config, rng):
+        wrapped = CovariateEnrichedModel(DLinear(small_config, rng=rng), small_config, rng=rng)
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        assert wrapped(Tensor(x), numerical, categorical).shape == (4, 12, 3)
+
+    def test_guidance_changes_base_output_once_learned(self, small_config, rng):
+        base = DLinear(small_config, rng=rng)
+        wrapped = CovariateEnrichedModel(base, small_config, rng=rng)
+        wrapped.eval()
+        x, numerical, categorical = _covariate_batch(small_config, rng)
+        plain = base(Tensor(x)).data
+        # Zero-initialised mapping: wrapper starts identical to the base model.
+        np.testing.assert_allclose(wrapped(Tensor(x), numerical, categorical).data, plain, atol=1e-6)
+        wrapped.vector_mapping.weight.data[...] = 0.1
+        enriched = wrapped(Tensor(x), numerical, categorical).data
+        assert not np.allclose(plain, enriched)
+
+    def test_freeze_excludes_encoder(self, small_config, rng):
+        wrapped = CovariateEnrichedModel(DLinear(small_config, rng=rng), small_config, rng=rng)
+        before = len(wrapped.optimizer_parameters())
+        wrapped.freeze_covariate_encoder()
+        assert len(wrapped.optimizer_parameters()) < before
+
+    def test_dual_encoder_shares_encoder(self, small_config, rng):
+        wrapped = CovariateEnrichedModel(DLinear(small_config, rng=rng), small_config, rng=rng)
+        assert wrapped.build_dual_encoder().covariate_encoder is wrapped.covariate_encoder

@@ -1,0 +1,76 @@
+"""Tests for patch division, trend sequences and instance normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import LastValueNormalizer, patchify, trend_sequences, unpatchify_forecast
+from repro.nn import Tensor
+
+
+class TestPatchify:
+    def test_shape(self, rng):
+        x = Tensor(rng.standard_normal((4, 48, 3)))
+        patches = patchify(x, patch_length=12)
+        assert patches.shape == (12, 4, 12)  # [b*c, n, pl]
+
+    def test_rejects_indivisible_length(self, rng):
+        with pytest.raises(ValueError):
+            patchify(Tensor(rng.standard_normal((2, 50, 3))), patch_length=12)
+
+    def test_patch_contents_are_contiguous_per_channel(self):
+        # channel c of batch b contains values 1000*b + 10*c + t
+        batch, length, channels = 2, 8, 3
+        data = np.zeros((batch, length, channels), dtype=np.float32)
+        for b in range(batch):
+            for c in range(channels):
+                data[b, :, c] = 1000 * b + 10 * c + np.arange(length)
+        patches = patchify(Tensor(data), patch_length=4)
+        # row 0 = (batch 0, channel 0): patches [0..3], [4..7]
+        np.testing.assert_allclose(patches.data[0, 0], [0, 1, 2, 3])
+        np.testing.assert_allclose(patches.data[0, 1], [4, 5, 6, 7])
+        # row 1 = (batch 0, channel 1)
+        np.testing.assert_allclose(patches.data[1, 0], [10, 11, 12, 13])
+        # last row = (batch 1, channel 2)
+        np.testing.assert_allclose(patches.data[-1, 1], 1000 + 20 + np.arange(4, 8))
+
+    def test_trend_sequences_are_transposed_patches(self, rng):
+        x = Tensor(rng.standard_normal((2, 24, 1)))
+        patches = patchify(x, 6)
+        trends = trend_sequences(patches)
+        assert trends.shape == (2, 6, 4)
+        # trend k holds the k-th element of every patch
+        np.testing.assert_allclose(trends.data[0, 2], patches.data[0, :, 2])
+
+
+class TestUnpatchify:
+    def test_roundtrip_with_patchify(self, rng):
+        x = rng.standard_normal((3, 24, 2)).astype(np.float32)
+        patches = patchify(Tensor(x), 6)
+        restored = unpatchify_forecast(patches, batch=3, channels=2, horizon=24)
+        np.testing.assert_allclose(restored.data, x, rtol=1e-6)
+
+    def test_truncates_to_horizon(self, rng):
+        patches = Tensor(rng.standard_normal((6, 2, 12)))  # b*c=6, nt=2, pl=12
+        out = unpatchify_forecast(patches, batch=3, channels=2, horizon=20)
+        assert out.shape == (3, 20, 2)
+
+
+class TestLastValueNormalizer:
+    def test_normalized_series_ends_at_zero(self, rng):
+        x = Tensor(rng.standard_normal((4, 20, 3)))
+        normalized, last = LastValueNormalizer.normalize(x)
+        np.testing.assert_allclose(normalized.data[:, -1, :], np.zeros((4, 3)), atol=1e-6)
+        assert last.shape == (4, 1, 3)
+
+    def test_denormalize_inverts(self, rng):
+        x = Tensor(rng.standard_normal((4, 20, 3)))
+        normalized, last = LastValueNormalizer.normalize(x)
+        restored = LastValueNormalizer.denormalize(normalized, last)
+        np.testing.assert_allclose(restored.data, x.data, rtol=1e-5, atol=1e-6)
+
+    def test_shift_invariance_of_normalized_values(self, rng):
+        x = rng.standard_normal((2, 10, 1)).astype(np.float32)
+        shifted = x + 100.0
+        normalized_a, _ = LastValueNormalizer.normalize(Tensor(x))
+        normalized_b, _ = LastValueNormalizer.normalize(Tensor(shifted))
+        np.testing.assert_allclose(normalized_a.data, normalized_b.data, atol=1e-4)

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the core patching / normalisation invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LastValueNormalizer, patchify, trend_sequences, unpatchify_forecast
+from repro.data import MultivariateTimeSeries, SlidingWindowDataset, make_timestamps
+from repro.nn import Tensor
+
+_settings = settings(max_examples=25, deadline=None)
+
+
+class TestPatchingProperties:
+    @_settings
+    @given(
+        batch=st.integers(1, 3),
+        n_patches=st.integers(1, 6),
+        patch_length=st.integers(1, 8),
+        channels=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_patchify_unpatchify_roundtrip(self, batch, n_patches, patch_length, channels, seed):
+        """Splitting into patches and reassembling is the identity."""
+        length = n_patches * patch_length
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch, length, channels)).astype(np.float32)
+        patches = patchify(Tensor(x), patch_length)
+        restored = unpatchify_forecast(patches, batch, channels, horizon=length)
+        np.testing.assert_allclose(restored.data, x, rtol=1e-6, atol=1e-6)
+
+    @_settings
+    @given(
+        n_patches=st.integers(1, 6),
+        patch_length=st.integers(1, 8),
+        seed=st.integers(0, 10_000),
+    )
+    def test_trend_sequences_are_patch_transpose(self, n_patches, patch_length, seed):
+        """Trend sequence k is exactly the k-th position of every patch."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, n_patches * patch_length, 1)).astype(np.float32)
+        patches = patchify(Tensor(x), patch_length)
+        trends = trend_sequences(patches)
+        for position in range(patch_length):
+            np.testing.assert_allclose(trends.data[0, position], patches.data[0, :, position])
+
+    @_settings
+    @given(
+        batch=st.integers(1, 4),
+        length=st.integers(2, 20),
+        channels=st.integers(1, 4),
+        offset=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        seed=st.integers(0, 10_000),
+    )
+    def test_last_value_normalisation_roundtrip_and_shift_invariance(
+        self, batch, length, channels, offset, seed
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch, length, channels)).astype(np.float32)
+        normalized, last = LastValueNormalizer.normalize(Tensor(x))
+        restored = LastValueNormalizer.denormalize(normalized, last)
+        np.testing.assert_allclose(restored.data, x, rtol=1e-4, atol=1e-4)
+        shifted_normalized, _ = LastValueNormalizer.normalize(Tensor(x + np.float32(offset)))
+        np.testing.assert_allclose(shifted_normalized.data, normalized.data, atol=1e-2)
+
+
+class TestWindowProperties:
+    @_settings
+    @given(
+        length=st.integers(40, 120),
+        input_length=st.integers(4, 16),
+        horizon=st.integers(1, 8),
+        stride=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_every_window_matches_the_underlying_series(
+        self, length, input_length, horizon, stride, seed
+    ):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal((length, 2)).astype(np.float32)
+        series = MultivariateTimeSeries(values=values, timestamps=make_timestamps(length, 60))
+        dataset = SlidingWindowDataset(series, input_length, horizon, stride=stride)
+        assert len(dataset) >= 1
+        for index in (0, len(dataset) // 2, len(dataset) - 1):
+            sample = dataset[index]
+            start = index * stride
+            np.testing.assert_allclose(sample.x, values[start : start + input_length])
+            np.testing.assert_allclose(
+                sample.y, values[start + input_length : start + input_length + horizon]
+            )
+            # windows never run past the end of the series
+            assert start + input_length + horizon <= length

@@ -1,0 +1,166 @@
+"""Tests for data containers and covariate schemas."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CYCLE_SCHEMA,
+    ELECTRICITY_PRICE_SCHEMA,
+    FutureCovariates,
+    MultivariateTimeSeries,
+    implicit_temporal_covariates,
+    make_timestamps,
+)
+from repro.data.covariates import CovariateField, CovariateSchema
+
+
+def _covariates(length=10, cn=2, ct=1):
+    return FutureCovariates(
+        numerical=np.zeros((length, cn), dtype=np.float32),
+        categorical=np.zeros((length, ct), dtype=np.int64),
+        numerical_names=[f"n{i}" for i in range(cn)],
+        categorical_names=[f"c{i}" for i in range(ct)],
+        cardinalities=[3] * ct,
+    )
+
+
+class TestFutureCovariates:
+    def test_dimensions(self):
+        covariates = _covariates(12, cn=3, ct=2)
+        assert covariates.n_numerical == 3
+        assert covariates.n_categorical == 2
+        assert covariates.n_total == 5
+        assert len(covariates) == 12
+
+    def test_misaligned_lengths_raise(self):
+        with pytest.raises(ValueError):
+            FutureCovariates(
+                numerical=np.zeros((10, 1)), categorical=np.zeros((9, 1), dtype=np.int64), cardinalities=[2]
+            )
+
+    def test_cardinality_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FutureCovariates(
+                numerical=np.zeros((5, 1)), categorical=np.zeros((5, 2), dtype=np.int64), cardinalities=[2]
+            )
+
+    def test_code_exceeding_cardinality_raises(self):
+        categorical = np.full((5, 1), 7, dtype=np.int64)
+        with pytest.raises(ValueError):
+            FutureCovariates(numerical=np.zeros((5, 1)), categorical=categorical, cardinalities=[3])
+
+    def test_slice(self):
+        covariates = _covariates(10)
+        window = covariates.slice(2, 6)
+        assert len(window) == 4
+        assert window.cardinalities == covariates.cardinalities
+
+
+class TestMultivariateTimeSeries:
+    def _series(self, length=20, channels=3, with_covariates=False):
+        return MultivariateTimeSeries(
+            values=np.arange(length * channels, dtype=np.float32).reshape(length, channels),
+            timestamps=make_timestamps(length, 60),
+            covariates=_covariates(length) if with_covariates else None,
+            name="unit",
+        )
+
+    def test_basic_properties(self):
+        series = self._series()
+        assert series.n_timestamps == 20
+        assert series.n_channels == 3
+        assert not series.has_covariates
+        assert len(series.channel_names) == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateTimeSeries(values=np.zeros(5), timestamps=make_timestamps(5, 60))
+
+    def test_timestamp_alignment_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateTimeSeries(values=np.zeros((5, 2)), timestamps=make_timestamps(4, 60))
+
+    def test_channel_name_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateTimeSeries(
+                values=np.zeros((5, 2)), timestamps=make_timestamps(5, 60), channel_names=["only_one"]
+            )
+
+    def test_covariate_alignment_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateTimeSeries(
+                values=np.zeros((5, 2)), timestamps=make_timestamps(5, 60), covariates=_covariates(4)
+            )
+
+    def test_slice_preserves_covariates(self):
+        series = self._series(with_covariates=True)
+        window = series.slice(5, 15)
+        assert window.n_timestamps == 10
+        assert window.has_covariates
+        assert len(window.covariates) == 10
+
+    def test_select_channels(self):
+        series = self._series()
+        selected = series.select_channels([2])
+        assert selected.n_channels == 1
+        np.testing.assert_allclose(selected.values[:, 0], series.values[:, 2])
+
+    def test_summary(self):
+        summary = self._series().summary()
+        assert summary["variables"] == 3
+        assert summary["timestamps"] == 20
+
+
+class TestCovariateSchemas:
+    def test_electricity_price_matches_table_iv(self):
+        # Table IV: 61 future covariate fields for Electricity-Price.
+        assert ELECTRICITY_PRICE_SCHEMA.n_total == 61
+        assert ELECTRICITY_PRICE_SCHEMA.n_numerical == 49
+        assert ELECTRICITY_PRICE_SCHEMA.n_categorical == 12
+
+    def test_cycle_matches_table_iv(self):
+        # Table IV: 22 future covariate fields for Cycle.
+        assert CYCLE_SCHEMA.n_total == 22
+        assert CYCLE_SCHEMA.n_numerical == 21
+        assert CYCLE_SCHEMA.n_categorical == 1
+
+    def test_schema_name_lists_match_widths(self):
+        for schema in (ELECTRICITY_PRICE_SCHEMA, CYCLE_SCHEMA):
+            assert len(schema.numerical_names()) == schema.n_numerical
+            assert len(schema.categorical_names()) == schema.n_categorical
+            assert len(schema.cardinalities()) == schema.n_categorical
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            CovariateField("bad", 1, "something")
+        with pytest.raises(ValueError):
+            CovariateField("bad", 1, "categorical", cardinality=1)
+        with pytest.raises(ValueError):
+            CovariateField("bad", 0, "numerical")
+
+    def test_schema_width_accessors(self):
+        schema = CovariateSchema(
+            dataset="demo",
+            fields=[
+                CovariateField("a", 2, "numerical"),
+                CovariateField("b", 1, "categorical", cardinality=4),
+            ],
+        )
+        assert schema.numerical_names() == ["a_0", "a_1"]
+        assert schema.categorical_names() == ["b"]
+        assert schema.cardinalities() == [4]
+
+
+class TestImplicitCovariates:
+    def test_shapes_and_cardinalities(self):
+        stamps = make_timestamps(100, 60)
+        covariates = implicit_temporal_covariates(stamps)
+        assert covariates.n_numerical == 4
+        assert covariates.n_categorical == 5       # 4 calendar fields + weekend flag
+        assert covariates.cardinalities[-1] == 2
+
+    def test_codes_respect_cardinalities(self):
+        stamps = make_timestamps(5000, 30)
+        covariates = implicit_temporal_covariates(stamps)
+        for column, cardinality in enumerate(covariates.cardinalities):
+            assert covariates.categorical[:, column].max() < cardinality

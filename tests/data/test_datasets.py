@@ -1,0 +1,133 @@
+"""Tests for the synthetic benchmark dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_SPECS, available_datasets, dataset_statistics, load_dataset
+
+
+class TestRegistry:
+    def test_nine_datasets_registered(self):
+        # Paper Table II lists nine benchmark datasets.
+        assert len(available_datasets()) == 9
+
+    def test_table_ii_statistics(self):
+        # Spot-check the statistics against paper Table II.
+        assert DATASET_SPECS["ETTh1"].n_channels == 7
+        assert DATASET_SPECS["ETTh1"].n_timestamps == 17420
+        assert DATASET_SPECS["ETTm1"].n_timestamps == 69680
+        assert DATASET_SPECS["Weather"].n_channels == 21
+        assert DATASET_SPECS["Electricity"].n_channels == 321
+        assert DATASET_SPECS["Traffic"].n_channels == 862
+        assert DATASET_SPECS["Cycle"].n_channels == 22
+        assert DATASET_SPECS["ElectricityPrice"].n_channels == 40
+
+    def test_split_ratios(self):
+        assert DATASET_SPECS["ETTh2"].split_ratio == (0.6, 0.2, 0.2)
+        assert DATASET_SPECS["Traffic"].split_ratio == (0.7, 0.1, 0.2)
+
+    def test_dataset_statistics_rows(self):
+        rows = dataset_statistics()
+        assert len(rows) == 9
+        assert {row["dataset"] for row in rows} == set(available_datasets())
+
+    def test_only_two_datasets_have_explicit_covariates(self):
+        explicit = [name for name, spec in DATASET_SPECS.items() if spec.has_explicit_covariates]
+        assert sorted(explicit) == ["Cycle", "ElectricityPrice"]
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", ["ETTh1", "ETTm2", "Weather", "Electricity", "Traffic"])
+    def test_small_instances_load(self, name):
+        series = load_dataset(name, n_timestamps=500, n_channels=4, seed=0)
+        assert series.values.shape == (500, 4)
+        assert np.all(np.isfinite(series.values))
+        assert series.has_covariates
+
+    def test_default_channel_count_matches_spec(self):
+        series = load_dataset("ETTh1", n_timestamps=400)
+        assert series.n_channels == 7
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("ETTh1", n_timestamps=300, seed=11)
+        b = load_dataset("ETTh1", n_timestamps=300, seed=11)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("ETTh1", n_timestamps=300, seed=1)
+        b = load_dataset("ETTh1", n_timestamps=300, seed=2)
+        assert not np.allclose(a.values, b.values)
+
+    def test_different_datasets_differ(self):
+        a = load_dataset("ETTh1", n_timestamps=300, seed=1)
+        b = load_dataset("ETTh2", n_timestamps=300, seed=1)
+        assert not np.allclose(a.values, b.values)
+
+    def test_name_aliases(self):
+        assert load_dataset("etth1", n_timestamps=200).name == "ETTh1"
+        assert load_dataset("electricity_price", n_timestamps=200, n_channels=2).name == "ElectricityPrice"
+        assert load_dataset("Electri-Price", n_timestamps=200, n_channels=2).name == "ElectricityPrice"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("NotADataset")
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("ETTh1", n_timestamps=10)
+
+    def test_invalid_channels_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("ETTh1", n_timestamps=200, n_channels=0)
+
+    def test_without_covariates(self):
+        series = load_dataset("ETTh1", n_timestamps=200, include_covariates=False)
+        assert not series.has_covariates
+
+
+class TestDatasetCharacter:
+    def test_traffic_values_are_rates(self):
+        series = load_dataset("Traffic", n_timestamps=600, n_channels=5, seed=0)
+        assert series.values.min() >= 0.0
+        assert series.values.max() <= 1.0
+
+    def test_electricity_is_positive(self):
+        series = load_dataset("Electricity", n_timestamps=600, n_channels=5, seed=0)
+        assert series.values.min() > 0.0
+
+    def test_cycle_counts_are_non_negative(self):
+        series = load_dataset("Cycle", n_timestamps=600, n_channels=3, seed=0)
+        assert series.values.min() >= 0.0
+
+    def test_explicit_covariate_schema_widths(self):
+        cycle = load_dataset("Cycle", n_timestamps=400, n_channels=2)
+        assert cycle.covariates.n_numerical == 21
+        assert cycle.covariates.n_categorical == 1
+        price = load_dataset("ElectricityPrice", n_timestamps=400, n_channels=2)
+        assert price.covariates.n_numerical == 49
+        assert price.covariates.n_categorical == 12
+
+    def test_implicit_covariates_on_public_datasets(self):
+        series = load_dataset("Weather", n_timestamps=400, n_channels=4)
+        assert series.covariates.n_numerical == 4
+        assert series.covariates.n_categorical == 5
+
+    def test_daily_periodicity_present_in_ett(self):
+        series = load_dataset("ETTh1", n_timestamps=24 * 40, n_channels=3, seed=0)
+        channel = series.values[:, 0].astype(np.float64)
+        channel = channel - channel.mean()
+        spectrum = np.abs(np.fft.rfft(channel))
+        daily_bin = len(channel) // 24
+        window = spectrum[daily_bin - 2 : daily_bin + 3]
+        # energy at the daily frequency should be well above the median level
+        assert window.max() > 3 * np.median(spectrum[1:])
+
+    def test_electricity_price_depends_on_covariates(self):
+        series = load_dataset("ElectricityPrice", n_timestamps=2000, n_channels=2, seed=0)
+        residual = (
+            series.covariates.numerical[:, 0]          # load forecast
+            - series.covariates.numerical[:, 2]        # renewables
+        )
+        price = series.values[:, 0]
+        correlation = np.corrcoef(residual, price)[0, 1]
+        assert correlation > 0.4

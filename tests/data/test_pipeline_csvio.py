@@ -1,0 +1,89 @@
+"""Tests for the forecasting data pipeline and CSV round trip."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import load_csv, load_dataset, prepare_forecasting_data, save_csv
+
+
+class TestPrepareForecastingData:
+    def test_shapes_and_loaders(self):
+        data = prepare_forecasting_data("ETTh1", input_length=48, horizon=12, n_timestamps=1000, stride=4)
+        train_loader, val_loader, test_loader = data.loaders(batch_size=16)
+        batch = next(iter(train_loader))
+        assert batch["x"].shape[1:] == (48, 7)
+        assert batch["y"].shape[1:] == (12, 7)
+        assert len(data.train) > len(data.validation)
+        assert len(list(val_loader)) > 0 and len(list(test_loader)) > 0
+
+    def test_scaler_fitted_on_training_split_only(self):
+        data = prepare_forecasting_data("ETTh1", input_length=48, horizon=12, n_timestamps=1000)
+        # Training windows should be (approximately) standardised ...
+        train_batch = data.train.as_arrays(np.arange(len(data.train)))
+        assert abs(train_batch["x"].mean()) < 0.3
+        # ... and the scaler must be able to invert.
+        restored = data.scaler.inverse_transform(data.scaler.transform(np.ones((5, data.n_channels))))
+        np.testing.assert_allclose(restored, np.ones((5, data.n_channels)), rtol=1e-4)
+
+    def test_covariate_dimensions_for_explicit_dataset(self):
+        data = prepare_forecasting_data(
+            "Cycle", input_length=48, horizon=12, n_timestamps=1000, n_channels=3
+        )
+        assert data.covariate_numerical_dim == 21
+        assert data.covariate_categorical_cardinalities == (2,)
+        batch = next(iter(data.loaders(8)[0]))
+        assert batch["future_numerical"].shape[2] == 21
+
+    def test_covariate_dimensions_for_implicit_dataset(self):
+        data = prepare_forecasting_data("ETTh2", input_length=48, horizon=12, n_timestamps=1000)
+        assert data.covariate_numerical_dim == 4
+        assert len(data.covariate_categorical_cardinalities) == 5
+
+    def test_without_covariates(self):
+        data = prepare_forecasting_data(
+            "ETTh1", input_length=48, horizon=12, n_timestamps=1000, include_covariates=False
+        )
+        assert data.covariate_numerical_dim == 0
+        batch = next(iter(data.loaders(8)[0]))
+        assert batch["future_numerical"] is None
+
+    def test_numerical_covariates_are_standardised(self):
+        data = prepare_forecasting_data(
+            "ElectricityPrice", input_length=48, horizon=12, n_timestamps=1000, n_channels=2
+        )
+        batch = data.train.as_arrays(np.arange(min(100, len(data.train))))
+        # load forecasts are ~30000 MW raw; after scaling they must be O(1)
+        assert np.abs(batch["future_numerical"]).max() < 20
+
+    def test_accepts_preloaded_series(self):
+        series = load_dataset("ETTh1", n_timestamps=800, n_channels=3, seed=9)
+        data = prepare_forecasting_data("ignored", input_length=48, horizon=12, series=series)
+        assert data.name == "ETTh1"
+        assert data.n_channels == 3
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        series = load_dataset("ETTh1", n_timestamps=200, n_channels=3, seed=1)
+        path = os.path.join(tmp_path, "etth1.csv")
+        save_csv(series, path)
+        loaded = load_csv(path)
+        assert loaded.values.shape == series.values.shape
+        np.testing.assert_allclose(loaded.values, series.values, atol=1e-4)
+        assert loaded.channel_names == series.channel_names
+
+    def test_load_rejects_missing_date_column(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = os.path.join(tmp_path, "empty.csv")
+        with open(path, "w") as handle:
+            handle.write("date,ch0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)

@@ -1,0 +1,91 @@
+"""Tests for feature scalers, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+from hypothesis import strategies as st
+
+from repro.data import MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_transformed_statistics(self, rng):
+        data = rng.standard_normal((500, 4)) * 5 + 3
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(scaled.std(axis=0), np.ones(4), atol=1e-4)
+
+    def test_inverse_round_trip(self, rng):
+        data = rng.standard_normal((100, 3)) * 2 + 1
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-4, atol=1e-4)
+
+    def test_constant_channel_does_not_divide_by_zero(self):
+        data = np.ones((50, 2))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((3, 2)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+    def test_fit_statistics_come_from_fit_data_only(self, rng):
+        train = rng.standard_normal((100, 2))
+        test = rng.standard_normal((100, 2)) + 100
+        scaler = StandardScaler().fit(train)
+        transformed_test = scaler.transform(test)
+        assert transformed_test.mean() > 10  # shifted data stays shifted
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit_interval(self, rng):
+        data = rng.standard_normal((200, 3)) * 7
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= -1e-6
+        assert scaled.max() <= 1 + 1e-6
+
+    def test_inverse_round_trip(self, rng):
+        data = rng.standard_normal((50, 2)) * 3
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-4, atol=1e-4)
+
+    def test_constant_channel(self):
+        scaled = MinMaxScaler().fit_transform(np.full((10, 1), 4.0))
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((3, 2)))
+
+
+class TestScalerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(5, 40), st.integers(1, 5)),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        )
+    )
+    def test_standard_scaler_round_trip_property(self, data):
+        scaler = StandardScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(restored, data, rtol=1e-3, atol=1e-2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(5, 40), st.integers(1, 5)),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        )
+    )
+    def test_minmax_round_trip_property(self, data):
+        scaler = MinMaxScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(restored, data, rtol=1e-3, atol=1e-2)

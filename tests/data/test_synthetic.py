@@ -1,0 +1,90 @@
+"""Tests for the synthetic series building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+
+
+class TestTrends:
+    def test_linear_trend(self):
+        trend = synthetic.linear_trend(5, slope=2.0, intercept=1.0)
+        np.testing.assert_allclose(trend, [1, 3, 5, 7, 9])
+
+    def test_random_walk_trend_is_cumulative(self, rng):
+        walk = synthetic.random_walk_trend(100, 0.1, rng)
+        assert walk.shape == (100,)
+        # A random walk wanders: its variance grows with time.
+        assert np.var(walk[50:]) > 0
+
+
+class TestSeasonality:
+    def test_seasonal_period(self):
+        period = 24
+        series = synthetic.seasonal_component(24 * 10, period, amplitude=1.0)
+        np.testing.assert_allclose(series[:24], series[24:48], atol=1e-9)
+
+    def test_seasonal_amplitude(self):
+        series = synthetic.seasonal_component(1000, 24, amplitude=3.0)
+        assert np.max(np.abs(series)) == pytest.approx(3.0, rel=1e-2)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            synthetic.seasonal_component(10, 0)
+
+    def test_multi_harmonic_periodicity(self, rng):
+        series = synthetic.multi_harmonic(24 * 20, 24, np.array([1.0, 0.5]), rng)
+        np.testing.assert_allclose(series[:24], series[24:48], atol=1e-8)
+
+    def test_dominant_frequency_matches_period(self, rng):
+        period = 24
+        series = synthetic.multi_harmonic(24 * 50, period, np.array([1.0]), rng)
+        spectrum = np.abs(np.fft.rfft(series))
+        dominant = np.argmax(spectrum[1:]) + 1
+        expected_bin = len(series) / period
+        assert dominant == pytest.approx(expected_bin, abs=1)
+
+
+class TestNoise:
+    def test_ar1_rejects_nonstationary_phi(self, rng):
+        with pytest.raises(ValueError):
+            synthetic.ar1_noise(10, 1.0, 1.0, rng)
+
+    def test_ar1_autocorrelation_sign(self, rng):
+        noise = synthetic.ar1_noise(20000, 0.8, 1.0, rng)
+        correlation = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert correlation == pytest.approx(0.8, abs=0.05)
+
+    def test_ar1_zero_phi_is_white(self, rng):
+        noise = synthetic.ar1_noise(20000, 0.0, 1.0, rng)
+        correlation = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert abs(correlation) < 0.05
+
+
+class TestRegimeShiftsAndProfiles:
+    def test_no_shifts_returns_zeros(self, rng):
+        np.testing.assert_allclose(synthetic.regime_shifts(50, 0, 1.0, rng), np.zeros(50))
+
+    def test_shifts_are_piecewise_constant(self, rng):
+        series = synthetic.regime_shifts(500, 4, 1.0, rng)
+        changes = np.count_nonzero(np.diff(series))
+        assert 1 <= changes <= 4
+
+    def test_rush_hour_profile_peaks_on_weekdays(self):
+        samples_per_day = 24
+        weekend = np.zeros(24, dtype=bool)
+        profile = synthetic.rush_hour_profile(24, samples_per_day, weekend)
+        assert profile[8] > profile[3]      # morning rush > night
+        assert profile[18] > profile[12]    # evening rush > midday
+
+    def test_rush_hour_weekend_flatter(self):
+        samples_per_day = 24
+        weekday = synthetic.rush_hour_profile(24, samples_per_day, np.zeros(24, dtype=bool))
+        weekend = synthetic.rush_hour_profile(24, samples_per_day, np.ones(24, dtype=bool))
+        assert weekend.max() < weekday.max()
+
+    def test_mixture_series_shape_and_determinism(self):
+        a = synthetic.mixture_series(500, 24, np.random.default_rng(3))
+        b = synthetic.mixture_series(500, 24, np.random.default_rng(3))
+        assert a.shape == (500,)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,83 @@
+"""Tests for temporal feature encodings."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TIME_FEATURE_CARDINALITIES,
+    TIME_FEATURE_NAMES,
+    categorical_time_features,
+    is_weekend,
+    make_timestamps,
+    normalized_time_features,
+)
+
+
+class TestMakeTimestamps:
+    def test_length_and_spacing(self):
+        stamps = make_timestamps(10, freq_minutes=15)
+        assert len(stamps) == 10
+        deltas = np.diff(stamps).astype("timedelta64[m]").astype(int)
+        assert np.all(deltas == 15)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_timestamps(0, 60)
+        with pytest.raises(ValueError):
+            make_timestamps(10, 0)
+
+    def test_custom_start(self):
+        stamps = make_timestamps(1, 60, start="2020-01-01T12:00")
+        assert str(stamps[0]).startswith("2020-01-01T12:00")
+
+
+class TestCategoricalFeatures:
+    def test_known_date_fields(self):
+        # 2016-07-01 was a Friday (weekday index 4).
+        stamps = make_timestamps(3, freq_minutes=60, start="2016-07-01T00:00")
+        features = categorical_time_features(stamps)
+        assert features.shape == (3, 4)
+        assert features[0, 0] == 0          # hour
+        assert features[1, 0] == 1
+        assert features[0, 1] == 4          # Friday
+        assert features[0, 2] == 0          # first day of month (0-based)
+        assert features[0, 3] == 6          # July (0-based)
+
+    def test_values_within_cardinalities(self):
+        stamps = make_timestamps(2000, freq_minutes=60)
+        features = categorical_time_features(stamps)
+        for column, name in enumerate(TIME_FEATURE_NAMES):
+            assert features[:, column].max() < TIME_FEATURE_CARDINALITIES[name]
+            assert features[:, column].min() >= 0
+
+    def test_hour_cycles_daily(self):
+        stamps = make_timestamps(48, freq_minutes=60)
+        features = categorical_time_features(stamps)
+        np.testing.assert_array_equal(features[:24, 0], features[24:, 0])
+
+
+class TestNormalizedFeatures:
+    def test_range(self):
+        stamps = make_timestamps(5000, freq_minutes=30)
+        features = normalized_time_features(stamps)
+        assert features.shape == (5000, 4)
+        assert features.min() >= -0.5 - 1e-6
+        assert features.max() <= 0.5 + 1e-6
+
+    def test_dtype_is_float32(self):
+        features = normalized_time_features(make_timestamps(10, 60))
+        assert features.dtype == np.float32
+
+
+class TestWeekend:
+    def test_weekend_detection(self):
+        # 2016-07-02 is a Saturday, 2016-07-03 a Sunday, 2016-07-04 a Monday.
+        stamps = np.array(
+            [np.datetime64("2016-07-02T10:00"), np.datetime64("2016-07-03T10:00"), np.datetime64("2016-07-04T10:00")]
+        )
+        np.testing.assert_array_equal(is_weekend(stamps), [True, True, False])
+
+    def test_weekend_fraction_over_long_range(self):
+        stamps = make_timestamps(24 * 7 * 8, freq_minutes=60)
+        fraction = is_weekend(stamps).mean()
+        assert fraction == pytest.approx(2.0 / 7.0, abs=0.01)

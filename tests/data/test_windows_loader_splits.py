@@ -1,0 +1,132 @@
+"""Tests for chronological splits, sliding windows and the data loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    MultivariateTimeSeries,
+    SlidingWindowDataset,
+    chronological_split,
+    load_dataset,
+    make_timestamps,
+)
+
+
+def _series(length=200, channels=2):
+    values = np.arange(length * channels, dtype=np.float32).reshape(length, channels)
+    return MultivariateTimeSeries(values=values, timestamps=make_timestamps(length, 60), name="unit")
+
+
+class TestChronologicalSplit:
+    def test_ratios(self):
+        train, validation, test = chronological_split(_series(100), (0.6, 0.2, 0.2))
+        assert len(train) == 60
+        assert len(validation) == 20
+        assert len(test) == 20
+
+    def test_context_overlap(self):
+        train, validation, test = chronological_split(_series(100), (0.6, 0.2, 0.2), context_length=10)
+        assert len(validation) == 30
+        np.testing.assert_allclose(validation.values[:10], train.values[-10:])
+
+    def test_chronological_order_preserved(self):
+        train, validation, test = chronological_split(_series(100), (0.7, 0.1, 0.2))
+        assert train.values[-1, 0] < validation.values[-1, 0] < test.values[-1, 0]
+
+    def test_invalid_ratios(self):
+        with pytest.raises(ValueError):
+            chronological_split(_series(100), (0.5, 0.2, 0.2))
+        with pytest.raises(ValueError):
+            chronological_split(_series(100), (1.0, -0.2, 0.2))
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError):
+            chronological_split(_series(100), (0.6, 0.2, 0.2), context_length=80)
+
+
+class TestSlidingWindowDataset:
+    def test_window_count(self):
+        dataset = SlidingWindowDataset(_series(100), input_length=24, horizon=12)
+        assert len(dataset) == 100 - 24 - 12 + 1
+
+    def test_stride_reduces_windows(self):
+        dense = SlidingWindowDataset(_series(100), 24, 12, stride=1)
+        sparse = SlidingWindowDataset(_series(100), 24, 12, stride=5)
+        assert len(sparse) == (len(dense) - 1) // 5 + 1
+
+    def test_window_contents_are_contiguous(self):
+        dataset = SlidingWindowDataset(_series(100, channels=1), input_length=4, horizon=2)
+        sample = dataset[10]
+        np.testing.assert_allclose(sample.x[:, 0], np.arange(10, 14))
+        np.testing.assert_allclose(sample.y[:, 0], np.arange(14, 16))
+
+    def test_negative_index(self):
+        dataset = SlidingWindowDataset(_series(50), 10, 5)
+        last = dataset[-1]
+        explicit = dataset[len(dataset) - 1]
+        np.testing.assert_allclose(last.x, explicit.x)
+
+    def test_out_of_range_raises(self):
+        dataset = SlidingWindowDataset(_series(50), 10, 5)
+        with pytest.raises(IndexError):
+            dataset[len(dataset)]
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDataset(_series(20), input_length=18, horizon=5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDataset(_series(50), 0, 5)
+        with pytest.raises(ValueError):
+            SlidingWindowDataset(_series(50), 10, 5, stride=0)
+
+    def test_covariates_cover_forecast_range(self):
+        series = load_dataset("ETTh1", n_timestamps=300, n_channels=2)
+        dataset = SlidingWindowDataset(series, input_length=24, horizon=12)
+        sample = dataset[0]
+        assert sample.future_numerical.shape == (12, series.covariates.n_numerical)
+        assert sample.future_categorical.shape == (12, series.covariates.n_categorical)
+        # Covariates must be aligned with the *forecast* range, i.e. rows
+        # [input_length, input_length + horizon) of the full series.
+        np.testing.assert_allclose(
+            sample.future_numerical, series.covariates.numerical[24:36]
+        )
+
+    def test_as_arrays_shapes(self):
+        dataset = SlidingWindowDataset(_series(100, channels=3), 24, 12)
+        batch = dataset.as_arrays(np.arange(5))
+        assert batch["x"].shape == (5, 24, 3)
+        assert batch["y"].shape == (5, 12, 3)
+        assert batch["future_numerical"] is None
+
+
+class TestDataLoader:
+    def test_batching(self):
+        dataset = SlidingWindowDataset(_series(100), 24, 12)
+        loader = DataLoader(dataset, batch_size=16)
+        batches = list(loader)
+        assert len(batches) == len(loader)
+        assert batches[0]["x"].shape[0] == 16
+        total = sum(len(batch["x"]) for batch in batches)
+        assert total == len(dataset)
+
+    def test_drop_last(self):
+        dataset = SlidingWindowDataset(_series(100), 24, 12)
+        loader = DataLoader(dataset, batch_size=16, drop_last=True)
+        assert all(len(batch["x"]) == 16 for batch in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        dataset = SlidingWindowDataset(_series(100, channels=1), 24, 12)
+        plain = np.concatenate([batch["x"][:, 0, 0] for batch in DataLoader(dataset, 8)])
+        shuffled = np.concatenate(
+            [batch["x"][:, 0, 0] for batch in DataLoader(dataset, 8, shuffle=True, rng=np.random.default_rng(0))]
+        )
+        assert not np.allclose(plain, shuffled)
+        np.testing.assert_allclose(np.sort(plain), np.sort(shuffled))
+
+    def test_invalid_batch_size(self):
+        dataset = SlidingWindowDataset(_series(100), 24, 12)
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)

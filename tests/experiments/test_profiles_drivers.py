@@ -1,0 +1,137 @@
+"""Tests for experiment profiles and (smoke-scale) table/figure drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER,
+    QUICK,
+    SMOKE,
+    get_profile,
+    run_efficiency_report,
+    run_figure6,
+    run_figure7,
+    run_table3,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+    run_table10,
+    run_table11,
+    run_table12,
+    summarize_winners,
+)
+
+
+class TestProfiles:
+    def test_get_profile(self):
+        assert get_profile("paper") is PAPER
+        assert get_profile("QUICK") is QUICK
+        with pytest.raises(KeyError):
+            get_profile("unknown")
+
+    def test_paper_profile_matches_section_iv(self):
+        assert PAPER.input_length == 720
+        assert PAPER.patch_length == 48
+        assert PAPER.hidden_dim == 512
+        assert PAPER.horizons == (96, 192, 336, 720)
+        assert PAPER.batch_size == 256
+
+    def test_model_config_adjusts_patch_length(self):
+        config = SMOKE.model_config(n_channels=3, horizon=12, input_length=50)
+        assert 50 % config.patch_length == 0
+
+    def test_training_config_fields(self):
+        training = QUICK.training_config()
+        assert training.epochs == QUICK.epochs
+        assert training.batch_size == QUICK.batch_size
+
+
+class TestDriversSmoke:
+    """Each driver runs end to end at the SMOKE scale and yields sensible rows."""
+
+    def test_table3(self):
+        table = run_table3(
+            SMOKE, datasets=("ETTh1",), horizons=(12,), models=("LiPFormer", "DLinear"), with_efficiency=True
+        )
+        assert len(table) == 2
+        columns = table.columns()
+        for expected in ("model", "dataset", "horizon", "mse", "mae", "parameters", "macs"):
+            assert expected in columns
+        winners = summarize_winners(table)
+        assert sum(row["first_places"] for row in winners.rows) == 1
+
+    def test_table5_univariate(self):
+        table = run_table5(SMOKE, datasets=("ETTh1",), horizons=(12,), models=("LiPFormer", "DLinear"))
+        assert len(table) == 2
+        assert all(np.isfinite(row["mse"]) for row in table.rows)
+
+    def test_table6_pretraining(self):
+        table = run_table6(SMOKE, datasets=("ETTh1",))
+        assert len(table) == 1
+        row = table.rows[0]
+        assert "mse_with_pretrain" in row and "mse_without_pretrain" in row
+
+    def test_table7_edge(self):
+        table = run_table7(
+            SMOKE, datasets=("ETTh1",), input_lengths=(24, 48), models=("Transformer", "LiPFormer")
+        )
+        assert len(table) == 2
+        assert "T=24" in table.columns() and "T=48" in table.columns()
+
+    def test_table8_patch_size(self):
+        table = run_table8(SMOKE, datasets=("ETTh1",), patch_lengths=(6, 12))
+        assert len(table) == 2
+        assert {row["patch_length"] for row in table.rows} == {6, 12}
+
+    def test_table8_rejects_incompatible_patch_lengths(self):
+        with pytest.raises(ValueError):
+            run_table8(SMOKE, datasets=("ETTh1",), patch_lengths=(7,))
+
+    def test_table9_input_length(self):
+        table = run_table9(
+            SMOKE, datasets=("ETTh1",), input_lengths=(24, 48), models=("LiPFormer", "DLinear")
+        )
+        assert len(table) == 2
+        assert "LiPFormer" in table.columns() and "DLinear" in table.columns()
+
+    def test_table10_ablation(self):
+        table = run_table10(SMOKE, datasets=("ETTh1",))
+        variants = {row["variant"] for row in table.rows}
+        assert "LiPFormer" in variants and "LiPFormer+FFNs+LN" in variants
+        assert len(table) == 4
+
+    def test_table11_ablation(self):
+        table = run_table11(SMOKE, datasets=("ETTh1",))
+        variants = {row["variant"] for row in table.rows}
+        assert "Neither" in variants and "LiPFormer" in variants
+        assert len(table) == 4
+
+    def test_table12_transplant(self):
+        table = run_table12(SMOKE, models=("Informer",))
+        assert len(table) == 1
+        row = table.rows[0]
+        assert "mse_with_encoder" in row and "mse_without_encoder" in row
+
+    def test_figure6(self):
+        table = run_figure6(SMOKE, horizons=(12,))
+        assert len(table) == 1
+        assert "mse_with_encoder" in table.columns()
+
+    def test_figure7(self):
+        table, matrices = run_figure7(SMOKE, datasets=("ETTm1",), batch_size=24)
+        assert len(table) == 2  # train + validation
+        key = "ETTm1/train"
+        assert key in matrices
+        logits = matrices[key].logits
+        assert logits.shape[0] == logits.shape[1] <= 24
+        # After pre-training, matched pairs should be more similar on average.
+        assert matrices[key].diagonal_margin > 0
+
+    def test_efficiency_report(self):
+        table = run_efficiency_report(SMOKE, models=("LiPFormer", "DLinear", "Transformer"))
+        assert len(table) == 3
+        by_model = {row["model"]: row for row in table.rows}
+        assert by_model["LiPFormer"]["macs"] < by_model["Transformer"]["macs"]
+        assert all(row["parameters"] > 0 for row in table.rows)

@@ -1,0 +1,56 @@
+"""Tests for the run-all experiment orchestrator and its CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENT_RUNNERS, SMOKE, run_all
+from repro.experiments.run_all import main
+
+
+class TestRunnerRegistry:
+    def test_every_paper_artifact_has_a_runner(self):
+        expected = {
+            "table3",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "table10",
+            "table11",
+            "table12",
+            "figure6",
+            "figure7",
+            "efficiency",
+        }
+        assert set(EXPERIMENT_RUNNERS) == expected
+
+    def test_runner_entries_have_descriptions(self):
+        for name, (description, runner) in EXPERIMENT_RUNNERS.items():
+            assert description
+            assert callable(runner)
+
+
+class TestRunAll:
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_all(SMOKE, str(tmp_path), only=["table99"])
+
+    def test_selected_subset_writes_artifacts(self, tmp_path):
+        output = os.path.join(tmp_path, "results")
+        tables = run_all(SMOKE, output, only=["table7", "efficiency"])
+        assert set(tables) == {"table7", "efficiency"}
+        for name in ("table7", "efficiency"):
+            assert os.path.exists(os.path.join(output, f"{name}.csv"))
+            assert os.path.exists(os.path.join(output, f"{name}.json"))
+        report = open(os.path.join(output, "report.md")).read()
+        assert "Table VII" in report
+        assert "efficiency" in report or "MACs" in report
+
+    def test_cli_main_runs_subset(self, tmp_path, capsys):
+        output = os.path.join(tmp_path, "cli-results")
+        main(["--profile", "smoke", "--output", output, "--only", "efficiency"])
+        captured = capsys.readouterr()
+        assert "efficiency" in captured.out
+        assert os.path.exists(os.path.join(output, "report.md"))

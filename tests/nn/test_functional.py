@@ -1,0 +1,151 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradients
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_gelu_known_values(self):
+        out = F.gelu(Tensor([0.0]))
+        assert out.item() == pytest.approx(0.0, abs=1e-6)
+        # GELU(x) -> x for large positive x and -> 0 for large negative x.
+        assert F.gelu(Tensor([10.0])).item() == pytest.approx(10.0, rel=1e-3)
+        assert F.gelu(Tensor([-10.0])).item() == pytest.approx(0.0, abs=1e-3)
+
+    def test_gelu_gradcheck(self, rng):
+        check_gradients(lambda t: F.gelu(t[0]).sum(), [rng.standard_normal((5,))])
+
+    def test_sigmoid_matches_formula(self, rng):
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(F.sigmoid(Tensor(x)).data, 1 / (1 + np.exp(-x)), rtol=1e-5)
+
+    def test_tanh_matches_numpy(self, rng):
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(F.tanh(Tensor(x)).data, np.tanh(x), rtol=1e-5)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((4, 7))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.standard_normal((3, 5))
+        a = F.softmax(Tensor(x), axis=-1).data
+        b = F.softmax(Tensor(x + 100.0), axis=-1).data
+        np.testing.assert_allclose(a, b, rtol=1e-4)
+
+    def test_large_values_stable(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]]), axis=-1)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data), rtol=1e-4, atol=1e-5
+        )
+
+    def test_softmax_gradcheck(self, rng):
+        check_gradients(lambda t: (F.softmax(t[0], axis=-1) ** 2).sum(), [rng.standard_normal((3, 4))])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)))
+        out = F.dropout(x, p=0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_zero_probability_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)))
+        out = F.dropout(x, p=0.0, training=True)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        generator = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, p=0.5, training=True, rng=generator)
+        kept = out.data != 0
+        assert 0.4 < kept.mean() < 0.6
+        np.testing.assert_allclose(out.data[kept], 2.0)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), p=1.0, training=True)
+
+
+class TestLinearAndLayerNorm:
+    def test_linear_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 5)).astype(np.float32)
+        b = rng.standard_normal((3,)).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b, rtol=1e-4, atol=1e-5)
+
+    def test_linear_without_bias(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 5)).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, x @ w.T, rtol=1e-4, atol=1e-5)
+
+    def test_layer_norm_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((6, 16)).astype(np.float32)
+        out = F.layer_norm(Tensor(x), Tensor(np.ones(16)), Tensor(np.zeros(16)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(6), atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(6), atol=1e-2)
+
+    def test_layer_norm_gradcheck(self, rng):
+        check_gradients(
+            lambda t: (F.layer_norm(t[0], t[1], t[2]) ** 2).sum(),
+            [rng.standard_normal((3, 5)), rng.standard_normal(5), rng.standard_normal(5)],
+        )
+
+
+class TestAttentionFunctional:
+    def test_attention_output_shape(self, rng):
+        q = Tensor(rng.standard_normal((2, 5, 8)))
+        out = F.scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 5, 8)
+
+    def test_attention_is_convex_combination(self, rng):
+        # With identical value rows the output must equal that row.
+        value = np.tile(np.arange(8.0, dtype=np.float32), (2, 5, 1))
+        q = Tensor(rng.standard_normal((2, 5, 8)))
+        out = F.scaled_dot_product_attention(q, q, Tensor(value))
+        np.testing.assert_allclose(out.data, value, rtol=1e-4)
+
+    def test_attention_gradcheck(self, rng):
+        check_gradients(
+            lambda t: (F.scaled_dot_product_attention(t[0], t[1], t[2]) ** 2).sum(),
+            [rng.standard_normal((1, 3, 4)) for _ in range(3)],
+        )
+
+
+class TestOneHotAndSmoothL1:
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), num_classes=3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_smooth_l1_quadratic_region(self):
+        pred = Tensor([0.5], requires_grad=True)
+        loss = F.smooth_l1(pred, Tensor([0.0]), beta=1.0)
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_smooth_l1_linear_region(self):
+        pred = Tensor([3.0], requires_grad=True)
+        loss = F.smooth_l1(pred, Tensor([0.0]), beta=1.0)
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_smooth_l1_gradcheck(self, rng):
+        check_gradients(
+            lambda t: F.smooth_l1(t[0], t[1], beta=0.7),
+            [rng.standard_normal((6,)) * 2, rng.standard_normal((6,))],
+        )

@@ -1,0 +1,160 @@
+"""Tests for repro.nn.layers and attention modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GELU,
+    Dropout,
+    Embedding,
+    Flatten,
+    Identity,
+    LayerNorm,
+    Linear,
+    MultiHeadSelfAttention,
+    ReLU,
+    ResidualSelfAttention,
+    SelfAttention,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(8, 3, rng=rng)
+        assert layer(Tensor(rng.standard_normal((5, 8)))).shape == (5, 3)
+
+    def test_batched_input(self, rng):
+        layer = Linear(8, 3, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 7, 8)))).shape == (2, 7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_parameters_registered(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 4 * 2 + 2
+
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5, atol=1e-6)
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = Tensor(rng.standard_normal((4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_train_mode_zeroes(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).mean() > 0.3
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self, rng):
+        layer = LayerNorm(12)
+        out = layer(Tensor(rng.standard_normal((5, 12)) * 4 + 2))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(5), atol=1e-4)
+
+    def test_parameters(self):
+        layer = LayerNorm(12)
+        assert layer.num_parameters() == 24
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        out = layer(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_same_index_same_vector(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        out = layer(np.array([3, 3]))
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_out_of_range_raises(self, rng):
+        layer = Embedding(5, 4, rng=rng)
+        with pytest.raises(IndexError):
+            layer(np.array([5]))
+        with pytest.raises(IndexError):
+            layer(np.array([-1]))
+
+    def test_gradient_reaches_embedding_rows(self, rng):
+        layer = Embedding(5, 3, rng=rng)
+        out = layer(np.array([1, 1, 2]))
+        out.sum().backward()
+        grad = layer.weight.grad
+        np.testing.assert_allclose(grad[1], 2 * np.ones(3))
+        np.testing.assert_allclose(grad[2], np.ones(3))
+        np.testing.assert_allclose(grad[0], np.zeros(3))
+
+
+class TestActivationsAndContainers:
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)))
+        assert GELU()(x).shape == x.shape
+        assert ReLU()(x).shape == x.shape
+        assert Tanh()(x).shape == x.shape
+        assert Sigmoid()(x).shape == x.shape
+        np.testing.assert_allclose(Identity()(x).data, x.data)
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.standard_normal((4, 3, 2))))
+        assert out.shape == (4, 6)
+
+    def test_sequential_composition(self, rng):
+        model = Sequential(Linear(6, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        assert model(Tensor(rng.standard_normal((5, 6)))).shape == (5, 2)
+        assert len(model) == 3
+        assert len(model.parameters()) == 4
+
+    def test_sequential_iterable(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng), ReLU())
+        assert len(list(iter(model))) == 2
+
+
+class TestAttentionModules:
+    def test_self_attention_shape(self, rng):
+        attn = SelfAttention(8, rng=rng)
+        assert attn(Tensor(rng.standard_normal((2, 5, 8)))).shape == (2, 5, 8)
+
+    def test_residual_self_attention_contains_input(self, rng):
+        attn = ResidualSelfAttention(8, rng=rng)
+        attn.eval()
+        x = Tensor(rng.standard_normal((2, 5, 8)))
+        out = attn(x)
+        # residual: output minus attention equals input
+        inner = attn.attention(x)
+        np.testing.assert_allclose(out.data, (inner + x).data, rtol=1e-5)
+
+    def test_multi_head_shape(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        assert attn(Tensor(rng.standard_normal((3, 6, 16)))).shape == (3, 6, 16)
+
+    def test_multi_head_invalid_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_multi_head_gradients_flow(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        for parameter in attn.parameters():
+            assert parameter.grad is not None

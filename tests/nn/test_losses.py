@@ -1,0 +1,124 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CrossEntropyLoss,
+    MAELoss,
+    MSELoss,
+    SmoothL1Loss,
+    SymmetricContrastiveLoss,
+    Tensor,
+)
+from repro.nn.gradcheck import check_gradients
+
+
+class TestRegressionLosses:
+    def test_mse_matches_numpy(self, rng):
+        pred, target = rng.standard_normal((4, 3)), rng.standard_normal((4, 3))
+        loss = MSELoss()(Tensor(pred), target)
+        assert loss.item() == pytest.approx(np.mean((pred - target) ** 2), rel=1e-5)
+
+    def test_mae_matches_numpy(self, rng):
+        pred, target = rng.standard_normal((4, 3)), rng.standard_normal((4, 3))
+        loss = MAELoss()(Tensor(pred), target)
+        assert loss.item() == pytest.approx(np.mean(np.abs(pred - target)), rel=1e-5)
+
+    def test_mse_zero_for_perfect_prediction(self, rng):
+        x = rng.standard_normal((5, 2))
+        assert MSELoss()(Tensor(x), x).item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_smooth_l1_beta_validation(self):
+        with pytest.raises(ValueError):
+            SmoothL1Loss(beta=0.0)
+
+    def test_smooth_l1_below_mse_like(self):
+        # |error| < beta -> 0.5 * err^2 / beta
+        loss = SmoothL1Loss(beta=2.0)(Tensor([1.0]), np.array([0.0]))
+        assert loss.item() == pytest.approx(0.25)
+
+    def test_smooth_l1_above_is_linear(self):
+        loss = SmoothL1Loss(beta=1.0)(Tensor([10.0]), np.array([0.0]))
+        assert loss.item() == pytest.approx(9.5)
+
+    def test_smooth_l1_continuous_at_beta(self):
+        beta = 1.0
+        below = SmoothL1Loss(beta)(Tensor([beta - 1e-4]), np.array([0.0])).item()
+        above = SmoothL1Loss(beta)(Tensor([beta + 1e-4]), np.array([0.0])).item()
+        assert below == pytest.approx(above, abs=1e-3)
+
+    def test_smooth_l1_less_sensitive_to_outliers_than_mse(self, rng):
+        target = np.zeros(10, dtype=np.float32)
+        pred = np.zeros(10, dtype=np.float32)
+        pred[0] = 100.0  # an outlier
+        mse = MSELoss()(Tensor(pred), target).item()
+        huber = SmoothL1Loss(beta=1.0)(Tensor(pred), target).item()
+        assert huber < mse
+
+    def test_losses_are_differentiable(self, rng):
+        for loss_factory in (MSELoss, MAELoss, lambda: SmoothL1Loss(beta=0.5)):
+            loss_fn = loss_factory()
+            check_gradients(
+                lambda t, fn=loss_fn: fn(t[0], t[1]),
+                [rng.standard_normal((4,)) + 3, rng.standard_normal((4,))],
+            )
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([0, 2, 4])
+        loss = CrossEntropyLoss()(Tensor(logits), targets)
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probabilities = exp / exp.sum(axis=1, keepdims=True)
+        manual = -np.mean(np.log(probabilities[np.arange(3), targets]))
+        assert loss.item() == pytest.approx(manual, rel=1e-4)
+
+    def test_confident_correct_prediction_has_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss = CrossEntropyLoss()(Tensor(logits), np.array([0, 1]))
+        assert loss.item() < 1e-3
+
+    def test_gradient_flows(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        CrossEntropyLoss()(logits, np.array([0, 1, 2, 0])).backward()
+        assert logits.grad is not None
+        # Gradient rows sum to ~0 (softmax minus one-hot property).
+        np.testing.assert_allclose(logits.grad.sum(axis=1), np.zeros(4), atol=1e-5)
+
+
+class TestSymmetricContrastiveLoss:
+    def test_temperature_validation(self):
+        with pytest.raises(ValueError):
+            SymmetricContrastiveLoss(temperature=0.0)
+
+    def test_logits_shape(self, rng):
+        loss_fn = SymmetricContrastiveLoss()
+        logits = loss_fn.logits(Tensor(rng.standard_normal((6, 9))), Tensor(rng.standard_normal((6, 9))))
+        assert logits.shape == (6, 6)
+
+    def test_aligned_pairs_give_lower_loss_than_misaligned(self, rng):
+        loss_fn = SymmetricContrastiveLoss()
+        base = rng.standard_normal((8, 16)).astype(np.float32)
+        aligned = loss_fn(Tensor(base), Tensor(base.copy())).item()
+        shuffled = loss_fn(Tensor(base), Tensor(base[::-1].copy())).item()
+        assert aligned < shuffled
+
+    def test_symmetric_in_arguments(self, rng):
+        loss_fn = SymmetricContrastiveLoss()
+        a = Tensor(rng.standard_normal((5, 8)))
+        b = Tensor(rng.standard_normal((5, 8)))
+        assert loss_fn(a, b).item() == pytest.approx(loss_fn(b, a).item(), rel=1e-4)
+
+    def test_identical_embeddings_approach_lower_bound(self, rng):
+        # With identical, well-separated embeddings the loss approaches 0.
+        base = np.eye(8, 16, dtype=np.float32) * 10
+        loss = SymmetricContrastiveLoss(temperature=0.07)(Tensor(base), Tensor(base.copy()))
+        assert loss.item() < 0.05
+
+    def test_gradients_flow_to_both_encoders(self, rng):
+        a = Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        SymmetricContrastiveLoss()(a, b).backward()
+        assert a.grad is not None and b.grad is not None

@@ -1,0 +1,102 @@
+"""Tests for the Module / Parameter / state-dict machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential, Tensor
+
+
+class TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, rng=np.random.default_rng(0))
+        self.second = Linear(8, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.ones((1,), dtype=np.float32))
+
+    def forward(self, x):
+        return self.second(self.first(x)) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_are_qualified(self):
+        model = TinyModel()
+        names = [name for name, _ in model.named_parameters()]
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        model = TinyModel()
+        assert model.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2) + 1
+
+    def test_named_modules(self):
+        model = TinyModel()
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "first" in names and "second" in names
+
+    def test_module_list_registers_items(self):
+        container = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(container) == 2
+        assert len(container.parameters()) == 4
+        assert container[0] is list(iter(container))[0]
+
+    def test_module_list_cannot_be_called(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([Linear(2, 2)])(Tensor(np.zeros((1, 2))))
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Linear(2, 2))
+        model.eval()
+        assert all(not layer.training for layer in model)
+        model.train()
+        assert all(layer.training for layer in model)
+
+    def test_zero_grad_clears(self):
+        model = TinyModel()
+        out = model(Tensor(np.random.randn(3, 4).astype(np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model_a = TinyModel()
+        model_b = TinyModel()
+        model_b.load_state_dict(model_a.state_dict())
+        for (_, pa), (_, pb) in zip(model_a.named_parameters(), model_b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] == pytest.approx(1.0)
+
+    def test_missing_key_raises(self):
+        model = TinyModel()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["scale"] = np.zeros((5,))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

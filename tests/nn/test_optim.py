@@ -1,0 +1,129 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, AdamW, Linear, MSELoss, Parameter, Tensor
+from repro.nn.scheduler import CosineAnnealingLR, ReduceLROnPlateau, StepLR
+
+
+def quadratic_loss(parameter: Parameter) -> Tensor:
+    return (parameter * parameter).sum()
+
+
+def run_optimizer_on_quadratic(optimizer_factory, steps: int = 200) -> float:
+    parameter = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+    optimizer = optimizer_factory([parameter])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+    return float(np.abs(parameter.data).max())
+
+
+class TestOptimizers:
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_sgd_minimises_quadratic(self):
+        assert run_optimizer_on_quadratic(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_minimises_quadratic(self):
+        assert run_optimizer_on_quadratic(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_sgd_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_adam_minimises_quadratic(self):
+        assert run_optimizer_on_quadratic(lambda p: Adam(p, lr=0.1)) < 1e-2
+
+    def test_adamw_minimises_quadratic(self):
+        assert run_optimizer_on_quadratic(lambda p: AdamW(p, lr=0.1, weight_decay=0.01)) < 1e-2
+
+    def test_adamw_weight_decay_shrinks_unused_parameter(self):
+        # A parameter with zero gradient should still decay under AdamW.
+        parameter = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = AdamW([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.zeros(1, dtype=np.float32)
+        for _ in range(10):
+            optimizer.step()
+        assert abs(parameter.data[0]) < 1.0
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = Adam([parameter], lr=0.1)
+        optimizer.step()  # no gradient yet: must be a no-op
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+    def test_zero_grad_clears_gradients(self):
+        parameter = Parameter(np.array([1.0], dtype=np.float32))
+        parameter.grad = np.ones(1, dtype=np.float32)
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+    def test_training_a_small_regression_model(self, rng):
+        x = rng.standard_normal((64, 4)).astype(np.float32)
+        true_w = rng.standard_normal((4, 1)).astype(np.float32)
+        y = x @ true_w
+        model = Linear(4, 1, rng=rng)
+        optimizer = AdamW(model.parameters(), lr=0.05)
+        loss_fn = MSELoss()
+        first_loss = None
+        for step in range(150):
+            optimizer.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.01 * first_loss
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_lr_halves(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        for _ in range(4):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.25)
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+
+    def test_cosine_reaches_eta_min(self):
+        optimizer = self._optimizer()
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_cosine_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), t_max=0)
+
+    def test_plateau_reduces_after_patience(self):
+        optimizer = self._optimizer()
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        scheduler.step(metric=1.0)
+        scheduler.step(metric=1.0)
+        scheduler.step(metric=1.0)
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_plateau_keeps_lr_when_improving(self):
+        optimizer = self._optimizer()
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        for metric in (1.0, 0.9, 0.8, 0.7):
+            scheduler.step(metric=metric)
+        assert optimizer.lr == pytest.approx(1.0)

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+_settings = settings(max_examples=30, deadline=None)
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def arrays(max_side: int = 5, min_dims: int = 1, max_dims: int = 3):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestAlgebraicProperties:
+    @_settings
+    @given(arrays())
+    def test_addition_commutative(self, x):
+        a, b = Tensor(x), Tensor(x[::-1].copy())
+        np.testing.assert_allclose((a + b).data, (b + a).data, rtol=1e-5)
+
+    @_settings
+    @given(arrays())
+    def test_double_negation_identity(self, x):
+        np.testing.assert_allclose((-(-Tensor(x))).data, x, rtol=1e-6)
+
+    @_settings
+    @given(arrays())
+    def test_sub_then_add_roundtrip(self, x):
+        a = Tensor(x)
+        b = Tensor(np.ones_like(x))
+        np.testing.assert_allclose(((a - b) + b).data, x, rtol=1e-4, atol=1e-5)
+
+    @_settings
+    @given(arrays())
+    def test_relu_idempotent(self, x):
+        once = F.relu(Tensor(x)).data
+        twice = F.relu(F.relu(Tensor(x))).data
+        np.testing.assert_allclose(once, twice)
+
+    @_settings
+    @given(arrays(min_dims=2, max_dims=2))
+    def test_softmax_rows_are_distributions(self, x):
+        out = F.softmax(Tensor(x), axis=-1).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[0]), rtol=1e-4)
+
+    @_settings
+    @given(arrays(min_dims=2, max_dims=2))
+    def test_reshape_roundtrip_preserves_values(self, x):
+        tensor = Tensor(x)
+        flattened = tensor.reshape(x.size)
+        restored = flattened.reshape(*x.shape)
+        np.testing.assert_allclose(restored.data, x)
+
+    @_settings
+    @given(arrays(min_dims=2, max_dims=3))
+    def test_transpose_involution(self, x):
+        tensor = Tensor(x)
+        axes = tuple(reversed(range(x.ndim)))
+        np.testing.assert_allclose(tensor.transpose(axes).transpose(axes).data, x)
+
+
+class TestGradientProperties:
+    @_settings
+    @given(arrays(max_side=4))
+    def test_sum_gradient_is_all_ones(self, x):
+        tensor = Tensor(x, requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(x))
+
+    @_settings
+    @given(arrays(max_side=4))
+    def test_mean_gradient_is_uniform(self, x):
+        tensor = Tensor(x, requires_grad=True)
+        tensor.mean().backward()
+        np.testing.assert_allclose(tensor.grad, np.full_like(x, 1.0 / x.size), rtol=1e-5)
+
+    @_settings
+    @given(arrays(max_side=4), st.floats(min_value=-3, max_value=3, allow_nan=False, width=32))
+    def test_linear_scaling_gradient(self, x, scale):
+        tensor = Tensor(x, requires_grad=True)
+        (tensor * float(scale)).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.full_like(x, float(scale)), rtol=1e-4, atol=1e-5)
+
+    @_settings
+    @given(arrays(max_side=4, min_dims=2, max_dims=2))
+    def test_gradient_shape_always_matches_input(self, x):
+        tensor = Tensor(x, requires_grad=True)
+        out = (F.gelu(tensor) * 2 + tensor.mean()).sum()
+        out.backward()
+        assert tensor.grad.shape == x.shape
+        assert np.all(np.isfinite(tensor.grad))

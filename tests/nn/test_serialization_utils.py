@@ -1,0 +1,104 @@
+"""Tests for serialization, seeding, gradient clipping and init helpers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    Sequential,
+    Tensor,
+    clip_grad_norm,
+    load_module,
+    load_state,
+    save_module,
+    save_state,
+    seed_everything,
+)
+from repro.nn import init
+
+
+class TestSerialization:
+    def test_state_round_trip(self, tmp_path):
+        path = os.path.join(tmp_path, "weights.npz")
+        state = {"a": np.arange(6.0).reshape(2, 3), "b": np.ones(4)}
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_allclose(loaded["a"], state["a"])
+
+    def test_module_round_trip(self, tmp_path, rng):
+        path = os.path.join(tmp_path, "model.npz")
+        model = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        save_module(model, path)
+        other = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        load_module(other, path)
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(model(x).data, other(x).data, rtol=1e-6)
+
+    def test_save_creates_directories(self, tmp_path):
+        path = os.path.join(tmp_path, "nested", "dir", "weights.npz")
+        save_state({"a": np.zeros(2)}, path)
+        assert os.path.exists(path)
+
+
+class TestSeeding:
+    def test_seed_everything_reproducible(self):
+        rng_a = seed_everything(99)
+        rng_b = seed_everything(99)
+        np.testing.assert_allclose(rng_a.standard_normal(5), rng_b.standard_normal(5))
+
+    def test_different_seeds_differ(self):
+        a = seed_everything(1).standard_normal(5)
+        b = seed_everything(2).standard_normal(5)
+        assert not np.allclose(a, b)
+
+
+class TestClipGradNorm:
+    def test_no_gradients_returns_zero(self, rng):
+        model = Linear(3, 3, rng=rng)
+        assert clip_grad_norm(model, 1.0) == 0.0
+
+    def test_clipping_reduces_norm(self, rng):
+        model = Linear(3, 3, rng=rng)
+        (model(Tensor(rng.standard_normal((10, 3)) * 100)) ** 2).sum().backward()
+        pre_norm = clip_grad_norm(model, 1.0)
+        assert pre_norm > 1.0
+        post_norm = float(
+            np.sqrt(sum(float((p.grad**2).sum()) for p in model.parameters() if p.grad is not None))
+        )
+        assert post_norm == pytest.approx(1.0, rel=1e-4)
+
+    def test_small_gradients_untouched(self, rng):
+        model = Linear(3, 1, rng=rng)
+        (model(Tensor(rng.standard_normal((2, 3)) * 1e-3)).sum()).backward()
+        grads_before = [p.grad.copy() for p in model.parameters()]
+        clip_grad_norm(model, 10.0)
+        for before, parameter in zip(grads_before, model.parameters()):
+            np.testing.assert_allclose(before, parameter.grad)
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self, rng):
+        weights = init.xavier_uniform((64, 32), rng=rng)
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert weights.shape == (64, 32)
+        assert np.all(np.abs(weights) <= bound + 1e-6)
+
+    def test_xavier_normal_scale(self, rng):
+        weights = init.xavier_normal((200, 100), rng=rng)
+        expected_std = np.sqrt(2.0 / 300)
+        assert weights.std() == pytest.approx(expected_std, rel=0.15)
+
+    def test_kaiming_uniform_bounds(self, rng):
+        weights = init.kaiming_uniform((16, 64), rng=rng)
+        bound = np.sqrt(6.0 / 64)
+        assert np.all(np.abs(weights) <= bound + 1e-6)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros_((3, 3)), np.zeros((3, 3)))
+
+    def test_uniform_range(self, rng):
+        weights = init.uniform_((100,), -0.2, 0.3, rng=rng)
+        assert weights.min() >= -0.2 and weights.max() < 0.3

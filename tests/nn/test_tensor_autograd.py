@@ -1,0 +1,133 @@
+"""Tests of the autograd machinery itself (graph behaviour, modes, errors)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import count_macs
+
+
+class TestBackwardBasics:
+    def test_scalar_backward(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 6.0])
+
+    def test_backward_requires_scalar_without_grad_argument(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_gradient_accumulation_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_gradients(self):
+        # y = a*x used twice downstream: gradient must sum both paths.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2
+        z = (y + y * y).sum()
+        z.backward()
+        # dz/dx = 2 + 2*y*2 = 2 + 4*6 = 26
+        np.testing.assert_allclose(x.grad, [26.0])
+
+    def test_reused_tensor_in_multiple_ops(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        out = (x * 3).sum() + (x * 4).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, [7.0, 7.0])
+
+    def test_grad_flows_only_to_requires_grad_parents(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=False)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+        assert b.grad is None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x.detach()
+        assert not y.requires_grad
+        np.testing.assert_allclose(y.data, x.data)
+
+    def test_requires_grad_ignored_inside_no_grad(self):
+        with no_grad():
+            x = Tensor([1.0], requires_grad=True)
+        assert not x.requires_grad
+
+
+class TestMacCounter:
+    def test_counts_matmul_macs(self):
+        a = Tensor(np.zeros((2, 3)))
+        b = Tensor(np.zeros((3, 4)))
+        with count_macs() as counter:
+            a @ b
+        assert counter.total == 2 * 4 * 3
+
+    def test_nested_counters_restore(self):
+        a = Tensor(np.zeros((2, 2)))
+        with count_macs() as outer:
+            a @ a
+            with count_macs() as inner:
+                a @ a
+            a @ a
+        assert inner.total == 8
+        assert outer.total == 16
+
+    def test_counter_inactive_outside_context(self):
+        a = Tensor(np.zeros((2, 2)))
+        with count_macs() as counter:
+            pass
+        a @ a
+        assert counter.total == 0
+
+
+class TestItemAndRepr:
+    def test_item_on_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_numpy_returns_underlying(self):
+        x = Tensor([1.0, 2.0])
+        assert x.numpy() is x.data
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))

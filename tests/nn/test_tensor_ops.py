@@ -1,0 +1,287 @@
+"""Unit tests for Tensor arithmetic, reductions and shape manipulation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, concatenate, stack
+from repro.nn.gradcheck import check_gradients
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 5.0
+        np.testing.assert_allclose(out.data, [6.0, 7.0])
+
+    def test_radd(self):
+        out = 5.0 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [6.0, 7.0])
+
+    def test_sub(self):
+        out = Tensor([5.0, 7.0]) - Tensor([2.0, 3.0])
+        np.testing.assert_allclose(out.data, [3.0, 4.0])
+
+    def test_rsub(self):
+        out = 10.0 - Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [9.0, 8.0])
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        np.testing.assert_allclose(out.data, [8.0, 15.0])
+
+    def test_div(self):
+        out = Tensor([8.0, 9.0]) / Tensor([2.0, 3.0])
+        np.testing.assert_allclose(out.data, [4.0, 3.0])
+
+    def test_rdiv(self):
+        out = 12.0 / Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 3.0])
+
+    def test_neg(self):
+        out = -Tensor([1.0, -2.0])
+        np.testing.assert_allclose(out.data, [-1.0, 2.0])
+
+    def test_pow(self):
+        out = Tensor([2.0, 3.0]) ** 2
+        np.testing.assert_allclose(out.data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])  # type: ignore[operator]
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_batched_matmul(self, rng):
+        a = Tensor(rng.standard_normal((4, 2, 3)))
+        b = Tensor(rng.standard_normal((4, 3, 5)))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data, rtol=1e-5)
+
+    def test_broadcast_add(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose((a + b).data, [[2, 3, 4], [2, 3, 4]])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor([[1.0, 2.0], [3.0, 4.0]]).sum().item() == pytest.approx(10.0)
+
+    def test_sum_axis(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).sum(axis=0)
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_sum_keepdims(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean(self):
+        assert Tensor([1.0, 2.0, 3.0]).mean().item() == pytest.approx(2.0)
+
+    def test_mean_axis(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).mean(axis=1)
+        np.testing.assert_allclose(out.data, [1.5, 3.5])
+
+    def test_var_matches_numpy(self, rng):
+        x = rng.standard_normal((5, 7))
+        out = Tensor(x).var(axis=1)
+        np.testing.assert_allclose(out.data, x.var(axis=1), rtol=1e-5, atol=1e-6)
+
+    def test_std_matches_numpy(self, rng):
+        x = rng.standard_normal((5, 7))
+        out = Tensor(x).std(axis=0, eps=0.0)
+        np.testing.assert_allclose(out.data, x.std(axis=0), rtol=1e-4, atol=1e-5)
+
+    def test_max(self):
+        out = Tensor([[1.0, 5.0], [3.0, 2.0]]).max(axis=1)
+        np.testing.assert_allclose(out.data, [5.0, 3.0])
+
+
+class TestElementWise:
+    def test_exp_log_roundtrip(self, rng):
+        x = np.abs(rng.standard_normal((3, 3))) + 0.1
+        out = Tensor(x).log().exp()
+        np.testing.assert_allclose(out.data, x, rtol=1e-5)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_abs(self):
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).abs().data, [1.0, 2.0])
+
+    def test_tanh_bounds(self, rng):
+        out = Tensor(rng.standard_normal(100) * 10).tanh()
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_sigmoid_bounds(self, rng):
+        out = Tensor(rng.standard_normal(100) * 10).sigmoid()
+        assert np.all((out.data >= 0) & (out.data <= 1))
+
+    def test_relu(self):
+        np.testing.assert_allclose(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_clip(self):
+        out = Tensor([-2.0, 0.5, 3.0]).clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+
+class TestShapes:
+    def test_reshape(self):
+        out = Tensor(np.arange(6.0)).reshape(2, 3)
+        assert out.shape == (2, 3)
+
+    def test_reshape_tuple(self):
+        out = Tensor(np.arange(6.0)).reshape((3, 2))
+        assert out.shape == (3, 2)
+
+    def test_transpose_default(self):
+        out = Tensor(np.zeros((2, 3, 4))).transpose()
+        assert out.shape == (4, 3, 2)
+
+    def test_transpose_axes(self):
+        out = Tensor(np.zeros((2, 3, 4))).transpose(0, 2, 1)
+        assert out.shape == (2, 4, 3)
+
+    def test_swapaxes(self):
+        out = Tensor(np.zeros((2, 3, 4))).swapaxes(-1, -2)
+        assert out.shape == (2, 4, 3)
+
+    def test_unsqueeze_squeeze(self):
+        x = Tensor(np.zeros((2, 3)))
+        assert x.unsqueeze(1).shape == (2, 1, 3)
+        assert x.unsqueeze(1).squeeze(1).shape == (2, 3)
+
+    def test_broadcast_to(self):
+        out = Tensor(np.ones((1, 3))).broadcast_to((4, 3))
+        assert out.shape == (4, 3)
+
+    def test_repeat(self):
+        out = Tensor(np.array([[1.0, 2.0]])).repeat(3, axis=0)
+        assert out.shape == (3, 2)
+        np.testing.assert_allclose(out.data[2], [1.0, 2.0])
+
+    def test_getitem(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4))
+        np.testing.assert_allclose(x[1].data, [4, 5, 6, 7])
+        np.testing.assert_allclose(x[:, 2].data, [2, 6, 10])
+
+    def test_concatenate(self):
+        out = concatenate([Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_stack(self):
+        out = stack([Tensor(np.ones(3)), Tensor(np.zeros(3))], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_len_and_size(self):
+        x = Tensor(np.zeros((5, 2)))
+        assert len(x) == 5
+        assert x.size == 10
+        assert x.ndim == 2
+
+
+class TestGradientsOfOps:
+    """Each primitive's gradient is verified against finite differences."""
+
+    def test_add_grad(self, rng):
+        check_gradients(lambda t: (t[0] + t[1]).sum(), [rng.standard_normal((3, 2)), rng.standard_normal((3, 2))])
+
+    def test_broadcast_add_grad(self, rng):
+        check_gradients(lambda t: (t[0] + t[1]).sum(), [rng.standard_normal((3, 2)), rng.standard_normal((2,))])
+
+    def test_mul_grad(self, rng):
+        check_gradients(lambda t: (t[0] * t[1]).sum(), [rng.standard_normal((4,)), rng.standard_normal((4,))])
+
+    def test_div_grad(self, rng):
+        check_gradients(
+            lambda t: (t[0] / t[1]).sum(),
+            [rng.standard_normal((3,)), np.abs(rng.standard_normal((3,))) + 1.0],
+        )
+
+    def test_matmul_grad(self, rng):
+        check_gradients(lambda t: (t[0] @ t[1]).sum(), [rng.standard_normal((3, 4)), rng.standard_normal((4, 2))])
+
+    def test_batched_matmul_grad(self, rng):
+        check_gradients(
+            lambda t: (t[0] @ t[1]).sum(),
+            [rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 4, 2))],
+        )
+
+    def test_pow_grad(self, rng):
+        check_gradients(lambda t: (t[0] ** 3).sum(), [rng.standard_normal((5,))])
+
+    def test_exp_grad(self, rng):
+        check_gradients(lambda t: t[0].exp().sum(), [rng.standard_normal((4,))])
+
+    def test_log_grad(self, rng):
+        check_gradients(lambda t: t[0].log().sum(), [np.abs(rng.standard_normal((4,))) + 0.5])
+
+    def test_sqrt_grad(self, rng):
+        check_gradients(lambda t: t[0].sqrt().sum(), [np.abs(rng.standard_normal((4,))) + 0.5])
+
+    def test_tanh_grad(self, rng):
+        check_gradients(lambda t: t[0].tanh().sum(), [rng.standard_normal((4,))])
+
+    def test_sigmoid_grad(self, rng):
+        check_gradients(lambda t: t[0].sigmoid().sum(), [rng.standard_normal((4,))])
+
+    def test_abs_grad(self, rng):
+        check_gradients(lambda t: t[0].abs().sum(), [rng.standard_normal((6,)) + 3.0])
+
+    def test_mean_grad(self, rng):
+        check_gradients(lambda t: t[0].mean(), [rng.standard_normal((3, 4))])
+
+    def test_sum_axis_grad(self, rng):
+        check_gradients(lambda t: (t[0].sum(axis=1) ** 2).sum(), [rng.standard_normal((3, 4))])
+
+    def test_var_grad(self, rng):
+        check_gradients(lambda t: t[0].var(axis=1).sum(), [rng.standard_normal((3, 4))])
+
+    def test_max_grad(self, rng):
+        x = rng.standard_normal((3, 4))
+        check_gradients(lambda t: t[0].max(axis=1).sum(), [x])
+
+    def test_reshape_transpose_grad(self, rng):
+        check_gradients(
+            lambda t: (t[0].reshape(2, 6).transpose(1, 0) ** 2).sum(), [rng.standard_normal((3, 4))]
+        )
+
+    def test_getitem_grad(self, rng):
+        check_gradients(lambda t: (t[0][1:, :2] ** 2).sum(), [rng.standard_normal((3, 4))])
+
+    def test_concatenate_grad(self, rng):
+        check_gradients(
+            lambda t: (concatenate([t[0], t[1]], axis=1) ** 2).sum(),
+            [rng.standard_normal((2, 3)), rng.standard_normal((2, 2))],
+        )
+
+    def test_stack_grad(self, rng):
+        check_gradients(
+            lambda t: (stack([t[0], t[1]], axis=0) ** 2).sum(),
+            [rng.standard_normal((3,)), rng.standard_normal((3,))],
+        )
+
+    def test_repeat_grad(self, rng):
+        check_gradients(lambda t: (t[0].repeat(3, axis=0) ** 2).sum(), [rng.standard_normal((2, 3))])
+
+    def test_broadcast_to_grad(self, rng):
+        check_gradients(
+            lambda t: (t[0].broadcast_to((4, 3)) ** 2).sum(), [rng.standard_normal((1, 3))]
+        )
+
+    def test_clip_grad(self, rng):
+        check_gradients(lambda t: t[0].clip(-0.5, 0.5).sum(), [rng.standard_normal((5,)) * 2])
+
+
+class TestAsTensor:
+    def test_as_tensor_passthrough(self):
+        x = Tensor([1.0])
+        assert as_tensor(x) is x
+
+    def test_as_tensor_from_list(self):
+        assert as_tensor([1.0, 2.0]).shape == (2,)

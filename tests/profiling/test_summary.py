@@ -1,0 +1,45 @@
+"""Tests for model summaries and model cards."""
+
+import pytest
+
+from repro.baselines import DLinear
+from repro.core import LiPFormer
+from repro.profiling import model_card, model_summary
+
+
+class TestModelSummary:
+    def test_contains_top_level_modules(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        text = model_summary(model, max_depth=1)
+        assert "base_predictor" in text
+        assert "covariate_encoder" in text
+        assert "total" in text
+        assert f"{model.num_parameters():,}" in text
+
+    def test_depth_controls_detail(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        shallow = model_summary(model, max_depth=1)
+        deep = model_summary(model, max_depth=3)
+        assert len(deep.splitlines()) > len(shallow.splitlines())
+
+    def test_invalid_depth(self, small_config, rng):
+        with pytest.raises(ValueError):
+            model_summary(LiPFormer(small_config, rng=rng), max_depth=0)
+
+
+class TestModelCard:
+    def test_card_fields(self, small_config, rng):
+        model = LiPFormer(small_config, rng=rng)
+        card = model_card(model, name="LiPFormer-test", batch_size=4)
+        assert card.name == "LiPFormer-test"
+        assert card.parameters == model.num_parameters()
+        assert card.macs > 0
+        assert card.horizon == small_config.horizon
+        assert sum(card.breakdown.values()) == card.parameters
+
+    def test_card_to_text(self, no_covariate_config, rng):
+        card = model_card(DLinear(no_covariate_config, rng=rng), batch_size=4)
+        text = card.to_text()
+        assert "parameters" in text
+        assert "MACs" in text
+        assert "%" in text

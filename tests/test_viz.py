@@ -1,0 +1,113 @@
+"""Tests for the dependency-free visualisation helpers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_heatmap, forecast_plot, loss_curve, normalise_matrix, save_pgm, sparkline
+
+
+class TestNormaliseMatrix:
+    def test_range(self, rng):
+        out = normalise_matrix(rng.standard_normal((5, 5)) * 10)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_matrix(self):
+        out = normalise_matrix(np.full((3, 3), 7.0))
+        np.testing.assert_allclose(out, 0.5)
+
+
+class TestAsciiHeatmap:
+    def test_shape_of_output(self, rng):
+        text = ascii_heatmap(rng.standard_normal((6, 8)))
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert all(len(line) == 8 for line in lines)
+
+    def test_title_prepended(self, rng):
+        text = ascii_heatmap(rng.standard_normal((3, 3)), title="logits")
+        assert text.splitlines()[0] == "logits"
+
+    def test_diagonal_structure_visible(self):
+        matrix = np.eye(10) * 10.0
+        text = ascii_heatmap(matrix)
+        lines = text.splitlines()
+        # Diagonal cells use the densest character, off-diagonal the lightest.
+        assert lines[0][0] == "@" and lines[5][5] == "@"
+        assert lines[0][5] == " "
+
+    def test_downsampling_large_matrix(self, rng):
+        text = ascii_heatmap(rng.standard_normal((200, 200)), max_size=20)
+        lines = text.splitlines()
+        assert len(lines) <= 20
+        assert all(len(line) <= 20 for line in lines)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            ascii_heatmap(rng.standard_normal(5))
+
+    def test_rejects_tiny_max_size(self, rng):
+        with pytest.raises(ValueError):
+            ascii_heatmap(rng.standard_normal((3, 3)), max_size=1)
+
+
+class TestPgm:
+    def test_writes_valid_header_and_size(self, rng, tmp_path):
+        path = os.path.join(tmp_path, "out", "matrix.pgm")
+        matrix = rng.standard_normal((12, 17))
+        save_pgm(matrix, path)
+        with open(path, "rb") as handle:
+            content = handle.read()
+        assert content.startswith(b"P5\n17 12\n255\n")
+        assert len(content) == len(b"P5\n17 12\n255\n") + 12 * 17
+
+    def test_invert(self, tmp_path, rng):
+        matrix = np.array([[0.0, 1.0]])
+        plain_path = os.path.join(tmp_path, "plain.pgm")
+        inverted_path = os.path.join(tmp_path, "inverted.pgm")
+        save_pgm(matrix, plain_path)
+        save_pgm(matrix, inverted_path, invert=True)
+        assert open(plain_path, "rb").read()[-2:] == bytes([0, 255])
+        assert open(inverted_path, "rb").read()[-2:] == bytes([255, 0])
+
+    def test_rejects_non_2d(self, rng, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(rng.standard_normal(4), os.path.join(tmp_path, "bad.pgm"))
+
+
+class TestSparklines:
+    def test_sparkline_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_constant(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_sparkline_monotone(self):
+        line = sparkline(list(range(8)))
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_forecast_plot_lines(self, rng):
+        text = forecast_plot(
+            rng.standard_normal((24, 3)), rng.standard_normal((12, 3)), rng.standard_normal((12, 3))
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("history")
+        assert lines[2].startswith("actual")
+
+    def test_forecast_plot_without_actual(self, rng):
+        text = forecast_plot(rng.standard_normal(24), rng.standard_normal(12))
+        assert len(text.splitlines()) == 2
+
+    def test_loss_curve(self):
+        text = loss_curve([1.0, 0.5, 0.25], label="train")
+        assert text.startswith("train:")
+        assert "first=1.0000" in text and "last=0.2500" in text
+
+    def test_loss_curve_empty(self):
+        assert "(no data)" in loss_curve([])

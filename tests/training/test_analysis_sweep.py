@@ -1,0 +1,122 @@
+"""Tests for result analysis utilities and the hyper-parameter grid search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DLinear
+from repro.config import ModelConfig, TrainingConfig
+from repro.training import (
+    ResultsTable,
+    average_improvement,
+    grid_search,
+    pairwise_comparison,
+    per_step_errors,
+    rank_models,
+    win_counts,
+)
+
+
+def _table():
+    """Two datasets x two models, model B better on D1, model A on D2."""
+    table = ResultsTable()
+    table.add_row(model="A", dataset="D1", horizon=24, mse=0.5)
+    table.add_row(model="B", dataset="D1", horizon=24, mse=0.4)
+    table.add_row(model="A", dataset="D2", horizon=24, mse=0.2)
+    table.add_row(model="B", dataset="D2", horizon=24, mse=0.3)
+    return table
+
+
+class TestPerStepErrors:
+    def test_shapes_and_values(self, rng):
+        prediction = rng.standard_normal((10, 6, 3))
+        target = prediction.copy()
+        target[:, -1, :] += 1.0  # error concentrated at the last step
+        profile = per_step_errors(prediction, target)
+        assert profile["mse"].shape == (6,)
+        assert profile["mae"].shape == (6,)
+        assert profile["mse"][-1] == pytest.approx(1.0)
+        np.testing.assert_allclose(profile["mse"][:-1], np.zeros(5), atol=1e-12)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            per_step_errors(rng.standard_normal((4, 6, 2)), rng.standard_normal((4, 5, 2)))
+        with pytest.raises(ValueError):
+            per_step_errors(rng.standard_normal((4, 6)), rng.standard_normal((4, 6)))
+
+
+class TestTableAnalysis:
+    def test_win_counts(self):
+        counts = win_counts(_table(), top_k=2)
+        assert counts["A"] == [1, 1]
+        assert counts["B"] == [1, 1]
+
+    def test_win_counts_validation(self):
+        with pytest.raises(ValueError):
+            win_counts(_table(), top_k=0)
+
+    def test_average_improvement_sign(self):
+        # B improves on D1 by 20% but is worse on D2 by 50% -> average -15%.
+        value = average_improvement(_table(), baseline="A", candidate="B")
+        assert value == pytest.approx((20.0 - 50.0) / 2)
+
+    def test_average_improvement_requires_overlap(self):
+        table = ResultsTable()
+        table.add_row(model="A", dataset="D1", horizon=24, mse=0.5)
+        with pytest.raises(ValueError):
+            average_improvement(table, baseline="A", candidate="B")
+
+    def test_rank_models(self):
+        ranks = rank_models(_table())
+        assert ranks["A"] == pytest.approx(1.5)
+        assert ranks["B"] == pytest.approx(1.5)
+
+    def test_pairwise_comparison(self):
+        comparison = pairwise_comparison(_table(), baseline="A", candidate="B")
+        assert comparison.n_cells == 2
+        assert comparison.candidate_wins == 1
+        assert comparison.baseline_wins == 1
+        assert comparison.win_rate == pytest.approx(0.5)
+        assert comparison.mean_difference == pytest.approx((0.1 - 0.1) / 2, abs=1e-9)
+
+
+class TestGridSearch:
+    def test_grid_search_finds_best_combination(self, etth1_smoke_data):
+        base_config = ModelConfig(
+            input_length=etth1_smoke_data.input_length,
+            horizon=etth1_smoke_data.horizon,
+            n_channels=etth1_smoke_data.n_channels,
+            patch_length=12,
+            hidden_dim=8,
+            dropout=0.0,
+        )
+        sweep = grid_search(
+            model_factory=lambda config: DLinear(config),
+            data=etth1_smoke_data,
+            base_model_config=base_config,
+            model_grid={"hidden_dim": [8, 16]},
+            training_grid={"learning_rate": [1e-3, 5e-3]},
+            base_training_config=TrainingConfig(epochs=1, batch_size=64),
+        )
+        assert len(sweep) == 4
+        assert len(sweep.table) == 4
+        assert sweep.best_result is not None
+        assert set(sweep.best_overrides) == {"hidden_dim", "learning_rate"}
+        best_mse = min(result.mse for result in sweep.results)
+        assert sweep.best_result.mse == pytest.approx(best_mse)
+
+    def test_grid_search_metric_validation(self, etth1_smoke_data):
+        base_config = ModelConfig(
+            input_length=etth1_smoke_data.input_length,
+            horizon=etth1_smoke_data.horizon,
+            n_channels=etth1_smoke_data.n_channels,
+            patch_length=12,
+            hidden_dim=8,
+            dropout=0.0,
+        )
+        with pytest.raises(ValueError):
+            grid_search(
+                model_factory=lambda config: DLinear(config),
+                data=etth1_smoke_data,
+                base_model_config=base_config,
+                metric="rmse",
+            )

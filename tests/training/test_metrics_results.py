@@ -1,0 +1,118 @@
+"""Tests for forecast metrics, early stopping and the results table."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.training import EarlyStopping, ResultsTable, evaluate_forecast, mae, mape, mse, rmse
+
+
+class TestMetrics:
+    def test_mse_known_value(self):
+        assert mse(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+    def test_mae_known_value(self):
+        assert mae(np.array([1.0, -2.0]), np.array([0.0, 0.0])) == pytest.approx(1.5)
+
+    def test_rmse_is_sqrt_of_mse(self, rng):
+        prediction, target = rng.standard_normal(50), rng.standard_normal(50)
+        assert rmse(prediction, target) == pytest.approx(np.sqrt(mse(prediction, target)))
+
+    def test_mape(self):
+        assert mape(np.array([110.0]), np.array([100.0])) == pytest.approx(0.1, rel=1e-3)
+
+    def test_perfect_prediction(self, rng):
+        x = rng.standard_normal((4, 5))
+        assert mse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_evaluate_forecast_keys(self, rng):
+        metrics = evaluate_forecast(rng.standard_normal((2, 3)), rng.standard_normal((2, 3)))
+        assert set(metrics) == {"mse", "mae", "rmse"}
+
+    def test_metrics_are_scale_sensitive(self, rng):
+        target = rng.standard_normal(100)
+        close = target + 0.01
+        far = target + 1.0
+        assert mse(close, target) < mse(far, target)
+        assert mae(close, target) < mae(far, target)
+
+
+class TestEarlyStopping:
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=1)
+        assert stopper.update(1.0)
+        assert not stopper.update(1.5)
+        assert stopper.update(0.5)
+        assert not stopper.should_stop
+
+    def test_stops_after_patience_exceeded(self):
+        stopper = EarlyStopping(patience=1)
+        stopper.update(1.0)
+        stopper.update(1.1)
+        stopper.update(1.2)
+        assert stopper.should_stop
+
+    def test_best_state_is_kept(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, state={"w": np.ones(1)})
+        stopper.update(2.0, state={"w": np.zeros(1)})
+        np.testing.assert_allclose(stopper.best_state["w"], np.ones(1))
+        assert stopper.best_score == 1.0
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=-1)
+
+
+class TestResultsTable:
+    def _table(self):
+        table = ResultsTable(title="demo")
+        table.add_row(model="A", dataset="D1", mse=0.5, mae=0.4)
+        table.add_row(model="B", dataset="D1", mse=0.3, mae=0.35)
+        table.add_row(model="A", dataset="D2", mse=0.2, mae=0.3)
+        return table
+
+    def test_columns_in_first_seen_order(self):
+        assert self._table().columns() == ["model", "dataset", "mse", "mae"]
+
+    def test_filter(self):
+        filtered = self._table().filter(model="A")
+        assert len(filtered) == 2
+        assert all(row["model"] == "A" for row in filtered.rows)
+
+    def test_column_accessor(self):
+        assert self._table().column("mse") == [0.5, 0.3, 0.2]
+
+    def test_best_by_groups(self):
+        best = self._table().best_by("mse", group_keys=("dataset",))
+        assert best[("D1",)]["model"] == "B"
+        assert best[("D2",)]["model"] == "A"
+
+    def test_to_text_contains_all_cells(self):
+        text = self._table().to_text()
+        assert "demo" in text and "0.5000" in text and "D2" in text
+
+    def test_to_text_empty(self):
+        assert "(empty)" in ResultsTable(title="empty").to_text()
+
+    def test_csv_round_trip(self, tmp_path):
+        path = os.path.join(tmp_path, "out", "table.csv")
+        self._table().save_csv(path)
+        with open(path) as handle:
+            content = handle.read()
+        assert content.startswith("model,dataset,mse,mae")
+        assert content.count("\n") >= 4
+
+    def test_json_round_trip(self, tmp_path):
+        path = os.path.join(tmp_path, "table.json")
+        table = self._table()
+        table.save_json(path)
+        loaded = ResultsTable.load_json(path)
+        assert loaded.title == table.title
+        assert loaded.rows == table.rows
