@@ -7,6 +7,17 @@ Run with::
 The script prepares a small ETTh1-like dataset, trains LiPFormer for a few
 epochs on the CPU, reports test MSE/MAE against a DLinear baseline and the
 naive last-value forecast, and prints a sample forecast.
+
+Serving
+-------
+Training produces a model; serving it is a separate concern handled by
+``repro.serving``.  Wrap any trained :class:`~repro.core.base.ForecastModel`
+in a :class:`~repro.serving.ForecastService` to get a request-level API —
+``service.submit(history, covariates)`` returns a ``Forecast`` handle, and
+pending requests are coalesced into a single padded batched forward pass
+under ``no_grad``.  A :class:`~repro.serving.ModelRegistry` LRU-caches the
+models for several scenarios (datasets / horizons) in one process.  See
+``examples/serving_quickstart.py`` for the end-to-end serving tour.
 """
 
 from __future__ import annotations

@@ -11,6 +11,7 @@ API groups into:
 * ``repro.baselines``   — DLinear, PatchTST, TiDE, iTransformer, TimeMixer,
                           FGNN, Transformer/Informer/Autoformer
 * ``repro.training``    — trainers, metrics, experiment runner
+* ``repro.serving``     — micro-batched inference service + model registry
 * ``repro.profiling``   — parameters, MACs, timing, edge emulation
 * ``repro.experiments`` — drivers regenerating every paper table / figure
 """
@@ -19,6 +20,7 @@ from .config import ModelConfig, TrainingConfig
 from .core import LiPFormer
 from .baselines import available_models, create_model
 from .data import load_dataset, prepare_forecasting_data
+from .serving import ForecastService, ModelRegistry
 from .training import Trainer, run_experiment
 
 __version__ = "1.0.0"
@@ -31,6 +33,8 @@ __all__ = [
     "create_model",
     "load_dataset",
     "prepare_forecasting_data",
+    "ForecastService",
+    "ModelRegistry",
     "Trainer",
     "run_experiment",
     "__version__",

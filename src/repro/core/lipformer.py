@@ -87,7 +87,14 @@ class LiPFormer(ForecastModel):
         return DualEncoder(self.covariate_encoder, target_encoder)
 
     def freeze_covariate_encoder(self) -> None:
-        """Freeze the Covariate Encoder (called after pre-training)."""
+        """Freeze the Covariate Encoder (called after pre-training).
+
+        Freeze ordering: this only changes what :meth:`optimizer_parameters`
+        returns.  ``Trainer`` re-resolves that list at ``fit()`` time, so the
+        freeze takes effect even when the trainer (and its AdamW) was built
+        before this call — the standard two-stage flow of
+        ``pretrain_covariate_encoder`` followed by ``Trainer.fit``.
+        """
         self._covariate_encoder_frozen = True
 
     @property

@@ -65,6 +65,9 @@ class CovariateEnrichedModel(ForecastModel):
         return DualEncoder(self.covariate_encoder, target_encoder)
 
     def freeze_covariate_encoder(self) -> None:
+        """Freeze the transplanted encoder; ``Trainer.fit`` re-resolves
+        :meth:`optimizer_parameters`, so calling this after trainer
+        construction still excludes the encoder from optimisation."""
         self._covariate_encoder_frozen = True
 
     @property

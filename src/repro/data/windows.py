@@ -6,10 +6,26 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .containers import MultivariateTimeSeries
 
 __all__ = ["WindowSample", "SlidingWindowDataset"]
+
+
+def _gather_windows(array: np.ndarray, starts: np.ndarray, length: int) -> np.ndarray:
+    """Gather ``[len(starts), length, channels]`` windows from ``[T, channels]``.
+
+    Built on :func:`numpy.lib.stride_tricks.sliding_window_view`: the view is
+    zero-copy, and the fancy index over window starts materialises only the
+    requested windows in one vectorised gather (no per-sample Python loop).
+    """
+    view = sliding_window_view(array, length, axis=0)      # [T-length+1, C, length]
+    # Transpose the (zero-copy) view before the fancy index: advanced
+    # indexing then writes the [n, length, C] result C-contiguously in a
+    # single gather, instead of copying [n, C, length] and copying again to
+    # make the transpose contiguous.
+    return view.transpose(0, 2, 1)[starts]
 
 
 @dataclass
@@ -82,8 +98,49 @@ class SlidingWindowDataset:
             future_categorical=future_categorical,
         )
 
+    def _window_starts(self, indices: Optional[np.ndarray]) -> np.ndarray:
+        """Validate window indices and map them to series start offsets."""
+        n = len(self)
+        if indices is None:
+            return np.arange(n, dtype=np.int64) * self.stride
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        idx = np.where(idx < 0, idx + n, idx)
+        out_of_range = (idx < 0) | (idx >= n)
+        if out_of_range.any():
+            bad = int(np.asarray(indices).reshape(-1)[int(np.argmax(out_of_range))])
+            raise IndexError(f"window index {bad} out of range [0, {n})")
+        return idx * self.stride
+
     def as_arrays(self, indices: Optional[np.ndarray] = None) -> Dict[str, Optional[np.ndarray]]:
-        """Materialise windows (all, or the given indices) as stacked arrays."""
+        """Materialise windows (all, or the given indices) as stacked arrays.
+
+        This is the data hot path — every ``DataLoader`` batch and the
+        serving backfill mode go through it — so windows are gathered with a
+        vectorised ``sliding_window_view`` fast path rather than a per-sample
+        Python loop.  The output is bit-identical to indexing each
+        :class:`WindowSample` and stacking (see ``_as_arrays_loop``).
+        """
+        starts = self._window_starts(indices)
+        splits = starts + self.input_length
+        values = self.series.values
+        batch: Dict[str, Optional[np.ndarray]] = {
+            "x": _gather_windows(values, starts, self.input_length),
+            "y": _gather_windows(values, splits, self.horizon),
+            "future_numerical": None,
+            "future_categorical": None,
+        }
+        covariates = self.series.covariates
+        if covariates is not None:
+            batch["future_numerical"] = _gather_windows(covariates.numerical, splits, self.horizon)
+            batch["future_categorical"] = _gather_windows(covariates.categorical, splits, self.horizon)
+        return batch
+
+    def _as_arrays_loop(self, indices: Optional[np.ndarray] = None) -> Dict[str, Optional[np.ndarray]]:
+        """Reference per-sample implementation of :meth:`as_arrays`.
+
+        Kept for regression tests and the serving-throughput benchmark,
+        which assert the vectorised fast path matches it exactly.
+        """
         if indices is None:
             indices = np.arange(len(self))
         samples = [self[int(i)] for i in indices]

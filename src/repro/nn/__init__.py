@@ -8,6 +8,7 @@ without external deep-learning dependencies.
 
 from . import functional
 from .attention import MultiHeadSelfAttention, ResidualSelfAttention, SelfAttention
+from .functional import default_generator, manual_seed
 from .gradcheck import check_gradients, numerical_gradient
 from .layers import (
     GELU,
@@ -96,6 +97,8 @@ __all__ = [
     "load_state",
     "save_module",
     "load_module",
+    "manual_seed",
+    "default_generator",
     "seed_everything",
     "count_parameters",
     "clip_grad_norm",

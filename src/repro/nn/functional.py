@@ -20,6 +20,8 @@ __all__ = [
     "softmax",
     "log_softmax",
     "dropout",
+    "manual_seed",
+    "default_generator",
     "linear",
     "layer_norm",
     "scaled_dot_product_attention",
@@ -27,6 +29,28 @@ __all__ = [
     "concatenate",
     "stack",
 ]
+
+# Shared fallback generator for stochastic ops (dropout) that are called
+# without an explicit ``rng``.  A module-level generator — reseedable via
+# :func:`manual_seed` — makes two identically-seeded training runs produce
+# identical losses even when callers never thread a generator through.
+_generator: np.random.Generator = np.random.default_rng()
+
+
+def manual_seed(seed: int) -> None:
+    """Reseed the shared fallback generator used by stochastic ops.
+
+    Mirrors ``torch.manual_seed``: after calling this, any stochastic
+    function invoked without an explicit ``rng`` draws from a generator
+    seeded with ``seed``, so runs are reproducible end to end.
+    """
+    global _generator
+    _generator = np.random.default_rng(seed)
+
+
+def default_generator() -> np.random.Generator:
+    """The shared generator used when no explicit ``rng`` is supplied."""
+    return _generator
 
 
 def relu(x: Tensor) -> Tensor:
@@ -72,12 +96,17 @@ def dropout(
     training: bool,
     rng: Optional[np.random.Generator] = None,
 ) -> Tensor:
-    """Inverted dropout: zero entries with probability ``p`` during training."""
+    """Inverted dropout: zero entries with probability ``p`` during training.
+
+    When ``rng`` is ``None`` the mask is drawn from the module-level
+    generator (see :func:`manual_seed`) rather than a fresh unseeded
+    ``np.random.default_rng()`` per call, so seeded runs are reproducible.
+    """
     if not training or p <= 0.0:
         return x
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else _generator
     mask = (generator.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
     return x * Tensor(mask)
 

@@ -49,14 +49,19 @@ class Linear(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout layer."""
+    """Inverted dropout layer.
+
+    Without an explicit ``rng`` the layer defers to the seedable module-level
+    generator in :mod:`repro.nn.functional` (see ``manual_seed``) instead of
+    owning a private unseeded generator, so seeded runs stay reproducible.
+    """
 
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.training, rng=self._rng)

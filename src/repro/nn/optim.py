@@ -27,6 +27,23 @@ class Optimizer:
         for param in self.parameters:
             param.zero_grad()
 
+    def set_parameters(self, parameters: Iterable[Parameter]) -> None:
+        """Replace the managed parameter list.
+
+        Per-parameter state (momentum / Adam moments) is kept for parameters
+        that remain and dropped for parameters that are removed.  Used by the
+        trainer to honour parameter freezes that happen after the optimizer
+        was constructed (e.g. ``freeze_covariate_encoder`` post-pretraining).
+        """
+        params = list(parameters)
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.parameters = params
+        self._prune_state({id(param) for param in params})
+
+    def _prune_state(self, keep_ids: set) -> None:
+        """Drop per-parameter state for parameters no longer managed."""
+
     def step(self) -> None:
         raise NotImplementedError
 
@@ -40,6 +57,9 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity: Dict[int, np.ndarray] = {}
+
+    def _prune_state(self, keep_ids: set) -> None:
+        self._velocity = {k: v for k, v in self._velocity.items() if k in keep_ids}
 
     def step(self) -> None:
         for param in self.parameters:
@@ -72,6 +92,10 @@ class Adam(Optimizer):
         self._step = 0
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+
+    def _prune_state(self, keep_ids: set) -> None:
+        self._m = {k: v for k, v in self._m.items() if k in keep_ids}
+        self._v = {k: v for k, v in self._v.items() if k in keep_ids}
 
     def step(self) -> None:
         self._step += 1

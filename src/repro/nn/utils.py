@@ -7,15 +7,17 @@ from typing import Optional
 
 import numpy as np
 
+from .functional import manual_seed
 from .module import Module
 
 __all__ = ["seed_everything", "count_parameters", "clip_grad_norm"]
 
 
 def seed_everything(seed: int) -> np.random.Generator:
-    """Seed Python and NumPy RNGs; return a fresh ``Generator`` for reuse."""
+    """Seed Python, NumPy and the shared stochastic-op RNGs; return a fresh ``Generator``."""
     random.seed(seed)
     np.random.seed(seed % (2**32))
+    manual_seed(seed)
     return np.random.default_rng(seed)
 
 

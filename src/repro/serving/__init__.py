@@ -1,0 +1,34 @@
+"""``repro.serving`` — batched inference serving.
+
+The serving subsystem turns the repo's train-time models into a
+request-level inference stack:
+
+* :class:`ForecastService` — ``submit(history, covariates) -> Forecast``
+  with a micro-batching queue that coalesces pending requests into single
+  padded forward passes under ``no_grad``;
+* :class:`ModelRegistry` — an LRU cache of live models keyed on
+  ``(model_name, config_hash)``, spilling evicted weights through
+  :mod:`repro.nn.serialization` so multiple scenarios share one process;
+* batching helpers (:func:`pad_history`, :func:`coalesce`) and stats
+  objects for observing cache and batching behaviour.
+
+See ``examples/serving_quickstart.py`` for an end-to-end tour and
+``benchmarks/test_serving_throughput.py`` for the measured batched-vs-
+sequential speedup.
+"""
+
+from .batching import Forecast, ForecastRequest, coalesce, pad_history
+from .registry import ModelRegistry, RegistryStats, config_hash
+from .service import ForecastService, ServiceStats
+
+__all__ = [
+    "Forecast",
+    "ForecastRequest",
+    "pad_history",
+    "coalesce",
+    "ModelRegistry",
+    "RegistryStats",
+    "config_hash",
+    "ForecastService",
+    "ServiceStats",
+]

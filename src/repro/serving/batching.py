@@ -1,0 +1,149 @@
+"""Request handles and micro-batch coalescing for the serving layer.
+
+The service accepts one request at a time (:meth:`ForecastService.submit`)
+but the model runs most efficiently over batches, so pending requests are
+queued and coalesced into a single padded forward pass.  This module holds
+the pieces that are independent of any model:
+
+* :class:`Forecast` — the future-like handle returned by ``submit``;
+* :func:`pad_history` — left-pads (or truncates) a single ``[T, C]``
+  history to the model's ``input_length``;
+* :func:`coalesce` — stacks compatible pending requests into rectangular
+  arrays, grouping requests with and without covariates separately so each
+  group maps onto exactly one forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Forecast", "ForecastRequest", "pad_history", "coalesce"]
+
+
+class Forecast:
+    """Deferred result of a submitted forecast request.
+
+    The value materialises when the owning service flushes the micro-batch
+    containing the request; :meth:`result` triggers that flush on demand, so
+    callers can treat the handle as blocking without managing the queue.
+    If the request's forward pass failed, :meth:`result` re-raises that
+    error on the submitting caller rather than on whichever caller happened
+    to trigger the flush.
+    """
+
+    __slots__ = ("_service", "_value", "_error")
+
+    def __init__(self, service) -> None:
+        self._service = service
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[Exception] = None
+
+    def done(self) -> bool:
+        """Whether the forecast has been computed (or failed)."""
+        return self._value is not None or self._error is not None
+
+    def result(self) -> np.ndarray:
+        """The ``[horizon, channels]`` forecast; flushes the queue if needed."""
+        if not self.done():
+            self._service.flush()
+        if self._error is not None:
+            raise self._error
+        if self._value is None:  # pragma: no cover - defensive
+            raise RuntimeError("forecast not resolved by service flush")
+        return self._value
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+
+
+@dataclass
+class ForecastRequest:
+    """One queued request: a padded history plus optional future covariates."""
+
+    history: np.ndarray                        # [input_length, C], already padded
+    observed_length: int                       # un-padded history length
+    future_numerical: Optional[np.ndarray]     # [horizon, cn] or None
+    future_categorical: Optional[np.ndarray]   # [horizon, ct] or None
+    forecast: Forecast
+
+    @property
+    def has_covariates(self) -> bool:
+        return self.future_numerical is not None or self.future_categorical is not None
+
+
+def pad_history(
+    history: np.ndarray,
+    input_length: int,
+    n_channels: int,
+    pad_mode: str = "edge",
+) -> Tuple[np.ndarray, int]:
+    """Normalise a single request history to ``[input_length, n_channels]``.
+
+    Histories longer than ``input_length`` keep their most recent steps;
+    shorter ones are left-padded so every queued request shares one
+    rectangular shape and the whole micro-batch runs as one forward pass.
+    Returns the padded history and the number of observed (un-padded) steps.
+    """
+    history = np.asarray(history, dtype=np.float32)
+    if history.ndim == 1:
+        history = history[:, None]
+    if history.ndim != 2:
+        raise ValueError(f"history must be [time, channels], got shape {history.shape}")
+    if history.shape[1] != n_channels:
+        raise ValueError(f"expected {n_channels} channels, got {history.shape[1]}")
+    observed = history.shape[0]
+    if observed == 0:
+        raise ValueError("history must contain at least one time step")
+    if observed >= input_length:
+        return history[-input_length:], input_length
+    if pad_mode == "edge":
+        pad = np.repeat(history[:1], input_length - observed, axis=0)
+    elif pad_mode == "zeros":
+        pad = np.zeros((input_length - observed, n_channels), dtype=np.float32)
+    else:
+        raise ValueError(f"unknown pad_mode {pad_mode!r}; use 'edge' or 'zeros'")
+    return np.concatenate([pad, history], axis=0), observed
+
+
+def _signature(request: ForecastRequest) -> Tuple:
+    """Covariate signature; only identically-shaped requests can share a pass."""
+    return (
+        None if request.future_numerical is None else request.future_numerical.shape,
+        None if request.future_categorical is None else request.future_categorical.shape,
+    )
+
+
+def coalesce(
+    requests: Sequence[ForecastRequest],
+) -> List[Tuple[Dict[str, Optional[np.ndarray]], List[ForecastRequest]]]:
+    """Stack pending requests into per-forward-pass groups.
+
+    Requests can only share a forward pass when their covariate signatures
+    match (the covariate encoder needs full rectangular ``[b, L, c]``
+    blocks), so pending requests are grouped by signature — typically one
+    group with covariates and one without — and each group is stacked into
+    one batch dictionary with keys ``x`` / ``future_numerical`` /
+    ``future_categorical``.  Submission order is preserved within a group.
+    """
+    by_signature: Dict[Tuple, List[ForecastRequest]] = {}
+    for request in requests:
+        by_signature.setdefault(_signature(request), []).append(request)
+    groups: List[Tuple[Dict[str, Optional[np.ndarray]], List[ForecastRequest]]] = []
+    for members in by_signature.values():
+        batch: Dict[str, Optional[np.ndarray]] = {
+            "x": np.stack([r.history for r in members]),
+            "future_numerical": None,
+            "future_categorical": None,
+        }
+        if members[0].future_numerical is not None:
+            batch["future_numerical"] = np.stack([r.future_numerical for r in members])
+        if members[0].future_categorical is not None:
+            batch["future_categorical"] = np.stack([r.future_categorical for r in members])
+        groups.append((batch, members))
+    return groups

@@ -1,0 +1,195 @@
+"""LRU model registry backing the serving layer.
+
+One serving process typically hosts several scenarios — the same
+architecture at different horizons, or different datasets entirely.  The
+registry keeps the ``capacity`` most recently used models live in memory,
+keyed on ``(model_name, config_hash)``.  When a model is evicted its state
+dict is spilled to disk through the existing :mod:`repro.nn.serialization`
+machinery, so a later ``get`` for the same key rebuilds the architecture
+from the factory and restores bit-identical weights instead of losing
+trained state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.registry import create_model
+from ..config import ModelConfig
+from ..core.base import ForecastModel
+from ..nn.serialization import load_state, save_state
+
+__all__ = ["config_hash", "RegistryStats", "ModelRegistry"]
+
+
+def config_hash(config: ModelConfig, extra: Optional[Dict] = None) -> str:
+    """Deterministic short hash of a model configuration (plus factory kwargs).
+
+    Two configurations hash equal iff every field (and every extra factory
+    keyword, e.g. ablation flags) matches, so the hash is a stable cache key
+    across processes — unlike ``id()`` or Python's salted ``hash()``.
+    """
+    payload = {"config": asdict(config), "extra": extra or {}}
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RegistryStats:
+    """Cache-effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    reloads: int = 0
+
+
+@dataclass
+class _ModelSpec:
+    """Everything needed to rebuild an evicted model."""
+
+    name: str
+    config: ModelConfig
+    kwargs: Dict = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """LRU cache of live :class:`ForecastModel` instances.
+
+    Parameters
+    ----------
+    capacity:
+        maximum number of models kept in memory; the least recently used is
+        evicted (weights spilled to ``cache_dir``) when exceeded.
+    factory:
+        ``(name, config, rng=..., **kwargs) -> ForecastModel``; defaults to
+        :func:`repro.baselines.registry.create_model`, so every registered
+        model name works out of the box.
+    cache_dir:
+        where evicted state dicts are written; a temporary directory is
+        created lazily when omitted.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        factory=create_model,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.factory = factory
+        self._cache_dir = cache_dir
+        self._models: "OrderedDict[Tuple[str, str], ForecastModel]" = OrderedDict()
+        self._specs: Dict[Tuple[str, str], _ModelSpec] = {}
+        self.stats = RegistryStats()
+        # Serialises LRU mutation: services support concurrent submitters,
+        # so two threads may resolve different scenarios simultaneously.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    def key(self, name: str, config: ModelConfig, **kwargs) -> Tuple[str, str]:
+        """The ``(model_name, config_hash)`` cache key for a scenario."""
+        return (name, config_hash(config, extra=kwargs))
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._models
+
+    def keys(self) -> List[Tuple[str, str]]:
+        """Live keys, least recently used first."""
+        return list(self._models)
+
+    @property
+    def cache_dir(self) -> str:
+        if self._cache_dir is None:
+            self._cache_dir = tempfile.mkdtemp(prefix="repro-model-registry-")
+        return self._cache_dir
+
+    def _spill_path(self, key: Tuple[str, str]) -> str:
+        name, digest = key
+        return os.path.join(self.cache_dir, f"{name}-{digest}.npz")
+
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        config: ModelConfig,
+        model: Optional[ForecastModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> ForecastModel:
+        """Insert (or replace) a model for a scenario and return it.
+
+        Pass an already-built ``model`` (e.g. freshly trained) to serve it
+        as-is; omit it to build one through the factory.
+        """
+        key = self.key(name, config, **kwargs)
+        if model is None:
+            model = self.factory(name, config, rng=rng, **kwargs)
+        with self._lock:
+            self._specs[key] = _ModelSpec(name=name, config=config, kwargs=dict(kwargs))
+            self._models[key] = model
+            self._models.move_to_end(key)
+            self._evict_over_capacity()
+        return model
+
+    def get(
+        self,
+        name: str,
+        config: ModelConfig,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> ForecastModel:
+        """Return the model for a scenario, loading or building on miss.
+
+        Hit: the live instance, promoted to most recently used.  Miss with a
+        spilled state dict: the architecture is rebuilt and the saved
+        weights restored (bit-identical).  Cold miss: a fresh model from the
+        factory.
+        """
+        key = self.key(name, config, **kwargs)
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self.stats.hits += 1
+                self._models.move_to_end(key)
+                return model
+            self.stats.misses += 1
+            model = self.factory(name, config, rng=rng, **kwargs)
+            spill = self._spill_path(key)
+            if os.path.exists(spill):
+                model.load_state_dict(load_state(spill))
+                self.stats.reloads += 1
+            self._specs[key] = _ModelSpec(name=name, config=config, kwargs=dict(kwargs))
+            self._models[key] = model
+            self._models.move_to_end(key)
+            self._evict_over_capacity()
+            return model
+
+    # ------------------------------------------------------------------ #
+    def _evict_over_capacity(self) -> None:
+        while len(self._models) > self.capacity:
+            self.evict_lru()
+
+    def evict_lru(self) -> Optional[Tuple[str, str]]:
+        """Spill the least recently used model to disk and drop it."""
+        with self._lock:
+            if not self._models:
+                return None
+            key, model = self._models.popitem(last=False)
+            save_state(model.state_dict(), self._spill_path(key))
+            self.stats.evictions += 1
+            return key

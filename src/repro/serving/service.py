@@ -1,0 +1,288 @@
+"""Micro-batched forecast serving.
+
+:class:`ForecastService` is the request-level inference entry point the
+scaling roadmap builds on.  Callers submit one history at a time
+(:meth:`ForecastService.submit`) and get back a :class:`Forecast` handle;
+the service queues pending requests and coalesces them into a single padded
+forward pass under ``no_grad`` once the micro-batch fills (or on an
+explicit / handle-triggered :meth:`flush`).  Amortising the per-call Python
+and dispatch overhead across the batch is what makes the paper's
+lightweight-inference story (Table VII) hold up under request-at-a-time
+traffic rather than pre-shaped arrays.
+
+The service also exposes:
+
+* :meth:`predict_many` — synchronous convenience over submit+flush;
+* :meth:`backfill` — batched inference over every window of a historical
+  series, using the vectorised ``SlidingWindowDataset.as_arrays`` fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..core.base import ForecastModel
+from ..data.windows import SlidingWindowDataset
+from .batching import Forecast, ForecastRequest, coalesce, pad_history
+from .registry import ModelRegistry
+
+__all__ = ["ServiceStats", "ForecastService"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters for observing batching behaviour.
+
+    Submit-path and backfill counters are kept separate so that
+    ``mean_batch_size`` — the micro-batching efficiency of the request API —
+    is not diluted by bulk backfill passes.
+    """
+
+    requests: int = 0
+    forward_passes: int = 0          # submit-path passes only
+    flushes: int = 0
+    padded_requests: int = 0
+    largest_batch: int = 0
+    backfill_batches: int = 0
+    backfill_windows: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.forward_passes if self.forward_passes else 0.0
+
+
+class ForecastService:
+    """Serve a forecasting model behind a micro-batching request API.
+
+    Construct either around a live model::
+
+        service = ForecastService(model)
+
+    or around a registry scenario, letting the :class:`ModelRegistry`
+    resolve / cache the weights::
+
+        service = ForecastService.from_registry(registry, "LiPFormer", config)
+
+    ``submit`` never runs the model immediately: requests accumulate until
+    ``max_batch_size`` of them are pending, then one padded batch is pushed
+    through ``ForecastModel.predict`` (eval mode + ``no_grad``, training
+    flag restored).  ``Forecast.result()`` flushes on demand, so a
+    single-request caller still gets an answer synchronously.
+    """
+
+    def __init__(
+        self,
+        model: ForecastModel,
+        max_batch_size: int = 32,
+        pad_mode: str = "edge",
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        self.model = model
+        self.config: ModelConfig = model.config
+        self.max_batch_size = max_batch_size
+        self.pad_mode = pad_mode
+        self.stats = ServiceStats()
+        self._pending: List[ForecastRequest] = []
+        self._lock = threading.RLock()
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ModelRegistry,
+        model_name: str,
+        config: ModelConfig,
+        max_batch_size: int = 32,
+        pad_mode: str = "edge",
+        **factory_kwargs,
+    ) -> "ForecastService":
+        """Build a service for a registry scenario (loading on cache miss)."""
+        model = registry.get(model_name, config, **factory_kwargs)
+        return cls(model, max_batch_size=max_batch_size, pad_mode=pad_mode)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Number of queued, not-yet-resolved requests."""
+        with self._lock:
+            return len(self._pending)
+
+    def submit(
+        self,
+        history: np.ndarray,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Forecast:
+        """Queue one request; returns a handle that resolves on flush.
+
+        ``history`` is a single ``[time, channels]`` series tail.  Shorter
+        histories than the model's ``input_length`` are left-padded
+        (``pad_mode``), longer ones keep their most recent steps.  Future
+        covariates, when given, must cover the model horizon.
+        """
+        padded, observed = pad_history(
+            history, self.config.input_length, self.config.n_channels, pad_mode=self.pad_mode
+        )
+        future_numerical, future_categorical = self._validate_covariates(
+            future_numerical, future_categorical
+        )
+        request = ForecastRequest(
+            history=padded,
+            observed_length=observed,
+            future_numerical=future_numerical,
+            future_categorical=future_categorical,
+            forecast=Forecast(self),
+        )
+        with self._lock:
+            self._pending.append(request)
+            self.stats.requests += 1
+            if observed < self.config.input_length:
+                self.stats.padded_requests += 1
+            if len(self._pending) >= self.max_batch_size:
+                self._flush_locked()
+        return request.forecast
+
+    def flush(self) -> int:
+        """Run every pending request through the model; returns the count."""
+        with self._lock:
+            return self._flush_locked()
+
+    def predict_many(
+        self,
+        histories: Sequence[np.ndarray],
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Submit a batch of histories and block for the stacked forecasts.
+
+        ``future_numerical`` / ``future_categorical`` are per-request arrays
+        aligned with ``histories`` (``[n, horizon, c]``) or ``None``.
+        """
+        handles = [
+            self.submit(
+                history,
+                future_numerical=None if future_numerical is None else future_numerical[i],
+                future_categorical=None if future_categorical is None else future_categorical[i],
+            )
+            for i, history in enumerate(histories)
+        ]
+        self.flush()
+        return np.stack([handle.result() for handle in handles])
+
+    def backfill(
+        self,
+        dataset: SlidingWindowDataset,
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Forecast every window of a historical dataset, in batches.
+
+        Uses the vectorised ``as_arrays`` fast path to materialise window
+        batches without a per-sample Python loop, then runs them through the
+        model under ``no_grad``.  Returns ``[n_windows, horizon, channels]``
+        predictions aligned with the dataset's window indexing.
+        """
+        for field in ("input_length", "horizon", "n_channels"):
+            expected = getattr(self.config, field)
+            actual = getattr(dataset, field)
+            if actual != expected:
+                raise ValueError(
+                    f"dataset {field} {actual} does not match model {field} {expected}"
+                )
+        step = batch_size or self.max_batch_size
+        outputs: List[np.ndarray] = []
+        indices = np.arange(len(dataset))
+        for start in range(0, len(indices), step):
+            batch = dataset.as_arrays(indices[start : start + step])
+            # The lock keeps stats updates and the model's train/eval flag
+            # flips race-free against concurrent submit()/flush() callers.
+            with self._lock:
+                outputs.append(self._forward(batch))
+                self.stats.backfill_batches += 1
+                self.stats.backfill_windows += len(batch["x"])
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------ #
+    def _validate_covariates(
+        self,
+        future_numerical: Optional[np.ndarray],
+        future_categorical: Optional[np.ndarray],
+    ):
+        """Normalise per-request covariates to ``[horizon, c]`` or drop them.
+
+        Covariates supplied to a model (or config) that does not consume
+        them are silently dropped, mirroring the trainer's behaviour for
+        covariate-agnostic baselines.  For models that *do* consume them,
+        validation is strict at submit time: a combination the covariate
+        encoder would reject mid-forward (missing half of a required pair,
+        wrong channel width) raises here, on the submitting caller, instead
+        of blowing up an entire micro-batch at flush time.
+        """
+        if not self.model.supports_covariates or not self.config.has_covariates:
+            return None, None
+        if future_numerical is None and future_categorical is None:
+            return None, None  # model falls back to its base forecast
+        horizon = self.config.horizon
+        expected = {
+            "future_numerical": self.config.covariate_numerical_dim,
+            "future_categorical": len(self.config.covariate_categorical_cardinalities),
+        }
+        normalised = []
+        for name, value, dtype in (
+            ("future_numerical", future_numerical, np.float32),
+            ("future_categorical", future_categorical, np.int64),
+        ):
+            width = expected[name]
+            if width == 0:
+                normalised.append(None)
+                continue
+            if value is None:
+                raise ValueError(
+                    f"model requires {name} ([horizon={horizon}, {width}]) when "
+                    "any covariates are supplied"
+                )
+            value = np.asarray(value, dtype=dtype)
+            if value.ndim != 2 or value.shape[0] != horizon or value.shape[1] != width:
+                raise ValueError(
+                    f"{name} must be [horizon={horizon}, {width}], got shape {value.shape}"
+                )
+            normalised.append(value)
+        return tuple(normalised)
+
+    def _forward(self, batch) -> np.ndarray:
+        """One padded forward pass (eval + ``no_grad`` via ``predict``)."""
+        kwargs = {}
+        if self.model.supports_covariates:
+            kwargs = {
+                "future_numerical": batch.get("future_numerical"),
+                "future_categorical": batch.get("future_categorical"),
+            }
+        return self.model.predict(batch["x"], **kwargs)
+
+    def _flush_locked(self) -> int:
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        self.stats.flushes += 1
+        for start in range(0, len(pending), self.max_batch_size):
+            chunk = pending[start : start + self.max_batch_size]
+            for batch, members in coalesce(chunk):
+                # A failing forward must not take unrelated requests down
+                # with it: the error is attached to the failing group's
+                # handles (raised from their result()), and the remaining
+                # groups still run.
+                self.stats.forward_passes += 1
+                self.stats.largest_batch = max(self.stats.largest_batch, len(members))
+                try:
+                    output = self._forward(batch)
+                except Exception as error:  # noqa: BLE001 - routed to handles
+                    for request in members:
+                        request.forecast._fail(error)
+                    continue
+                for row, request in zip(output, members):
+                    request.forecast._resolve(row)
+        return len(pending)

@@ -33,7 +33,17 @@ class TrainingHistory:
 
 
 class Trainer:
-    """Train a :class:`ForecastModel` with Smooth-L1 loss, AdamW and early stopping."""
+    """Train a :class:`ForecastModel` with Smooth-L1 loss, AdamW and early stopping.
+
+    Two-stage freeze ordering: models exposing ``optimizer_parameters()``
+    (LiPFormer, CovariateEnrichedModel) may freeze their Covariate Encoder
+    *after* this trainer — and therefore its ``AdamW`` — has been built
+    (``pretrain_covariate_encoder`` does exactly that).  To keep the freeze
+    effective, :meth:`fit` re-resolves ``optimizer_parameters()`` before the
+    first epoch and swaps the optimizer's parameter list when it changed, so
+    construction order (``Trainer(...)`` before or after the freeze) does not
+    silently decide whether frozen weights get updated.
+    """
 
     def __init__(
         self,
@@ -45,13 +55,8 @@ class Trainer:
         self.config = config or TrainingConfig()
         beta = getattr(model.config, "smooth_l1_beta", 1.0)
         self.loss_fn = loss if loss is not None else SmoothL1Loss(beta=beta)
-        parameters = (
-            model.optimizer_parameters()
-            if hasattr(model, "optimizer_parameters")
-            else model.parameters()
-        )
         self.optimizer = AdamW(
-            parameters,
+            self._resolve_parameters(),
             lr=self.config.learning_rate,
             weight_decay=self.config.weight_decay,
         )
@@ -64,6 +69,23 @@ class Trainer:
         )
 
     # ------------------------------------------------------------------ #
+    def _resolve_parameters(self) -> List:
+        """The parameter list training should update, honouring freezes."""
+        if hasattr(self.model, "optimizer_parameters"):
+            return list(self.model.optimizer_parameters())
+        return list(self.model.parameters())
+
+    def _refresh_optimizer_parameters(self) -> None:
+        """Re-sync the optimizer with the model's current trainable set.
+
+        Catches freezes applied between ``Trainer.__init__`` and ``fit()``
+        (the pre-train-then-freeze flow); keeps optimizer state for surviving
+        parameters and drops it for removed ones.
+        """
+        current = self._resolve_parameters()
+        if [id(p) for p in current] != [id(p) for p in self.optimizer.parameters]:
+            self.optimizer.set_parameters(current)
+
     def _model_inputs(self, batch: Dict[str, Optional[np.ndarray]]) -> Dict[str, Optional[np.ndarray]]:
         if not self.model.supports_covariates:
             return {"future_numerical": None, "future_categorical": None}
@@ -89,21 +111,31 @@ class Trainer:
         return total / max(count, 1)
 
     def evaluate(self, loader: DataLoader) -> Dict[str, float]:
-        """Compute MSE / MAE / RMSE over a loader without gradient tracking."""
+        """Compute MSE / MAE / RMSE over a loader without gradient tracking.
+
+        The model's training flag is saved and restored (mirroring
+        :meth:`ForecastModel.predict`), so a standalone call — e.g. from
+        :meth:`test` — leaves an eval-mode model in eval mode instead of
+        unconditionally switching it back to train mode.
+        """
+        was_training = self.model.training
         self.model.eval()
         predictions, targets = [], []
-        with no_grad():
-            for batch in loader:
-                output = self.model(Tensor(batch["x"]), **self._model_inputs(batch))
-                predictions.append(output.data)
-                targets.append(batch["y"])
-        self.model.train()
+        try:
+            with no_grad():
+                for batch in loader:
+                    output = self.model(Tensor(batch["x"]), **self._model_inputs(batch))
+                    predictions.append(output.data)
+                    targets.append(batch["y"])
+        finally:
+            self.model.train(was_training)
         if not predictions:
             raise ValueError("evaluation loader produced no batches")
         return evaluate_forecast(np.concatenate(predictions), np.concatenate(targets))
 
     def fit(self, data: ForecastingData, rng: Optional[np.random.Generator] = None) -> TrainingHistory:
         """Full training run with validation-based early stopping."""
+        self._refresh_optimizer_parameters()
         generator = rng if rng is not None else np.random.default_rng(self.config.seed)
         train_loader, val_loader, _ = data.loaders(self.config.batch_size, rng=generator)
         history = TrainingHistory()

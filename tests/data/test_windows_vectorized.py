@@ -1,0 +1,92 @@
+"""Regression tests: vectorised ``as_arrays`` matches the per-sample loop.
+
+``SlidingWindowDataset.as_arrays`` is the data hot path (every DataLoader
+batch and the serving backfill go through it); it now gathers windows with
+``numpy.lib.stride_tricks.sliding_window_view``.  These tests pin the fast
+path to the reference loop implementation bit for bit — including stride
+> 1, covariate slices, negative indices and error behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.loader import DataLoader
+from repro.data.windows import SlidingWindowDataset
+
+
+def _assert_batches_equal(fast, slow):
+    assert set(fast) == set(slow)
+    for key in fast:
+        if slow[key] is None:
+            assert fast[key] is None
+        else:
+            assert fast[key].dtype == slow[key].dtype
+            np.testing.assert_array_equal(fast[key], slow[key])
+
+
+@pytest.fixture(scope="module")
+def covariate_series():
+    return load_dataset("ETTh1", n_timestamps=600, seed=11, include_covariates=True)
+
+
+@pytest.fixture(scope="module")
+def plain_series():
+    return load_dataset("ETTh1", n_timestamps=600, seed=11, include_covariates=False)
+
+
+class TestVectorisedAsArrays:
+    @pytest.mark.parametrize("stride", [1, 2, 5])
+    def test_matches_loop_all_windows(self, covariate_series, stride):
+        dataset = SlidingWindowDataset(covariate_series, 48, 12, stride=stride)
+        _assert_batches_equal(dataset.as_arrays(), dataset._as_arrays_loop())
+
+    @pytest.mark.parametrize("stride", [1, 3])
+    def test_matches_loop_on_index_subsets(self, covariate_series, stride):
+        dataset = SlidingWindowDataset(covariate_series, 48, 12, stride=stride)
+        n = len(dataset)
+        for indices in (
+            np.array([0]),
+            np.array([n - 1]),
+            np.array([3, 1, 4, 1, 5]),            # duplicates, unsorted
+            np.arange(0, n, 7),
+            [2, 9],                                # plain list
+        ):
+            _assert_batches_equal(dataset.as_arrays(indices), dataset._as_arrays_loop(indices))
+
+    def test_negative_indices(self, covariate_series):
+        dataset = SlidingWindowDataset(covariate_series, 48, 12, stride=2)
+        indices = np.array([-1, -len(dataset), 0])
+        _assert_batches_equal(dataset.as_arrays(indices), dataset._as_arrays_loop(indices))
+
+    def test_without_covariates(self, plain_series):
+        dataset = SlidingWindowDataset(plain_series, 48, 12, stride=2)
+        batch = dataset.as_arrays()
+        assert batch["future_numerical"] is None
+        assert batch["future_categorical"] is None
+        _assert_batches_equal(batch, dataset._as_arrays_loop())
+
+    @pytest.mark.parametrize("bad", [[999], [-999]])
+    def test_out_of_range_raises_index_error(self, covariate_series, bad):
+        dataset = SlidingWindowDataset(covariate_series, 48, 12)
+        with pytest.raises(IndexError):
+            dataset.as_arrays(bad)
+
+    def test_output_is_writable_and_owns_memory(self, covariate_series):
+        """DataLoader consumers mutate batches; views over the series would alias."""
+        dataset = SlidingWindowDataset(covariate_series, 48, 12)
+        batch = dataset.as_arrays(np.array([0, 1]))
+        original = covariate_series.values[0, 0]
+        batch["x"][0, 0, 0] = original + 123.0
+        assert covariate_series.values[0, 0] == original
+
+    def test_loader_batches_match_loop(self, covariate_series):
+        dataset = SlidingWindowDataset(covariate_series, 48, 12, stride=3)
+        loader = DataLoader(dataset, batch_size=16)
+        start = 0
+        for batch in loader:
+            size = len(batch["x"])
+            reference = dataset._as_arrays_loop(np.arange(start, start + size))
+            _assert_batches_equal(batch, reference)
+            start += size
+        assert start == len(dataset)

@@ -1,0 +1,110 @@
+"""Regression tests: seedable fallback RNG for dropout.
+
+``repro.nn.functional.dropout`` used to fall back to a fresh unseeded
+``np.random.default_rng()`` per call (and each ``Dropout`` layer owned its
+own unseeded generator), so two identically-seeded training runs diverged.
+The fallback now routes through a module-level generator reseedable via
+``manual_seed`` / ``seed_everything``.
+"""
+
+import numpy as np
+
+from repro.nn import (
+    Dropout,
+    Linear,
+    Module,
+    SGD,
+    Tensor,
+    default_generator,
+    manual_seed,
+    seed_everything,
+)
+from repro.nn import functional as F
+
+
+class TestFunctionalDropout:
+    def test_manual_seed_makes_fallback_deterministic(self):
+        x = Tensor(np.ones((64, 32), dtype=np.float32))
+        manual_seed(123)
+        first = F.dropout(x, 0.5, training=True).data.copy()
+        manual_seed(123)
+        second = F.dropout(x, 0.5, training=True).data.copy()
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        x = Tensor(np.ones((64, 32), dtype=np.float32))
+        manual_seed(0)
+        first = F.dropout(x, 0.5, training=True).data.copy()
+        manual_seed(1)
+        second = F.dropout(x, 0.5, training=True).data.copy()
+        assert not np.array_equal(first, second)
+
+    def test_explicit_rng_still_wins(self):
+        x = Tensor(np.ones((16, 16), dtype=np.float32))
+        manual_seed(0)
+        first = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(9)).data.copy()
+        manual_seed(1)  # must not matter when an explicit rng is passed
+        second = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(9)).data.copy()
+        np.testing.assert_array_equal(first, second)
+
+    def test_default_generator_is_the_fallback(self):
+        manual_seed(42)
+        expected = default_generator().random((8, 8)) >= 0.5
+        manual_seed(42)
+        mask = F.dropout(Tensor(np.ones((8, 8), dtype=np.float32)), 0.5, training=True).data != 0
+        np.testing.assert_array_equal(mask, expected)
+
+
+class TestDropoutLayer:
+    def test_layer_without_rng_is_seedable(self):
+        layer = Dropout(0.4)
+        x = Tensor(np.ones((32, 32), dtype=np.float32))
+        manual_seed(7)
+        first = layer(x).data.copy()
+        manual_seed(7)
+        second = layer(x).data.copy()
+        np.testing.assert_array_equal(first, second)
+
+    def test_layer_with_explicit_rng_unchanged(self):
+        layer = Dropout(0.4, rng=np.random.default_rng(3))
+        other = Dropout(0.4, rng=np.random.default_rng(3))
+        x = Tensor(np.ones((32, 32), dtype=np.float32))
+        np.testing.assert_array_equal(layer(x).data, other(x).data)
+
+
+class _TinyDropoutNet(Module):
+    """Minimal net whose Dropout relies on the shared fallback generator."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fc1 = Linear(8, 16, rng=rng)
+        self.drop = Dropout(0.5)  # deliberately no rng
+        self.fc2 = Linear(16, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.drop(self.fc1(x).relu()))
+
+
+def _train_losses(seed: int) -> list:
+    generator = seed_everything(seed)
+    model = _TinyDropoutNet(np.random.default_rng(0))
+    optimizer = SGD(model.parameters(), lr=1e-2)
+    x = generator.normal(size=(64, 8)).astype(np.float32)
+    y = generator.normal(size=(64, 1)).astype(np.float32)
+    losses = []
+    for _ in range(5):
+        optimizer.zero_grad()
+        diff = model(Tensor(x)) - Tensor(y)
+        loss = (diff * diff).mean()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    return losses
+
+
+class TestSeededTrainingRuns:
+    def test_two_seeded_runs_produce_identical_losses(self):
+        assert _train_losses(2021) == _train_losses(2021)
+
+    def test_losses_depend_on_seed(self):
+        assert _train_losses(1) != _train_losses(2)

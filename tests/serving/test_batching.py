@@ -1,0 +1,106 @@
+"""Unit tests for serving request padding and coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.serving.batching import Forecast, ForecastRequest, coalesce, pad_history
+
+
+def _request(history, fn=None, fc=None):
+    return ForecastRequest(
+        history=np.asarray(history, dtype=np.float32),
+        observed_length=len(history),
+        future_numerical=fn,
+        future_categorical=fc,
+        forecast=Forecast(service=None),
+    )
+
+
+class TestPadHistory:
+    def test_exact_length_passthrough(self):
+        history = np.arange(12, dtype=np.float32).reshape(6, 2)
+        padded, observed = pad_history(history, input_length=6, n_channels=2)
+        np.testing.assert_array_equal(padded, history)
+        assert observed == 6
+
+    def test_long_history_keeps_most_recent_steps(self):
+        history = np.arange(20, dtype=np.float32).reshape(10, 2)
+        padded, observed = pad_history(history, input_length=4, n_channels=2)
+        np.testing.assert_array_equal(padded, history[-4:])
+        assert observed == 4
+
+    def test_short_history_edge_padded_on_left(self):
+        history = np.array([[5.0, 6.0], [7.0, 8.0]], dtype=np.float32)
+        padded, observed = pad_history(history, input_length=5, n_channels=2)
+        assert padded.shape == (5, 2)
+        assert observed == 2
+        np.testing.assert_array_equal(padded[:3], np.repeat(history[:1], 3, axis=0))
+        np.testing.assert_array_equal(padded[3:], history)
+
+    def test_zeros_pad_mode(self):
+        history = np.ones((2, 3), dtype=np.float32)
+        padded, _ = pad_history(history, input_length=4, n_channels=3, pad_mode="zeros")
+        np.testing.assert_array_equal(padded[:2], np.zeros((2, 3)))
+
+    def test_one_dimensional_history_promoted_to_single_channel(self):
+        padded, observed = pad_history(np.arange(6.0), input_length=6, n_channels=1)
+        assert padded.shape == (6, 1)
+        assert observed == 6
+
+    @pytest.mark.parametrize(
+        "history, kwargs",
+        [
+            (np.ones((4, 3)), {"input_length": 4, "n_channels": 2}),   # channel mismatch
+            (np.ones((0, 2)), {"input_length": 4, "n_channels": 2}),   # empty
+            (np.ones((2, 2, 2)), {"input_length": 4, "n_channels": 2}),  # bad rank
+        ],
+    )
+    def test_invalid_inputs_raise(self, history, kwargs):
+        with pytest.raises(ValueError):
+            pad_history(history, **kwargs)
+
+    def test_unknown_pad_mode_raises(self):
+        with pytest.raises(ValueError):
+            pad_history(np.ones((2, 1)), input_length=4, n_channels=1, pad_mode="wrap")
+
+
+class TestCoalesce:
+    def test_homogeneous_requests_form_one_group(self):
+        requests = [_request(np.full((4, 2), i)) for i in range(3)]
+        groups = coalesce(requests)
+        assert len(groups) == 1
+        batch, members = groups[0]
+        assert batch["x"].shape == (3, 4, 2)
+        assert batch["future_numerical"] is None
+        assert members == requests  # submission order preserved
+
+    def test_mixed_covariates_split_into_groups(self):
+        fn = np.ones((6, 2), dtype=np.float32)
+        fc = np.zeros((6, 1), dtype=np.int64)
+        requests = [
+            _request(np.zeros((4, 2)), fn=fn, fc=fc),
+            _request(np.ones((4, 2))),
+            _request(np.full((4, 2), 2.0), fn=fn, fc=fc),
+        ]
+        groups = coalesce(requests)
+        assert len(groups) == 2
+        sizes = sorted(len(members) for _, members in groups)
+        assert sizes == [1, 2]
+        for batch, members in groups:
+            if members[0].has_covariates:
+                assert batch["future_numerical"].shape == (2, 6, 2)
+                assert batch["future_categorical"].shape == (2, 6, 1)
+            else:
+                assert batch["future_numerical"] is None
+
+    def test_numerical_only_and_both_do_not_mix(self):
+        fn = np.ones((6, 2), dtype=np.float32)
+        fc = np.zeros((6, 1), dtype=np.int64)
+        requests = [
+            _request(np.zeros((4, 2)), fn=fn),
+            _request(np.zeros((4, 2)), fn=fn, fc=fc),
+        ]
+        assert len(coalesce(requests)) == 2
+
+    def test_empty_input(self):
+        assert coalesce([]) == []

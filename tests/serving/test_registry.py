@@ -1,0 +1,119 @@
+"""Tests for the LRU model registry and config hashing."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.serving import ModelRegistry, config_hash
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(
+        input_length=48, horizon=12, n_channels=3, patch_length=12,
+        hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1,
+    )
+
+
+class TestConfigHash:
+    def test_stable_across_calls(self, config):
+        assert config_hash(config) == config_hash(config)
+
+    def test_equal_configs_hash_equal(self, config):
+        assert config_hash(config) == config_hash(config.with_overrides())
+
+    def test_any_field_change_changes_hash(self, config):
+        assert config_hash(config) != config_hash(config.with_overrides(horizon=24))
+        assert config_hash(config) != config_hash(config.with_overrides(hidden_dim=32))
+
+    def test_extra_kwargs_participate(self, config):
+        assert config_hash(config) != config_hash(config, extra={"use_ffn": True})
+
+
+class TestModelRegistry:
+    def test_get_builds_on_cold_miss_and_hits_after(self, config):
+        registry = ModelRegistry(capacity=2)
+        first = registry.get("DLinear", config)
+        second = registry.get("DLinear", config)
+        assert first is second
+        assert registry.stats.misses == 1
+        assert registry.stats.hits == 1
+
+    def test_different_scenarios_get_different_models(self, config):
+        registry = ModelRegistry(capacity=4)
+        a = registry.get("DLinear", config)
+        b = registry.get("DLinear", config.with_overrides(horizon=24))
+        c = registry.get("NLinear", config)
+        assert a is not b and a is not c
+        assert len(registry) == 3
+
+    def test_capacity_evicts_least_recently_used(self, config, tmp_path):
+        registry = ModelRegistry(capacity=2, cache_dir=str(tmp_path))
+        registry.get("DLinear", config)
+        registry.get("NLinear", config)
+        registry.get("DLinear", config)                        # promote DLinear
+        registry.get("LightTS", config)                        # evicts NLinear
+        names = [name for name, _ in registry.keys()]
+        assert names == ["DLinear", "LightTS"]
+        assert registry.stats.evictions == 1
+
+    def test_evicted_weights_reload_bit_identical(self, config, tmp_path):
+        registry = ModelRegistry(capacity=1, cache_dir=str(tmp_path))
+        model = registry.get("DLinear", config)
+        # mutate weights as training would, so a fresh factory build differs
+        for param in model.parameters():
+            param.data = param.data + 1.5
+        expected = model.state_dict()
+        registry.get("NLinear", config)                        # evicts + spills DLinear
+        reloaded = registry.get("DLinear", config)             # rebuild + load_state
+        assert reloaded is not model
+        assert registry.stats.reloads == 1
+        for name, value in reloaded.state_dict().items():
+            np.testing.assert_array_equal(value, expected[name])
+
+    def test_register_live_model_is_served_as_is(self, config):
+        registry = ModelRegistry(capacity=2)
+        from repro.baselines import DLinear
+
+        trained = DLinear(config)
+        registry.register("DLinear", config, model=trained)
+        assert registry.get("DLinear", config) is trained
+
+    def test_explicit_eviction_roundtrip(self, config, tmp_path):
+        registry = ModelRegistry(capacity=2, cache_dir=str(tmp_path))
+        model = registry.get("DLinear", config)
+        state = model.state_dict()
+        key = registry.evict_lru()
+        assert key is not None and key not in registry
+        reloaded = registry.get("DLinear", config)
+        for name, value in reloaded.state_dict().items():
+            np.testing.assert_array_equal(value, state[name])
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(capacity=0)
+
+    def test_concurrent_gets_stay_consistent(self, config, tmp_path):
+        """Parallel scenario resolution at capacity must not corrupt the LRU."""
+        import threading
+
+        registry = ModelRegistry(capacity=2, cache_dir=str(tmp_path))
+        names = ["DLinear", "NLinear", "LightTS", "DLinear", "NLinear"]
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(10):
+                    model = registry.get(name, config)
+                    assert model.config is config
+            except Exception as exc:  # pragma: no cover - failure capture
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in names]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(registry) <= 2
+        assert registry.stats.hits + registry.stats.misses == 50

@@ -1,0 +1,111 @@
+"""Regression tests: evaluate() mode handling and freeze-after-optimizer.
+
+Covers two bugs found while building the serving layer:
+
+* ``Trainer.evaluate`` used to unconditionally call ``model.train()`` after
+  evaluation, clobbering eval mode for standalone callers (``Trainer.test``);
+* ``LiPFormer.freeze_covariate_encoder()`` called after ``Trainer.__init__``
+  had no effect because AdamW had already captured the pre-freeze parameter
+  list.
+"""
+
+import numpy as np
+
+from repro.baselines import DLinear
+from repro.config import ModelConfig, TrainingConfig
+from repro.core import LiPFormer
+from repro.training import Trainer, pretrain_covariate_encoder
+
+
+def _config_for(data, hidden=16):
+    return ModelConfig(
+        input_length=data.input_length,
+        horizon=data.horizon,
+        n_channels=data.n_channels,
+        patch_length=12,
+        hidden_dim=hidden,
+        dropout=0.0,
+        covariate_numerical_dim=data.covariate_numerical_dim,
+        covariate_categorical_cardinalities=data.covariate_categorical_cardinalities,
+        covariate_embed_dim=2,
+        covariate_hidden_dim=8,
+    )
+
+
+class TestEvaluatePreservesMode:
+    def test_standalone_evaluate_keeps_eval_mode(self, etth1_smoke_data, training_config):
+        model = DLinear(_config_for(etth1_smoke_data))
+        trainer = Trainer(model, training_config)
+        _, val_loader, _ = etth1_smoke_data.loaders(32, shuffle_train=False)
+        model.eval()
+        trainer.evaluate(val_loader)
+        assert not model.training, "evaluate() must not clobber eval mode"
+
+    def test_evaluate_restores_train_mode(self, etth1_smoke_data, training_config):
+        model = DLinear(_config_for(etth1_smoke_data))
+        trainer = Trainer(model, training_config)
+        _, val_loader, _ = etth1_smoke_data.loaders(32, shuffle_train=False)
+        model.train()
+        trainer.evaluate(val_loader)
+        assert model.training, "evaluate() must restore the prior training flag"
+
+    def test_evaluate_restores_submodule_modes(self, etth1_smoke_data, training_config):
+        model = DLinear(_config_for(etth1_smoke_data))
+        trainer = Trainer(model, training_config)
+        _, val_loader, _ = etth1_smoke_data.loaders(32, shuffle_train=False)
+        model.eval()
+        trainer.evaluate(val_loader)
+        assert all(not m.training for _, m in model.named_modules())
+
+    def test_test_leaves_model_in_prior_mode(self, etth1_smoke_data, training_config):
+        model = DLinear(_config_for(etth1_smoke_data))
+        trainer = Trainer(model, training_config)
+        model.eval()
+        trainer.test(etth1_smoke_data)
+        assert not model.training
+
+
+class TestFreezeAfterOptimizer:
+    def test_freeze_after_trainer_construction_is_honoured(self, cycle_smoke_data, training_config):
+        """The footgun: trainer built first, encoder frozen afterwards."""
+        model = LiPFormer(_config_for(cycle_smoke_data))
+        trainer = Trainer(model, training_config)           # AdamW captures params now
+        model.freeze_covariate_encoder()                    # ... then the freeze lands
+        before = {k: v.copy() for k, v in model.covariate_encoder.state_dict().items()}
+        trainer.fit(cycle_smoke_data)
+        after = model.covariate_encoder.state_dict()
+        for name in before:
+            np.testing.assert_array_equal(
+                before[name], after[name],
+                err_msg=f"frozen covariate-encoder weight {name} changed during fit",
+            )
+
+    def test_pretrain_then_fit_keeps_encoder_bit_identical(self, cycle_smoke_data, training_config):
+        """The standard two-stage flow, with the trainer built pre-freeze."""
+        model = LiPFormer(_config_for(cycle_smoke_data))
+        trainer = Trainer(model, training_config)
+        pretrain_covariate_encoder(model, cycle_smoke_data, training_config)
+        frozen = {k: v.copy() for k, v in model.covariate_encoder.state_dict().items()}
+        trainer.fit(cycle_smoke_data)
+        for name, value in model.covariate_encoder.state_dict().items():
+            np.testing.assert_array_equal(frozen[name], value)
+
+    def test_unfrozen_encoder_still_trains(self, cycle_smoke_data, training_config):
+        """Sanity: without the freeze, the encoder does receive updates."""
+        model = LiPFormer(_config_for(cycle_smoke_data))
+        trainer = Trainer(model, training_config)
+        before = {k: v.copy() for k, v in model.covariate_encoder.state_dict().items()}
+        trainer.fit(cycle_smoke_data)
+        after = model.covariate_encoder.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+
+    def test_optimizer_state_pruned_on_refresh(self, cycle_smoke_data, training_config):
+        model = LiPFormer(_config_for(cycle_smoke_data))
+        trainer = Trainer(model, training_config)
+        trainer.fit(cycle_smoke_data)                       # builds Adam moments
+        model.freeze_covariate_encoder()
+        trainer._refresh_optimizer_parameters()
+        frozen_ids = {id(p) for p in model.covariate_encoder.parameters()}
+        assert frozen_ids.isdisjoint({id(p) for p in trainer.optimizer.parameters})
+        assert frozen_ids.isdisjoint(trainer.optimizer._m)
+        assert frozen_ids.isdisjoint(trainer.optimizer._v)
