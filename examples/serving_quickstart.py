@@ -17,6 +17,10 @@ The script walks the full serving story introduced by ``repro.serving``:
    fast path, and score them;
 5. serve a second scenario (another horizon) from the same process and show
    the registry's LRU accounting.
+
+For the *online* continuation of this story — observations streaming in
+per tenant instead of pre-materialised arrays — see
+``examples/streaming_quickstart.py``.
 """
 
 from __future__ import annotations

@@ -12,6 +12,7 @@ API groups into:
                           FGNN, Transformer/Informer/Autoformer
 * ``repro.training``    — trainers, metrics, experiment runner
 * ``repro.serving``     — micro-batched inference service + model registry
+* ``repro.streaming``   — multi-tenant online ingestion + streaming forecasts
 * ``repro.profiling``   — parameters, MACs, timing, edge emulation
 * ``repro.experiments`` — drivers regenerating every paper table / figure
 """
@@ -21,6 +22,7 @@ from .core import LiPFormer
 from .baselines import available_models, create_model
 from .data import load_dataset, prepare_forecasting_data
 from .serving import ForecastService, ModelRegistry
+from .streaming import SeriesStore, StreamingForecaster
 from .training import Trainer, run_experiment
 
 __version__ = "1.0.0"
@@ -35,6 +37,8 @@ __all__ = [
     "prepare_forecasting_data",
     "ForecastService",
     "ModelRegistry",
+    "SeriesStore",
+    "StreamingForecaster",
     "Trainer",
     "run_experiment",
     "__version__",

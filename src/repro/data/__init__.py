@@ -9,6 +9,7 @@ from .covariates import (
     implicit_temporal_covariates,
 )
 from .csvio import load_csv, save_csv
+from .incremental import RollingScaler
 from .datasets import DATASET_SPECS, DatasetSpec, available_datasets, dataset_statistics, load_dataset
 from .loader import DataLoader
 from .pipeline import ForecastingData, prepare_forecasting_data
@@ -44,6 +45,7 @@ __all__ = [
     "prepare_forecasting_data",
     "StandardScaler",
     "MinMaxScaler",
+    "RollingScaler",
     "chronological_split",
     "TIME_FEATURE_NAMES",
     "TIME_FEATURE_CARDINALITIES",

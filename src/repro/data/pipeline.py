@@ -7,7 +7,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .containers import MultivariateTimeSeries
+from .containers import FutureCovariates, MultivariateTimeSeries
 from .datasets import DATASET_SPECS, load_dataset
 from .loader import DataLoader
 from .scalers import StandardScaler
@@ -58,17 +58,32 @@ def _scale_series(series: MultivariateTimeSeries, scaler: StandardScaler) -> Mul
 
 
 def _scale_covariates(series: MultivariateTimeSeries) -> MultivariateTimeSeries:
-    """Standardise numerical covariates in place (fit on the full range).
+    """Return a series with standardised numerical covariates (fit on the full range).
 
     Covariates are forecasts/calendar features known ahead of time, so using
-    their global statistics does not leak target information.
+    their global statistics does not leak target information.  The caller's
+    series is left untouched: scaling a copy keeps
+    ``prepare_forecasting_data(series=...)`` idempotent, where mutating
+    ``series.covariates.numerical`` in place would re-scale already-scaled
+    covariates on a second call over the same series object.
     """
     if series.covariates is None or series.covariates.numerical.shape[1] == 0:
         return series
-    covariate_scaler = StandardScaler()
-    scaled = covariate_scaler.fit_transform(series.covariates.numerical)
-    series.covariates.numerical = scaled
-    return series
+    covariates = series.covariates
+    scaled = FutureCovariates(
+        numerical=StandardScaler().fit_transform(covariates.numerical),
+        categorical=covariates.categorical,
+        numerical_names=list(covariates.numerical_names),
+        categorical_names=list(covariates.categorical_names),
+        cardinalities=list(covariates.cardinalities),
+    )
+    return MultivariateTimeSeries(
+        values=series.values,
+        timestamps=series.timestamps,
+        channel_names=list(series.channel_names),
+        covariates=scaled,
+        name=series.name,
+    )
 
 
 def prepare_forecasting_data(

@@ -31,8 +31,15 @@ class StandardScaler:
         return ((np.asarray(values, dtype=np.float64) - self.mean_) / self.std_).astype(np.float32)
 
     def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original scale, in float64.
+
+        Unlike :meth:`transform` (which feeds float32 model inputs), the
+        inverse is kept at float64: original-scale metrics on
+        large-magnitude channels (e.g. ~1e8 traffic counts) would lose
+        whole units to a float32 downcast.
+        """
         self._check_fitted()
-        return (np.asarray(values, dtype=np.float64) * self.std_ + self.mean_).astype(np.float32)
+        return np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
 
     def fit_transform(self, values: np.ndarray) -> np.ndarray:
         return self.fit(values).transform(values)
@@ -64,8 +71,10 @@ class MinMaxScaler:
         return ((np.asarray(values, dtype=np.float64) - self.min_) / self.range_).astype(np.float32)
 
     def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original range, in float64 (see
+        :meth:`StandardScaler.inverse_transform`)."""
         self._check_fitted()
-        return (np.asarray(values, dtype=np.float64) * self.range_ + self.min_).astype(np.float32)
+        return np.asarray(values, dtype=np.float64) * self.range_ + self.min_
 
     def fit_transform(self, values: np.ndarray) -> np.ndarray:
         return self.fit(values).transform(values)

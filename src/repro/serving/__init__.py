@@ -14,7 +14,10 @@ request-level inference stack:
 
 See ``examples/serving_quickstart.py`` for an end-to-end tour and
 ``benchmarks/test_serving_throughput.py`` for the measured batched-vs-
-sequential speedup.
+sequential speedup.  The streaming subsystem (:mod:`repro.streaming`)
+layers multi-tenant online ingestion on top of this request API — its
+per-tenant forecasts are ordinary ``submit`` traffic, so they coalesce
+with each other (and with any direct callers) in the same queue.
 """
 
 from .batching import Forecast, ForecastRequest, coalesce, pad_history

@@ -55,6 +55,19 @@ class ServiceStats:
     def mean_batch_size(self) -> float:
         return self.requests / self.forward_passes if self.forward_passes else 0.0
 
+    def as_dict(self) -> dict:
+        """Counters plus derived ratios, for reports and benchmarks."""
+        return {
+            "requests": self.requests,
+            "forward_passes": self.forward_passes,
+            "flushes": self.flushes,
+            "padded_requests": self.padded_requests,
+            "largest_batch": self.largest_batch,
+            "backfill_batches": self.backfill_batches,
+            "backfill_windows": self.backfill_windows,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
 
 class ForecastService:
     """Serve a forecasting model behind a micro-batching request API.

@@ -1,0 +1,42 @@
+"""``repro.streaming`` — multi-tenant online forecasting.
+
+PR 1's serving layer answers *"forecast this array"*; this subsystem
+answers the workload the roadmap actually describes — observations arriving
+continuously for many independent tenants, each wanting fresh forecasts:
+
+* :class:`SeriesStore` / :class:`RingBuffer` — one bounded ring buffer per
+  tenant (O(1) amortised append, no per-append reallocation) holding just
+  enough history to assemble forecast windows;
+* :class:`~repro.data.incremental.RollingScaler` (in ``repro.data``) —
+  incremental per-channel Welford statistics, so new tenants never need an
+  offline fit;
+* :class:`StreamingForecaster` — assembles each tenant's latest
+  ``input_length`` window, routes it through
+  :meth:`ForecastService.submit` so concurrent tenants coalesce into
+  micro-batches, and denormalises per tenant (rolling stats or the paper's
+  last-value scheme);
+* :func:`replay` / :func:`compare_to_backfill` — a harness that drives N
+  synthetic tenants tick-by-tick and proves streaming output bit-identical
+  to offline :meth:`ForecastService.backfill` over the same series.
+
+See ``examples/streaming_quickstart.py`` for a tour and
+``benchmarks/test_streaming_throughput.py`` for the measured coalescing win
+over per-tenant sequential prediction.
+"""
+
+from .forecaster import StreamingForecast, StreamingForecaster, StreamingStats
+from .replay import ParityReport, ReplayResult, compare_to_backfill, replay
+from .store import RingBuffer, SeriesStore, StoreStats
+
+__all__ = [
+    "RingBuffer",
+    "SeriesStore",
+    "StoreStats",
+    "StreamingForecast",
+    "StreamingForecaster",
+    "StreamingStats",
+    "ReplayResult",
+    "ParityReport",
+    "replay",
+    "compare_to_backfill",
+]

@@ -1,0 +1,240 @@
+"""Multi-tenant online forecasting over the micro-batched serving layer.
+
+:class:`StreamingForecaster` is the glue between arrivals and forecasts:
+observations stream into a :class:`~repro.streaming.store.SeriesStore`
+(``ingest``), and ``forecast`` assembles the tenant's latest
+``input_length`` window and routes it through
+:meth:`~repro.serving.service.ForecastService.submit` — so forecasts for
+concurrent tenants queue on the service and coalesce into one padded
+forward pass, exactly like any other submit-path traffic.  Short histories
+(cold-start tenants) lean on the service's left-padding.
+
+Per-tenant normalisation modes handle the distribution-shift story at the
+serving boundary:
+
+* ``"none"``      — values are already in model space (e.g. replaying an
+  offline-scaled series); forecasts come back untouched.  This is the mode
+  under which streaming output is bit-identical to offline ``backfill``.
+* ``"rolling"``   — a per-tenant :class:`~repro.data.incremental.RollingScaler`
+  is updated on every ingest (Welford), the window is standardised with the
+  tenant's current statistics, and the forecast is mapped back through the
+  same statistics.  New tenants never need an offline fit.
+* ``"last_value"`` — the paper's Section III-C1 normalisation applied per
+  tenant at the serving boundary: subtract the window's last observed value,
+  add it back to the forecast (denormalisation).  Useful for models without
+  an internal :class:`~repro.core.revin.LastValueNormalizer`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.incremental import RollingScaler
+from ..serving.batching import Forecast
+from ..serving.service import ForecastService
+from .store import SeriesStore
+
+__all__ = ["StreamingForecast", "StreamingStats", "StreamingForecaster"]
+
+_NORMALIZATIONS = ("none", "rolling", "last_value")
+
+
+class StreamingForecast:
+    """A :class:`~repro.serving.batching.Forecast` handle plus the tenant's
+    denormalisation.
+
+    The wrapped handle resolves in *model space* when the service flushes;
+    :meth:`result` applies the per-tenant inverse mapping captured at
+    submit time (identity, rolling inverse-standardise, or last-value
+    add-back), so callers always receive original-scale forecasts.
+    """
+
+    __slots__ = ("tenant", "_inner", "_denormalize")
+
+    def __init__(
+        self,
+        tenant: str,
+        inner: Forecast,
+        denormalize: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
+        self.tenant = tenant
+        self._inner = inner
+        self._denormalize = denormalize
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def result(self) -> np.ndarray:
+        """The ``[horizon, channels]`` forecast in the tenant's scale."""
+        return self._denormalize(self._inner.result())
+
+
+@dataclass
+class StreamingStats:
+    """Forecast-side counters.
+
+    Ingest-side counters (tenants, observations, evictions) live on the
+    store's :class:`~repro.streaming.store.StoreStats`, and batching
+    efficiency on the service's stats — no duplicate bookkeeping.
+    """
+
+    forecasts: int = 0
+    cold_start_forecasts: int = 0    # windows shorter than input_length
+
+
+class StreamingForecaster:
+    """Append observations per tenant; serve micro-batched fresh forecasts.
+
+    Parameters
+    ----------
+    service:
+        the :class:`ForecastService` forecasts are routed through.  Sharing
+        one service across forecasters (or with request-path traffic) is
+        fine — coalescing happens in the service queue.
+    store:
+        optional pre-built :class:`SeriesStore`; by default a store sized at
+        ``window_capacity`` (default ``4 * input_length``) windows is built.
+    normalization:
+        ``"none"`` | ``"rolling"`` | ``"last_value"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        service: ForecastService,
+        store: Optional[SeriesStore] = None,
+        normalization: str = "none",
+        window_capacity: Optional[int] = None,
+    ) -> None:
+        if normalization not in _NORMALIZATIONS:
+            raise ValueError(
+                f"unknown normalization {normalization!r}; use one of {_NORMALIZATIONS}"
+            )
+        self.service = service
+        self.config = service.config
+        capacity = 4 * self.config.input_length if window_capacity is None else window_capacity
+        if capacity < self.config.input_length:
+            raise ValueError(
+                f"window_capacity {capacity} cannot hold one input window "
+                f"of {self.config.input_length} steps"
+            )
+        if store is not None and store.n_channels != self.config.n_channels:
+            raise ValueError(
+                f"store has {store.n_channels} channels, model expects "
+                f"{self.config.n_channels}"
+            )
+        self.store = store if store is not None else SeriesStore(capacity, self.config.n_channels)
+        self.normalization = normalization
+        self.stats = StreamingStats()
+        self._scalers: Dict[str, RollingScaler] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def scaler(self, tenant: str) -> Optional[RollingScaler]:
+        """The tenant's rolling scaler (``None`` outside ``"rolling"`` mode)."""
+        return self._scalers.get(tenant)
+
+    def ingest(self, tenant: str, values: np.ndarray, timestamp=None) -> int:
+        """Append raw observations for a tenant; returns its total observed.
+
+        In ``"rolling"`` mode the tenant's scaler statistics fold in the new
+        rows before they can influence any forecast, so a window and the
+        statistics it is normalised with always agree.
+        """
+        values = np.asarray(values, dtype=np.float32)
+        if values.ndim == 1:
+            values = values[None, :]
+        total = self.store.ingest(tenant, values, timestamp=timestamp)
+        if self.normalization == "rolling":
+            with self._lock:
+                scaler = self._scalers.get(tenant)
+                if scaler is None:
+                    scaler = self._scalers[tenant] = RollingScaler()
+                scaler.update(values)
+        return total
+
+    # ------------------------------------------------------------------ #
+    def forecast(self, tenant: str) -> StreamingForecast:
+        """Queue a forecast from the tenant's latest window; non-blocking.
+
+        The returned handle resolves when the service flushes (queue full,
+        explicit :meth:`flush`, or ``result()`` on any handle) — submitting
+        for many tenants before flushing is what turns concurrent-tenant
+        traffic into micro-batches.
+        """
+        window = self.store.latest(tenant, self.config.input_length)
+        if len(window) == 0:
+            raise ValueError(f"tenant {tenant!r} has no observations to forecast from")
+        normalized, denormalize = self._normalize(tenant, window)
+        handle = self.service.submit(normalized)
+        with self._lock:
+            self.stats.forecasts += 1
+            if len(window) < self.config.input_length:
+                self.stats.cold_start_forecasts += 1
+        return StreamingForecast(tenant, handle, denormalize)
+
+    def forecast_all(
+        self, tenants: Optional[Sequence[str]] = None, flush: bool = True
+    ) -> Dict[str, StreamingForecast]:
+        """Queue one forecast per tenant, then (by default) flush once.
+
+        This is the steady-state serving shape: N live tenants produce N
+        queued requests that the service coalesces into ``ceil(N /
+        max_batch_size)`` forward passes instead of N model calls.
+        """
+        keys: List[str] = list(tenants) if tenants is not None else self.store.tenants()
+        handles = {tenant: self.forecast(tenant) for tenant in keys}
+        if flush:
+            self.service.flush()
+        return handles
+
+    def ingest_and_forecast(
+        self, arrivals: Dict[str, np.ndarray], timestamp=None
+    ) -> Dict[str, StreamingForecast]:
+        """One streaming tick: ingest a batch of arrivals, forecast each tenant."""
+        for tenant, values in arrivals.items():
+            self.ingest(tenant, values, timestamp=timestamp)
+        return self.forecast_all(list(arrivals))
+
+    def flush(self) -> int:
+        """Flush the underlying service queue; returns requests resolved."""
+        return self.service.flush()
+
+    # ------------------------------------------------------------------ #
+    def _normalize(self, tenant: str, window: np.ndarray):
+        """Map a raw window into model space; return it plus the inverse."""
+        if self.normalization == "none":
+            return window, _identity
+        if self.normalization == "rolling":
+            # Freeze this window's statistics under the lock (a concurrent
+            # ingest mutates count/mean/M2 across several statements), so
+            # later ingests cannot change how an already-queued forecast is
+            # denormalised.
+            with self._lock:
+                scaler = self._scalers.get(tenant)
+                if scaler is None:  # pragma: no cover - forecast() requires ingest first
+                    raise RuntimeError(f"tenant {tenant!r} has no rolling statistics yet")
+                frozen = scaler.to_standard_scaler()
+            return frozen.transform(window), frozen.inverse_transform
+        # last_value: the paper's x' = x - x_T / ŷ = ŷ' + x_T, per tenant.
+        anchor = window[-1:].astype(np.float32)
+        return window - anchor, _AddAnchor(anchor)
+
+
+def _identity(prediction: np.ndarray) -> np.ndarray:
+    return prediction
+
+
+class _AddAnchor:
+    """Picklable closure adding a tenant's last observed value back."""
+
+    __slots__ = ("anchor",)
+
+    def __init__(self, anchor: np.ndarray) -> None:
+        self.anchor = anchor
+
+    def __call__(self, prediction: np.ndarray) -> np.ndarray:
+        return prediction + self.anchor

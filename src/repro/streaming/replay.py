@@ -1,0 +1,184 @@
+"""Replay harness: drive synthetic tenants through the streaming stack.
+
+``replay`` feeds per-tenant series into a :class:`StreamingForecaster` one
+time step at a time — every global tick ingests one new observation per
+live tenant and then forecasts *all* of them through one service flush, the
+steady-state shape of multi-tenant online serving.  ``compare_to_backfill``
+then checks the core correctness property of the subsystem: forecasts
+produced incrementally from ring-buffer windows must be **bit-identical**
+to :meth:`ForecastService.backfill` run offline over the same series
+(window ``k`` of the stream is exactly window ``k`` of the offline
+dataset, and model forward passes are row-deterministic regardless of
+batch composition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..data.containers import MultivariateTimeSeries
+from ..data.timefeatures import make_timestamps
+from ..data.windows import SlidingWindowDataset
+from .forecaster import StreamingForecaster
+
+__all__ = ["ReplayResult", "ParityReport", "replay", "compare_to_backfill"]
+
+
+@dataclass
+class ReplayResult:
+    """Everything the replay produced, plus the batching it achieved."""
+
+    forecasts: Dict[str, np.ndarray]     # tenant -> [n_forecasts, horizon, C]
+    steps: int                           # global ticks driven
+    requests: int                        # forecasts submitted during replay
+    forward_passes: int                  # service passes those coalesced into
+    warmup: int                          # observations before a tenant's first forecast
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Requests per forward pass — > 1 means tenants actually coalesced."""
+        return self.requests / self.forward_passes if self.forward_passes else 0.0
+
+
+def replay(
+    forecaster: StreamingForecaster,
+    streams: Mapping[str, np.ndarray],
+    warmup: Optional[int] = None,
+) -> ReplayResult:
+    """Stream per-tenant series through the forecaster tick by tick.
+
+    Parameters
+    ----------
+    forecaster:
+        the streaming stack under test (its service queue is flushed once
+        per tick, after every live tenant has submitted).
+    streams:
+        ``tenant -> [T, C]`` raw observations; lengths may differ.
+    warmup:
+        observations a tenant must have before its first forecast (default:
+        the model's ``input_length``, i.e. no cold-start padding).  After
+        warmup, tick ``t`` forecasts from the window ending at row ``t`` —
+        so tenant forecasts align one-to-one with the offline sliding
+        windows of the same series.
+    """
+    warmup = forecaster.config.input_length if warmup is None else warmup
+    if warmup < 1:
+        raise ValueError(f"warmup must be positive, got {warmup}")
+    arrays = {tenant: np.asarray(values, dtype=np.float32) for tenant, values in streams.items()}
+    for tenant, values in arrays.items():
+        if values.ndim != 2:
+            raise ValueError(f"stream {tenant!r} must be [T, C], got shape {values.shape}")
+    horizon_steps = max((len(v) for v in arrays.values()), default=0)
+    collected: Dict[str, List[np.ndarray]] = {tenant: [] for tenant in arrays}
+
+    stats = forecaster.service.stats
+    requests_before = stats.requests
+    passes_before = stats.forward_passes
+
+    for step in range(horizon_steps):
+        pending = []
+        for tenant, values in arrays.items():
+            if step >= len(values):
+                continue
+            forecaster.ingest(tenant, values[step])
+            if step + 1 >= warmup:
+                pending.append((tenant, forecaster.forecast(tenant)))
+        forecaster.flush()
+        for tenant, handle in pending:
+            collected[tenant].append(handle.result())
+
+    forecasts = {
+        tenant: np.stack(rows) if rows else np.zeros(
+            (0, forecaster.config.horizon, forecaster.config.n_channels), dtype=np.float32
+        )
+        for tenant, rows in collected.items()
+    }
+    return ReplayResult(
+        forecasts=forecasts,
+        steps=horizon_steps,
+        requests=stats.requests - requests_before,
+        forward_passes=stats.forward_passes - passes_before,
+        warmup=warmup,
+    )
+
+
+@dataclass
+class ParityReport:
+    """Streaming-vs-offline comparison over every checkable window."""
+
+    tenants: int
+    windows_compared: int
+    bit_identical: bool
+    max_abs_error: float
+
+    def raise_on_mismatch(self) -> "ParityReport":
+        if self.windows_compared == 0:
+            raise AssertionError(
+                "parity check compared zero windows (every stream shorter "
+                "than input_length + horizon?) — nothing was verified"
+            )
+        if not self.bit_identical:
+            raise AssertionError(
+                f"streaming forecasts diverge from offline backfill: "
+                f"max |Δ| = {self.max_abs_error:.3e} over "
+                f"{self.windows_compared} windows"
+            )
+        return self
+
+
+def compare_to_backfill(
+    forecaster: StreamingForecaster,
+    streams: Mapping[str, np.ndarray],
+    result: ReplayResult,
+) -> ParityReport:
+    """Check replayed streaming forecasts against offline ``backfill``.
+
+    For each tenant the raw stream is wrapped in a
+    :class:`SlidingWindowDataset` and pushed through the *same* service's
+    ``backfill``; streaming forecast ``k`` (full-window forecasts only) must
+    equal backfill row ``k`` bit for bit.  Streaming keeps forecasting past
+    the last window that has targets, so only the overlapping prefix is
+    compared.  Only ``normalization="none"`` replays are directly
+    comparable — offline backfill has no per-tenant scaling.
+    """
+    if forecaster.normalization != "none":
+        raise ValueError(
+            "backfill parity is only defined for normalization='none'; "
+            f"got {forecaster.normalization!r}"
+        )
+    config = forecaster.config
+    # Forecasts issued before a full window accumulated are cold-start
+    # (left-padded) and have no offline counterpart; skip past them.
+    offset = max(0, config.input_length - result.warmup)
+    compared = 0
+    identical = True
+    max_abs = 0.0
+    for tenant, values in streams.items():
+        values = np.asarray(values, dtype=np.float32)
+        produced = result.forecasts[tenant][offset:]
+        if len(values) < config.input_length + config.horizon:
+            continue  # too short for any offline window
+        series = MultivariateTimeSeries(
+            values=values,
+            timestamps=make_timestamps(len(values), freq_minutes=60),
+            name=f"replay-{tenant}",
+        )
+        dataset = SlidingWindowDataset(series, config.input_length, config.horizon)
+        offline = forecaster.service.backfill(dataset)
+        n = min(len(offline), len(produced))
+        compared += n
+        if n == 0:
+            continue
+        diff = np.abs(offline[:n] - produced[:n])
+        max_abs = max(max_abs, float(diff.max()))
+        identical = identical and np.array_equal(offline[:n], produced[:n])
+    return ParityReport(
+        tenants=len(result.forecasts),
+        windows_compared=compared,
+        # Vacuous truth is not parity: with nothing compared, don't claim it.
+        bit_identical=identical and compared > 0,
+        max_abs_error=max_abs,
+    )

@@ -1,0 +1,201 @@
+"""Bounded per-tenant observation storage for online forecasting.
+
+A streaming forecaster only ever needs the most recent ``input_length``
+steps per tenant, so holding full histories (or calling ``np.append``,
+which reallocates the whole array on every arrival) would defeat the
+point of online serving.  :class:`RingBuffer` keeps a fixed-capacity
+``[capacity, channels]`` array and writes arrivals with at most two slice
+assignments — O(rows) per ingest, O(1) amortised per observation, zero
+reallocation after construction.  :class:`SeriesStore` maps tenant keys to
+ring buffers and enforces per-tenant timestamp monotonicity.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RingBuffer", "SeriesStore", "StoreStats"]
+
+
+class RingBuffer:
+    """Fixed-capacity chronological buffer of ``[capacity, channels]`` rows.
+
+    ``extend`` never reallocates: rows are written into the preallocated
+    array at a wrapping cursor, and chunks longer than the capacity keep
+    only their most recent ``capacity`` rows (the older ones could never be
+    read back anyway).
+
+    Not thread-safe on its own — :class:`SeriesStore` serialises ``extend``
+    and ``latest`` under its lock.
+    """
+
+    def __init__(self, capacity: int, n_channels: int, dtype=np.float32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if n_channels < 1:
+            raise ValueError(f"n_channels must be positive, got {n_channels}")
+        self.capacity = capacity
+        self.n_channels = n_channels
+        self._data = np.zeros((capacity, n_channels), dtype=dtype)
+        self._write = 0          # next write position
+        self._size = 0           # rows currently held (<= capacity)
+        self._total = 0          # rows ever appended
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total_appended(self) -> int:
+        """Rows ever appended, including those already overwritten."""
+        return self._total
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append ``[T, C]`` rows (or one ``[C]`` row), oldest first."""
+        values = np.asarray(values, dtype=self._data.dtype)
+        if values.ndim == 1:
+            values = values[None, :]
+        if values.ndim != 2 or values.shape[1] != self.n_channels:
+            raise ValueError(
+                f"expected [T, {self.n_channels}] rows, got shape {values.shape}"
+            )
+        rows = len(values)
+        if rows == 0:
+            return
+        self._total += rows
+        if rows >= self.capacity:
+            # Only the newest `capacity` rows survive; restart the cursor.
+            self._data[:] = values[-self.capacity:]
+            self._write = 0
+            self._size = self.capacity
+            return
+        first = min(rows, self.capacity - self._write)
+        self._data[self._write:self._write + first] = values[:first]
+        if rows > first:
+            self._data[:rows - first] = values[first:]
+        self._write = (self._write + rows) % self.capacity
+        self._size = min(self._size + rows, self.capacity)
+
+    def latest(self, n: int) -> np.ndarray:
+        """The most recent ``min(n, len(self))`` rows, oldest→newest, as a copy."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        n = min(n, self._size)
+        if n == 0:
+            return self._data[:0].copy()
+        start = (self._write - n) % self.capacity
+        if start + n <= self.capacity:
+            return self._data[start:start + n].copy()
+        return np.concatenate([self._data[start:], self._data[:start + n - self.capacity]])
+
+
+@dataclass
+class StoreStats:
+    """Ingest-side counters for the whole store."""
+
+    tenants: int = 0
+    ingests: int = 0            # ingest() calls
+    observations: int = 0       # rows appended across all tenants
+    evicted: int = 0            # rows that have fallen off a ring
+
+
+class SeriesStore:
+    """One bounded :class:`RingBuffer` per tenant/series.
+
+    ``ingest`` lazily creates the tenant's buffer on first sight, so new
+    tenants need no registration step.  When timestamps are supplied they
+    must be strictly increasing per tenant — out-of-order arrivals would
+    silently corrupt the window a forecast is assembled from.
+    """
+
+    def __init__(self, capacity: int, n_channels: int, dtype=np.float32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.n_channels = n_channels
+        self._dtype = dtype
+        self._buffers: Dict[str, RingBuffer] = {}
+        self._last_timestamp: Dict[str, object] = {}
+        self._lock = threading.Lock()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._buffers
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def tenants(self) -> List[str]:
+        """Tenant keys in first-seen order."""
+        return list(self._buffers)
+
+    def buffer(self, tenant: str) -> RingBuffer:
+        try:
+            return self._buffers[tenant]
+        except KeyError:
+            raise KeyError(f"unknown tenant {tenant!r}") from None
+
+    def observed(self, tenant: str) -> int:
+        """Total observations ever ingested for a tenant (0 if unknown)."""
+        buffer = self._buffers.get(tenant)
+        return 0 if buffer is None else buffer.total_appended
+
+    # ------------------------------------------------------------------ #
+    def ingest(self, tenant: str, values: np.ndarray, timestamp=None) -> int:
+        """Append observations for a tenant; returns its total observed rows."""
+        # Validate before touching any state: a rejected ingest must not
+        # leave a phantom empty tenant behind (forecast_all over
+        # store.tenants() would then fail every healthy tenant's tick).
+        values = np.asarray(values, dtype=self._dtype)
+        if values.ndim == 1:
+            values = values[None, :]
+        if values.ndim != 2 or values.shape[1] != self.n_channels:
+            raise ValueError(
+                f"expected [T, {self.n_channels}] rows, got shape {values.shape}"
+            )
+        with self._lock:
+            buffer = self._buffers.get(tenant)
+            if buffer is None:
+                buffer = RingBuffer(self.capacity, self.n_channels, dtype=self._dtype)
+                self._buffers[tenant] = buffer
+                self.stats.tenants += 1
+            if timestamp is not None:
+                last = self._last_timestamp.get(tenant)
+                if last is not None and not timestamp > last:
+                    raise ValueError(
+                        f"tenant {tenant!r}: timestamp {timestamp!r} is not after "
+                        f"the last ingested timestamp {last!r}"
+                    )
+            total_before = buffer.total_appended
+            dropped_before = total_before - len(buffer)
+            buffer.extend(values)
+            if timestamp is not None:
+                self._last_timestamp[tenant] = timestamp
+            self.stats.ingests += 1
+            self.stats.observations += buffer.total_appended - total_before
+            self.stats.evicted += (buffer.total_appended - len(buffer)) - dropped_before
+            return buffer.total_appended
+
+    def latest(self, tenant: str, n: int) -> np.ndarray:
+        """The tenant's most recent ``min(n, held)`` rows, chronological.
+
+        Taken under the store lock: a window copied while a concurrent
+        ``ingest`` is mid-way through its (up to two) slice writes could
+        otherwise mix old and new rows out of order.
+        """
+        with self._lock:
+            return self.buffer(tenant).latest(n)
+
+    def last_timestamp(self, tenant: str):
+        """The last ingested timestamp for a tenant, or ``None``."""
+        return self._last_timestamp.get(tenant)
+
+    def drop(self, tenant: str) -> None:
+        """Forget a tenant entirely (buffer and timestamp watermark)."""
+        with self._lock:
+            self._buffers.pop(tenant, None)
+            self._last_timestamp.pop(tenant, None)

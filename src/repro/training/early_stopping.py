@@ -28,10 +28,20 @@ class EarlyStopping:
         self.should_stop = False
 
     def update(self, score: float, state: Optional[Dict[str, np.ndarray]] = None) -> bool:
-        """Record an epoch's validation score; return True if it improved."""
+        """Record an epoch's validation score; return True if it improved.
+
+        ``state`` is copied defensively: callers passing live parameter
+        arrays (rather than the copies ``Module.state_dict`` makes) would
+        otherwise keep training straight through ``best_state``, silently
+        corrupting the snapshot this class exists to preserve.
+        """
         if score < self.best_score - self.min_delta:
             self.best_score = score
-            self.best_state = state
+            self.best_state = (
+                None
+                if state is None
+                else {name: np.array(value, copy=True) for name, value in state.items()}
+            )
             self.bad_epochs = 0
             return True
         self.bad_epochs += 1

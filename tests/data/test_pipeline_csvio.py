@@ -63,6 +63,21 @@ class TestPrepareForecastingData:
         assert data.name == "ETTh1"
         assert data.n_channels == 3
 
+    def test_preparing_same_series_twice_is_idempotent(self):
+        """Regression: _scale_covariates used to standardise the caller's
+        covariates in place, so a second prepare over the same series object
+        re-scaled already-scaled covariates."""
+        series = load_dataset("ElectricityPrice", n_timestamps=900, n_channels=2, seed=4)
+        raw_covariates = series.covariates.numerical.copy()
+        first = prepare_forecasting_data("ignored", input_length=48, horizon=12, series=series)
+        np.testing.assert_array_equal(series.covariates.numerical, raw_covariates)
+        second = prepare_forecasting_data("ignored", input_length=48, horizon=12, series=series)
+        for split in ("train", "validation", "test"):
+            batch_a = getattr(first, split).as_arrays()
+            batch_b = getattr(second, split).as_arrays()
+            for key in ("x", "y", "future_numerical", "future_categorical"):
+                np.testing.assert_array_equal(batch_a[key], batch_b[key])
+
 
 class TestCsvRoundTrip:
     def test_save_and_load(self, tmp_path):

@@ -41,6 +41,17 @@ class TestStandardScaler:
         transformed_test = scaler.transform(test)
         assert transformed_test.mean() > 10  # shifted data stays shifted
 
+    def test_inverse_transform_keeps_float64_precision(self, rng):
+        """Regression: a float32 downcast on the inverse lost whole units on
+        large-magnitude channels (float32 resolution at 1e8 is ~8)."""
+        data = rng.standard_normal((200, 2)) * 3.0 + 1e8
+        scaler = StandardScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        assert restored.dtype == np.float64
+        np.testing.assert_allclose(restored, data, rtol=1e-6)
+        # float32 could not represent the channel offset this tightly
+        assert np.abs(restored - data).max() < 1.0
+
 
 class TestMinMaxScaler:
     def test_range_is_unit_interval(self, rng):
@@ -61,6 +72,14 @@ class TestMinMaxScaler:
     def test_transform_before_fit_raises(self):
         with pytest.raises(RuntimeError):
             MinMaxScaler().transform(np.ones((3, 2)))
+
+    def test_inverse_transform_keeps_float64_precision(self, rng):
+        data = rng.standard_normal((200, 2)) + 1e8
+        scaler = MinMaxScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        assert restored.dtype == np.float64
+        np.testing.assert_allclose(restored, data, rtol=1e-6)
+        assert np.abs(restored - data).max() < 1.0
 
 
 class TestScalerProperties:

@@ -206,6 +206,19 @@ class TestPredictManyAndBackfill:
             service.backfill(wrong)
 
 
+class TestStats:
+    def test_as_dict_reports_counters_and_ratios(self, service, history):
+        for _ in range(3):
+            service.submit(history)
+        service.flush()
+        report = service.stats.as_dict()
+        assert report["requests"] == 3
+        assert report["forward_passes"] == 1
+        assert report["mean_batch_size"] == 3.0
+        assert set(report) >= {"flushes", "padded_requests", "largest_batch",
+                               "backfill_batches", "backfill_windows"}
+
+
 class TestFromRegistry:
     def test_from_registry_resolves_model(self, cycle_smoke_data):
         config = _config_for(cycle_smoke_data)

@@ -1,0 +1,114 @@
+"""Streaming/offline parity: replayed forecasts must equal backfill bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import LiPFormer
+from repro.data.containers import MultivariateTimeSeries
+from repro.data.timefeatures import make_timestamps
+from repro.data.windows import SlidingWindowDataset
+from repro.serving import ForecastService
+from repro.streaming import StreamingForecaster, compare_to_backfill, replay
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(
+        input_length=32, horizon=8, n_channels=2, patch_length=8,
+        hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1,
+    )
+
+
+@pytest.fixture
+def service(config):
+    return ForecastService(LiPFormer(config), max_batch_size=16)
+
+
+def make_streams(rng, n_tenants, steps, channels=2):
+    """Distinct synthetic tenants: different phases, scales and noise."""
+    streams = {}
+    t = np.arange(steps, dtype=np.float32)
+    for i in range(n_tenants):
+        seasonal = np.sin(2 * np.pi * (t / 24.0 + i / n_tenants))[:, None]
+        noise = rng.normal(scale=0.3, size=(steps, channels))
+        streams[f"tenant-{i}"] = ((i + 1) * seasonal + noise).astype(np.float32)
+    return streams
+
+
+class TestReplayParity:
+    def test_streaming_matches_backfill_bit_identical(self, service, rng):
+        forecaster = StreamingForecaster(service)
+        streams = make_streams(rng, n_tenants=4, steps=64)
+        result = replay(forecaster, streams)
+        report = compare_to_backfill(forecaster, streams, result)
+        assert report.windows_compared == 4 * (64 - 32 - 8 + 1)
+        assert report.bit_identical, f"max |Δ| = {report.max_abs_error}"
+        report.raise_on_mismatch()
+
+    def test_replay_coalesces_concurrent_tenants(self, service, rng):
+        forecaster = StreamingForecaster(service)
+        streams = make_streams(rng, n_tenants=6, steps=48)
+        result = replay(forecaster, streams)
+        # After warmup, all six tenants forecast on every tick and must
+        # share forward passes: mean batch size is the coalescing win.
+        assert result.mean_batch_size > 1.0
+        assert result.mean_batch_size == pytest.approx(6.0)
+        assert result.requests == 6 * (48 - 32 + 1)
+
+    def test_replay_with_ragged_stream_lengths(self, service, rng):
+        forecaster = StreamingForecaster(service)
+        streams = make_streams(rng, n_tenants=2, steps=64)
+        streams["short"] = streams.pop("tenant-1")[:40]
+        result = replay(forecaster, streams)
+        assert len(result.forecasts["tenant-0"]) == 64 - 32 + 1
+        assert len(result.forecasts["short"]) == 40 - 32 + 1
+        compare_to_backfill(forecaster, streams, result).raise_on_mismatch()
+
+    def test_replay_with_early_warmup_skips_cold_start_in_parity(self, service, rng):
+        forecaster = StreamingForecaster(service)
+        streams = make_streams(rng, n_tenants=2, steps=56)
+        result = replay(forecaster, streams, warmup=16)   # 16 cold-start forecasts
+        assert len(result.forecasts["tenant-0"]) == 56 - 16 + 1
+        report = compare_to_backfill(forecaster, streams, result)
+        assert report.bit_identical
+        assert report.windows_compared == 2 * (56 - 32 - 8 + 1)
+
+    def test_parity_requires_passthrough_normalization(self, service, rng):
+        forecaster = StreamingForecaster(service, normalization="rolling")
+        streams = make_streams(rng, n_tenants=2, steps=48)
+        result = replay(forecaster, streams)
+        with pytest.raises(ValueError, match="normalization"):
+            compare_to_backfill(forecaster, streams, result)
+
+    def test_replay_forecasts_match_per_window_predict(self, service, rng):
+        """Spot-check the alignment claim directly against the dataset."""
+        forecaster = StreamingForecaster(service)
+        streams = make_streams(rng, n_tenants=1, steps=52)
+        values = streams["tenant-0"]
+        result = replay(forecaster, streams)
+        series = MultivariateTimeSeries(
+            values=values, timestamps=make_timestamps(len(values), freq_minutes=60)
+        )
+        dataset = SlidingWindowDataset(series, 32, 8)
+        for k in (0, 5, len(dataset) - 1):
+            expected = service.model.predict(dataset[k].x[None])[0]
+            np.testing.assert_array_equal(result.forecasts["tenant-0"][k], expected)
+
+    def test_parity_over_zero_windows_is_not_claimed(self, service, rng):
+        """Streams too short for any offline window must not report parity."""
+        forecaster = StreamingForecaster(service)
+        streams = {"tiny": rng.normal(size=(35, 2)).astype(np.float32)}  # < 32+8
+        result = replay(forecaster, streams)
+        report = compare_to_backfill(forecaster, streams, result)
+        assert report.windows_compared == 0
+        assert not report.bit_identical
+        with pytest.raises(AssertionError, match="zero windows"):
+            report.raise_on_mismatch()
+
+    def test_replay_rejects_bad_inputs(self, service, rng):
+        forecaster = StreamingForecaster(service)
+        with pytest.raises(ValueError, match="warmup"):
+            replay(forecaster, {"a": rng.normal(size=(40, 2))}, warmup=0)
+        with pytest.raises(ValueError, match="T, C"):
+            replay(forecaster, {"a": rng.normal(size=(40,))})

@@ -1,0 +1,124 @@
+"""Tests for the ring buffer and multi-tenant series store."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import RingBuffer, SeriesStore
+
+
+def rows(start, count, channels=2):
+    """Distinct, recognisable [count, channels] rows."""
+    base = np.arange(start, start + count, dtype=np.float32)
+    return np.stack([base + 100 * c for c in range(channels)], axis=1)
+
+
+class TestRingBuffer:
+    def test_fill_and_latest_chronological(self):
+        ring = RingBuffer(capacity=8, n_channels=2)
+        ring.extend(rows(0, 5))
+        assert len(ring) == 5
+        np.testing.assert_array_equal(ring.latest(3), rows(2, 3))
+
+    def test_wraparound_keeps_newest(self):
+        ring = RingBuffer(capacity=8, n_channels=2)
+        for start in range(0, 20, 3):          # chunks of 3 across the wrap point
+            ring.extend(rows(start, 3))
+        assert len(ring) == 8
+        assert ring.total_appended == 21
+        np.testing.assert_array_equal(ring.latest(8), rows(13, 8))
+
+    def test_chunk_larger_than_capacity_keeps_tail(self):
+        ring = RingBuffer(capacity=4, n_channels=2)
+        ring.extend(rows(0, 2))
+        ring.extend(rows(2, 10))
+        np.testing.assert_array_equal(ring.latest(4), rows(8, 4))
+        assert ring.total_appended == 12
+
+    def test_no_reallocation_across_appends(self):
+        ring = RingBuffer(capacity=6, n_channels=1)
+        backing = ring._data
+        for start in range(100):
+            ring.extend(rows(start, 1, channels=1))
+        assert ring._data is backing, "ring must never reallocate its backing array"
+
+    def test_latest_clamps_to_size_and_copies(self):
+        ring = RingBuffer(capacity=8, n_channels=2)
+        ring.extend(rows(0, 3))
+        window = ring.latest(10)
+        assert window.shape == (3, 2)
+        window[:] = -1                       # mutating the copy ...
+        np.testing.assert_array_equal(ring.latest(3), rows(0, 3))  # ... leaves the ring intact
+
+    def test_single_row_and_empty_append(self):
+        ring = RingBuffer(capacity=4, n_channels=3)
+        ring.extend(np.arange(3, dtype=np.float32))     # 1-D row
+        ring.extend(np.zeros((0, 3), dtype=np.float32))
+        assert len(ring) == 1 and ring.total_appended == 1
+
+    def test_rejects_bad_shapes_and_sizes(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0, n_channels=1)
+        ring = RingBuffer(capacity=4, n_channels=2)
+        with pytest.raises(ValueError):
+            ring.extend(np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            ring.latest(-1)
+
+
+class TestSeriesStore:
+    def test_lazy_tenant_creation_and_isolation(self):
+        store = SeriesStore(capacity=8, n_channels=2)
+        store.ingest("a", rows(0, 4))
+        store.ingest("b", rows(50, 2))
+        assert store.tenants() == ["a", "b"]
+        np.testing.assert_array_equal(store.latest("a", 4), rows(0, 4))
+        np.testing.assert_array_equal(store.latest("b", 4), rows(50, 2))
+
+    def test_ingest_returns_running_total(self):
+        store = SeriesStore(capacity=4, n_channels=2)
+        assert store.ingest("a", rows(0, 3)) == 3
+        assert store.ingest("a", rows(3, 3)) == 6
+        assert store.observed("a") == 6
+        assert store.observed("missing") == 0
+
+    def test_timestamps_must_increase_per_tenant(self):
+        store = SeriesStore(capacity=8, n_channels=1)
+        store.ingest("a", rows(0, 1, channels=1), timestamp=10)
+        store.ingest("b", rows(0, 1, channels=1), timestamp=5)   # other tenant: fine
+        store.ingest("a", rows(1, 1, channels=1), timestamp=11)
+        with pytest.raises(ValueError, match="not after"):
+            store.ingest("a", rows(2, 1, channels=1), timestamp=11)
+        assert store.last_timestamp("a") == 11
+        assert len(store.buffer("a")) == 2  # rejected rows were not appended
+
+    def test_stats_track_evictions(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("a", rows(0, 3, channels=1))
+        store.ingest("a", rows(3, 3, channels=1))
+        assert store.stats.observations == 6
+        assert store.stats.evicted == 2
+        assert store.stats.tenants == 1
+        assert store.stats.ingests == 2
+
+    def test_drop_forgets_tenant(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("a", rows(0, 2, channels=1), timestamp=1)
+        store.drop("a")
+        assert "a" not in store
+        assert store.last_timestamp("a") is None
+        with pytest.raises(KeyError):
+            store.buffer("a")
+        store.ingest("a", rows(0, 1, channels=1), timestamp=0)  # watermark reset too
+
+    def test_unknown_tenant_latest_raises(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        with pytest.raises(KeyError, match="unknown tenant"):
+            store.latest("ghost", 2)
+
+    def test_rejected_ingest_leaves_no_phantom_tenant(self):
+        store = SeriesStore(capacity=4, n_channels=2)
+        with pytest.raises(ValueError):
+            store.ingest("bad", np.zeros((3, 5)))
+        assert "bad" not in store
+        assert store.tenants() == []
+        assert store.stats.tenants == 0

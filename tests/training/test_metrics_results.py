@@ -69,6 +69,17 @@ class TestEarlyStopping:
         with pytest.raises(ValueError):
             EarlyStopping(patience=-1)
 
+    def test_best_state_survives_caller_mutating_live_arrays(self):
+        """Regression: storing the caller's dict by reference let further
+        training steps silently corrupt the best-state snapshot."""
+        stopper = EarlyStopping(patience=2)
+        live = {"w": np.ones(3), "b": np.zeros(2)}
+        stopper.update(1.0, state=live)
+        live["w"] += 100.0                 # optimizer keeps stepping in place
+        live["b"][:] = -1.0
+        np.testing.assert_array_equal(stopper.best_state["w"], np.ones(3))
+        np.testing.assert_array_equal(stopper.best_state["b"], np.zeros(2))
+
 
 class TestResultsTable:
     def _table(self):
