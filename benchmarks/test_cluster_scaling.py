@@ -1,0 +1,118 @@
+"""Benchmark S3 — sharded cluster scaling and rebalance cost.
+
+Quantifies the two claims the cluster subsystem makes:
+
+* the sharded façade is a routing layer, not a bottleneck: serving the
+  same tenant fleet through 2 or 4 shards (ring lookup + per-shard
+  micro-batches) stays within a small factor of the single-shard path in
+  one process, while per-shard batch sizes shrink by exactly the shard
+  count (the win materialises when shards get their own cores/processes);
+* consistent hashing keeps rebalancing *cheap*: growing an N-shard ring
+  by one moves ≈ ``1/(N+1)`` of the tenants — never a full reshuffle —
+  and every moved tenant lands on the new shard.
+"""
+
+import time
+
+import numpy as np
+
+from repro.cluster import ShardedForecaster
+from repro.config import ModelConfig
+from repro.core import LiPFormer
+from repro.serving import ForecastService
+
+N_TENANTS = 24
+INPUT_LENGTH = 48
+HORIZON = 12
+TICKS = 10
+
+
+def _service_factory():
+    config = ModelConfig(
+        input_length=INPUT_LENGTH, horizon=HORIZON, n_channels=1,
+        patch_length=12, hidden_dim=32, dropout=0.0,
+    )
+    return ForecastService(LiPFormer(config), max_batch_size=N_TENANTS)
+
+
+def _arrivals(rng, steps):
+    return [
+        {f"tenant-{i}": rng.normal(size=(1, 1)).astype(np.float32) for i in range(N_TENANTS)}
+        for _ in range(steps)
+    ]
+
+
+def _drive(cluster, arrivals):
+    for tick in arrivals:
+        handles = cluster.ingest_and_forecast(tick)
+        for handle in handles.values():
+            handle.result()
+
+
+def test_sharded_routing_overhead_is_bounded():
+    """Throughput vs shard count: fan-out must not crater single-process serving."""
+    rng = np.random.default_rng(3)
+    warmup = _arrivals(rng, INPUT_LENGTH // 2)
+    measured = _arrivals(rng, TICKS)
+
+    elapsed = {}
+    batch_sizes = {}
+    for n_shards in (1, 2, 4):
+        cluster = ShardedForecaster(_service_factory, n_shards=n_shards)
+        _drive(cluster, warmup)
+        cluster.reset_service_stats()
+        start = time.perf_counter()
+        _drive(cluster, measured)
+        elapsed[n_shards] = time.perf_counter() - start
+        stats = cluster.service_stats()
+        batch_sizes[n_shards] = stats.mean_batch_size
+        assert stats.requests == N_TENANTS * TICKS
+
+    throughput = {n: N_TENANTS * TICKS / t for n, t in elapsed.items()}
+    print(
+        "\ncluster scaling: "
+        + ", ".join(
+            f"{n} shard(s) {throughput[n]:,.0f} forecasts/s "
+            f"(mean batch {batch_sizes[n]:.1f})"
+            for n in sorted(throughput)
+        )
+    )
+    # Tenants still coalesce per shard: N tenants over S shards ≈ N/S.
+    for n_shards, mean_batch in batch_sizes.items():
+        assert mean_batch >= 0.8 * N_TENANTS / n_shards
+    # One process runs shards sequentially, so 4 shards can't be faster —
+    # but the routing/fan-out layer itself must stay cheap.
+    assert throughput[4] >= 0.25 * throughput[1], (
+        f"4-shard fan-out overhead too high: {throughput[4]:,.0f} vs "
+        f"{throughput[1]:,.0f} forecasts/s unsharded"
+    )
+
+
+def test_rebalance_moves_at_most_one_over_n_plus_slack():
+    """Rebalance cost: adding shard N+1 migrates ≈ 1/(N+1) of tenants."""
+    rng = np.random.default_rng(9)
+    n_tenants = 600
+    for n_shards in (2, 4):
+        cluster = ShardedForecaster(_service_factory, n_shards=n_shards, vnodes=128)
+        for i in range(n_tenants):
+            cluster.ingest(f"tenant-{i}", rng.normal(size=(4, 1)).astype(np.float32))
+        before = cluster.ring.assignments(cluster.tenants())
+        start = time.perf_counter()
+        moved = cluster.add_shard()
+        rebalance_seconds = time.perf_counter() - start
+        fraction = len(moved) / n_tenants
+        expected = 1 / (n_shards + 1)
+        print(
+            f"\nrebalance {n_shards}→{n_shards + 1} shards: moved "
+            f"{len(moved)}/{n_tenants} tenants ({fraction:.1%}, expected "
+            f"≈{expected:.1%}) in {rebalance_seconds * 1e3:.1f} ms"
+        )
+        assert fraction <= expected + 0.10, (
+            f"rebalance moved {fraction:.1%} of tenants; consistent hashing "
+            f"should move ≈{expected:.1%}"
+        )
+        assert fraction > 0, "a new shard should take some load"
+        # Only reassigned tenants moved, and state went with them.
+        after = cluster.ring.assignments(list(before))
+        assert set(moved) == {t for t in before if before[t] != after[t]}
+        assert all(t in cluster.shard(after[t]).store for t in before)

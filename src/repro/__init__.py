@@ -13,6 +13,8 @@ API groups into:
 * ``repro.training``    — trainers, metrics, experiment runner
 * ``repro.serving``     — micro-batched inference service + model registry
 * ``repro.streaming``   — multi-tenant online ingestion + streaming forecasts
+* ``repro.cluster``     — sharded multi-replica serving with consistent-hash
+                          tenant partitioning and snapshot/restore persistence
 * ``repro.profiling``   — parameters, MACs, timing, edge emulation
 * ``repro.experiments`` — drivers regenerating every paper table / figure
 """
@@ -20,6 +22,7 @@ API groups into:
 from .config import ModelConfig, TrainingConfig
 from .core import LiPFormer
 from .baselines import available_models, create_model
+from .cluster import HashRing, ShardedForecaster
 from .data import load_dataset, prepare_forecasting_data
 from .serving import ForecastService, ModelRegistry
 from .streaming import SeriesStore, StreamingForecaster
@@ -39,6 +42,8 @@ __all__ = [
     "ModelRegistry",
     "SeriesStore",
     "StreamingForecaster",
+    "HashRing",
+    "ShardedForecaster",
     "Trainer",
     "run_experiment",
     "__version__",

@@ -1,0 +1,56 @@
+"""``repro.cluster`` — sharded, persistent multi-replica serving.
+
+The streaming subsystem (:mod:`repro.streaming`) serves many tenants
+through *one* model replica in *one* process; this subsystem is the step
+past both limits:
+
+* :class:`HashRing` — consistent hashing with virtual nodes: a
+  deterministic (MD5-based, process-independent) tenant → shard map where
+  changing the shard count reassigns only ≈ ``1/N`` of tenants;
+* :class:`ShardedForecaster` — N independent streaming stacks (one
+  :class:`~repro.serving.service.ForecastService` replica each) behind a
+  single ``ingest`` / ``forecast`` / ``forecast_all`` façade, with live
+  :meth:`~ShardedForecaster.add_shard` / :meth:`~ShardedForecaster.remove_shard`
+  rebalancing that migrates exactly the tenants whose ring assignment
+  changed, and cluster-wide stats via ``ServiceStats.merge``;
+* :mod:`~repro.cluster.snapshot` — a pickle-free nested-state ↔ ``.npz``
+  codec over the new ``to_state`` / ``from_state`` methods on
+  :class:`~repro.streaming.store.RingBuffer`,
+  :class:`~repro.streaming.store.SeriesStore`,
+  :class:`~repro.data.incremental.RollingScaler` and
+  :class:`~repro.streaming.forecaster.StreamingForecaster`, so a serving
+  process (or a whole cluster) restarts without losing tenant state;
+* :mod:`~repro.cluster.parity` — the correctness harness: sharded,
+  rebalanced and snapshot/restored deployments must forecast
+  **bit-identically** to an uninterrupted single forecaster.
+
+See ``examples/cluster_quickstart.py`` for a tour and
+``benchmarks/test_cluster_scaling.py`` for throughput-vs-shards and
+rebalance-cost measurements.
+"""
+
+from .parity import compare_cluster_to_unsharded, replay_cluster
+from .ring import HashRing, stable_hash
+from .sharded import ShardedForecaster
+from .snapshot import (
+    decode_state,
+    encode_state,
+    load_forecaster,
+    read_snapshot,
+    save_forecaster,
+    write_snapshot,
+)
+
+__all__ = [
+    "HashRing",
+    "stable_hash",
+    "ShardedForecaster",
+    "encode_state",
+    "decode_state",
+    "write_snapshot",
+    "read_snapshot",
+    "save_forecaster",
+    "load_forecaster",
+    "replay_cluster",
+    "compare_cluster_to_unsharded",
+]

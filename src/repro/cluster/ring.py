@@ -1,0 +1,119 @@
+"""Consistent-hash ring for tenant → shard assignment.
+
+A modulo partition (``hash(tenant) % n_shards``) reshuffles almost every
+tenant whenever the shard count changes — useless for a live cluster where
+moving a tenant means serialising and re-importing its streaming state.
+:class:`HashRing` is the classic consistent-hashing construction instead:
+every shard owns ``vnodes`` pseudo-random points on a 64-bit circle, and a
+tenant is served by the first shard point clockwise of the tenant's own
+hash.  Adding a shard claims only the arcs its new points cut off
+(≈ ``1/N`` of all tenants in expectation); removing one reassigns only the
+tenants it owned.  Everything is derived from stable digests
+(:func:`stable_hash` over MD5), so assignments are identical across
+processes and Python runs — a snapshot restored elsewhere routes every
+tenant to the same shard.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["stable_hash", "HashRing"]
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit position on the ring, stable across processes.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), which
+    would silently re-partition every tenant on restart; the first eight
+    MD5 bytes are deterministic and spread uniformly.
+    """
+    try:
+        # Not a security use: declare it so FIPS-mode OpenSSL builds
+        # (which disable MD5 for signing) still allow the digest.
+        digest = hashlib.md5(key.encode("utf-8"), usedforsecurity=False).digest()
+    except TypeError:  # pragma: no cover - Python < 3.9 lacks the kwarg
+        digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Deterministic, minimally-disruptive key → node assignment.
+
+    Parameters
+    ----------
+    nodes:
+        initial node names (shard identifiers).
+    vnodes:
+        virtual points per node.  More points smooth the load split
+        (stddev of a node's arc share shrinks like ``1/sqrt(vnodes)``) at
+        the cost of a longer sorted table; 64–128 is plenty for tens of
+        shards.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[int] = []        # sorted vnode positions
+        self._owners: List[str] = []        # owner of each position
+        self._nodes: List[str] = []         # insertion order, for introspection
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> List[str]:
+        """Node names in insertion order."""
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    def add(self, node: str) -> None:
+        """Insert a node's virtual points; existing keys mostly stay put."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        for position in self._positions(node):
+            index = bisect.bisect(self._points, position)
+            # An exact 64-bit collision between two nodes' points is
+            # one-in-2^64 per pair; the lexicographically smaller name wins
+            # the point so insertion order can never flip an assignment.
+            if index > 0 and self._points[index - 1] == position:
+                if node < self._owners[index - 1]:
+                    self._owners[index - 1] = node
+                continue
+            self._points.insert(index, position)
+            self._owners.insert(index, node)
+        self._nodes.append(node)
+
+    def remove(self, node: str) -> None:
+        """Drop a node; only keys it owned are reassigned."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} is not on the ring")
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+        self._nodes.remove(node)
+
+    def assign(self, key: str) -> str:
+        """The node owning ``key``: first vnode clockwise of the key's hash."""
+        if not self._nodes:
+            raise RuntimeError("cannot assign on an empty ring")
+        index = bisect.bisect(self._points, stable_hash(key))
+        if index == len(self._points):    # wrap past 2^64 back to the start
+            index = 0
+        return self._owners[index]
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Bulk ``key -> node`` lookup (one table, many bisects)."""
+        return {key: self.assign(key) for key in keys}
+
+    # ------------------------------------------------------------------ #
+    def _positions(self, node: str) -> List[int]:
+        return [stable_hash(f"{node}#{replica}") for replica in range(self.vnodes)]

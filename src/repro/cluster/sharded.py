@@ -1,0 +1,457 @@
+"""A sharded, rebalanceable cluster of streaming forecasters.
+
+One :class:`~repro.streaming.forecaster.StreamingForecaster` scales until a
+single model replica saturates; past that point tenants must be
+partitioned.  :class:`ShardedForecaster` owns N shards — each a full
+streaming stack with its own :class:`~repro.serving.service.ForecastService`
+(model replica), ring-buffer store and per-tenant scalers — and routes
+every call by consistent-hash lookup on the tenant key:
+
+* ``ingest`` / ``forecast`` go to exactly one shard (tenants never
+  straddle shards, so per-shard micro-batching still coalesces);
+* ``forecast_all`` / ``flush`` fan out, one service flush per shard;
+* stats aggregate cluster-wide through ``ServiceStats.merge``.
+
+Because every piece of per-tenant state has a codec
+(``export_tenant`` / ``import_tenant``), the ring can be *rebalanced
+live*: :meth:`add_shard` and :meth:`remove_shard` migrate exactly the
+tenants whose ring assignment changed — ≈ ``1/N`` of them, not all — and a
+migrated tenant's subsequent forecasts are bit-identical to an
+uninterrupted single-process forecaster over the same arrival sequence
+(window contents, timestamp watermarks and Welford moments all travel).
+
+Routed traffic and topology changes are serialised on a cluster-level
+lock, so concurrent ingest/forecast callers never observe a half-done
+rebalance (a ring node without a registered shard, or a tenant between
+export and drop).
+
+The shard services are expected to be *replicas*: ``service_factory`` must
+build services around models with identical weights (model construction is
+deterministic from ``config.seed``, so a plain
+``lambda: ForecastService(LiPFormer(config))`` qualifies, as does loading
+one trained state dict into each replica).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..serving.service import ForecastService, ServiceStats
+from ..streaming.forecaster import StreamingForecast, StreamingForecaster, StreamingStats
+from ..streaming.store import StoreStats
+from .ring import HashRing
+from .snapshot import read_snapshot, write_snapshot
+
+__all__ = ["ShardedForecaster"]
+
+
+class ShardedForecaster:
+    """Consistent-hash partitioned multi-replica streaming cluster.
+
+    Parameters
+    ----------
+    service_factory:
+        zero-argument callable building one :class:`ForecastService` per
+        shard; replicas must share weights and configuration.
+    n_shards:
+        initial shard count (named ``shard-0 .. shard-{n-1}``).
+    normalization / window_capacity:
+        forwarded to every shard's :class:`StreamingForecaster`.
+    vnodes:
+        virtual points per shard on the :class:`HashRing`.
+    """
+
+    def __init__(
+        self,
+        service_factory: Callable[[], ForecastService],
+        n_shards: int = 2,
+        normalization: str = "none",
+        window_capacity: Optional[int] = None,
+        vnodes: int = 64,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.service_factory = service_factory
+        self.normalization = normalization
+        self.window_capacity = window_capacity
+        self.ring = HashRing(vnodes=vnodes)
+        self._shards: Dict[str, StreamingForecaster] = {}
+        self.config: Optional[ModelConfig] = None
+        self.rebalances = 0
+        self.tenants_migrated = 0
+        self._retired_service = ServiceStats()
+        self._retired_store = StoreStats()
+        self._retired_streaming = StreamingStats()
+        # Serialises routed traffic against topology changes: without it, a
+        # concurrent ingest could route to a ring node whose shard is not
+        # registered yet, or land on a source shard between export and drop
+        # and silently vanish with the old buffer.
+        self._topology_lock = threading.RLock()
+        for index in range(n_shards):
+            shard_id = f"shard-{index}"
+            self.ring.add(shard_id)
+            self._shards[shard_id] = self._build_shard(None)
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shard_ids(self) -> List[str]:
+        """Shard names in creation order."""
+        return list(self._shards)
+
+    def shard(self, shard_id: str) -> StreamingForecaster:
+        """The shard's underlying streaming forecaster."""
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise KeyError(f"unknown shard {shard_id!r}") from None
+
+    def shard_for(self, tenant: str) -> str:
+        """Which shard serves a tenant (pure ring lookup, no state)."""
+        return self.ring.assign(tenant)
+
+    def tenants(self) -> List[str]:
+        """Every tenant across the cluster (shard order, then first-seen)."""
+        with self._topology_lock:
+            keys: List[str] = []
+            for forecaster in self._shards.values():
+                keys.extend(forecaster.store.tenants())
+            return keys
+
+    def tenant_count(self) -> int:
+        with self._topology_lock:
+            return sum(len(fc.store) for fc in self._shards.values())
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing
+    # ------------------------------------------------------------------ #
+    def add_shard(
+        self, shard_id: Optional[str] = None, service: Optional[ForecastService] = None
+    ) -> List[str]:
+        """Grow the ring by one shard; migrate only tenants it now owns.
+
+        Returns the migrated tenant keys.  Consistent hashing guarantees
+        the moved set is exactly the tenants whose assignment changed —
+        every one of them lands on the new shard, and in expectation they
+        are ``1/N`` of the cluster, not a full reshuffle.
+        """
+        with self._topology_lock:
+            if shard_id is None:
+                index = len(self._shards)
+                while f"shard-{index}" in self._shards:
+                    index += 1
+                shard_id = f"shard-{index}"
+            if shard_id in self._shards:
+                raise ValueError(f"shard {shard_id!r} already exists")
+            incoming = self._build_shard(service)
+            self.ring.add(shard_id)
+            moved: List[str] = []
+            try:
+                for source in self._shards.values():
+                    for tenant in source.store.tenants():
+                        if self.ring.assign(tenant) != shard_id:
+                            continue
+                        incoming.import_tenant(tenant, source.export_tenant(tenant))
+                        source.drop(tenant)
+                        moved.append((tenant, source))
+            except Exception:
+                # A half-done rebalance must not leave a phantom ring node
+                # routing ~1/N of tenants to a shard that never registered:
+                # unwind the ring and send migrated tenants home.
+                self.ring.remove(shard_id)
+                for tenant, source in moved:
+                    source.import_tenant(tenant, incoming.export_tenant(tenant))
+                raise
+            self._shards[shard_id] = incoming
+            self.rebalances += 1
+            self.tenants_migrated += len(moved)
+            return [tenant for tenant, _ in moved]
+
+    def remove_shard(self, shard_id: str) -> List[str]:
+        """Retire a shard; its tenants (and only its tenants) re-home.
+
+        The departing shard's service queue is flushed first so every
+        already-submitted forecast resolves against the state it was
+        assembled from.  Returns the migrated tenant keys.
+        """
+        with self._topology_lock:
+            if shard_id not in self._shards:
+                raise KeyError(f"unknown shard {shard_id!r}")
+            if len(self._shards) == 1:
+                raise ValueError("cannot remove the last shard of a cluster")
+            source = self._shards.pop(shard_id)
+            source.flush()
+            self.ring.remove(shard_id)
+            moved: List[str] = []
+            try:
+                for tenant in source.store.tenants():
+                    destination = self._shards[self.ring.assign(tenant)]
+                    destination.import_tenant(tenant, source.export_tenant(tenant))
+                    moved.append(tenant)
+            except Exception:
+                # Unwind: the source still holds every tenant (export
+                # copies), so drop the partial imports and restore the
+                # topology.
+                for tenant in moved:
+                    self._shards[self.ring.assign(tenant)].drop(tenant)
+                self.ring.add(shard_id)
+                self._shards[shard_id] = source
+                raise
+            # The retired shard's history must not vanish from cluster-wide
+            # aggregation (its tenants' observations were very much served).
+            self._fold_retired_stats(source)
+            self.rebalances += 1
+            self.tenants_migrated += len(moved)
+            return moved
+
+    # ------------------------------------------------------------------ #
+    # Routed traffic
+    # ------------------------------------------------------------------ #
+    def ingest(self, tenant: str, values: np.ndarray, timestamp=None) -> int:
+        """Append observations on the tenant's shard; returns its total.
+
+        Held under the topology lock (as is all routed traffic) so an
+        arrival can never land on a shard mid-migration and vanish with
+        the tenant's pre-migration buffer.
+        """
+        with self._topology_lock:
+            return self._shards[self.shard_for(tenant)].ingest(
+                tenant, values, timestamp=timestamp
+            )
+
+    def forecast(
+        self,
+        tenant: str,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> StreamingForecast:
+        """Queue a forecast on the tenant's shard; non-blocking handle."""
+        with self._topology_lock:
+            return self._shards[self.shard_for(tenant)].forecast(
+                tenant,
+                future_numerical=future_numerical,
+                future_categorical=future_categorical,
+            )
+
+    def forecast_all(
+        self,
+        tenants: Optional[Sequence[str]] = None,
+        flush: bool = True,
+        future_numerical: Optional[Mapping[str, np.ndarray]] = None,
+        future_categorical: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> Dict[str, StreamingForecast]:
+        """Queue one forecast per tenant, fanned out shard by shard.
+
+        Requests are grouped per shard before any flush, so each shard's
+        tenants coalesce into that replica's micro-batches — N tenants on
+        S shards cost ``ceil(N/S / max_batch_size)`` passes per shard, not
+        N model calls.
+        """
+        future_numerical = future_numerical or {}
+        future_categorical = future_categorical or {}
+        with self._topology_lock:
+            keys = list(tenants) if tenants is not None else self.tenants()
+            by_shard: Dict[str, List[str]] = {}
+            for tenant in keys:
+                by_shard.setdefault(self.shard_for(tenant), []).append(tenant)
+            handles: Dict[str, StreamingForecast] = {}
+            for shard_id, members in by_shard.items():
+                forecaster = self._shards[shard_id]
+                for tenant in members:
+                    handles[tenant] = forecaster.forecast(
+                        tenant,
+                        future_numerical=future_numerical.get(tenant),
+                        future_categorical=future_categorical.get(tenant),
+                    )
+                if flush:
+                    forecaster.flush()
+        return handles
+
+    def ingest_and_forecast(
+        self, arrivals: Mapping[str, np.ndarray], timestamp=None
+    ) -> Dict[str, StreamingForecast]:
+        """One cluster tick: ingest a batch of arrivals, forecast each tenant."""
+        for tenant, values in arrivals.items():
+            self.ingest(tenant, values, timestamp=timestamp)
+        return self.forecast_all(list(arrivals))
+
+    def flush(self) -> int:
+        """Flush every shard's service queue; returns requests resolved."""
+        with self._topology_lock:
+            return sum(forecaster.flush() for forecaster in self._shards.values())
+
+    def drop(self, tenant: str) -> None:
+        """Forget a tenant cluster-wide (buffer, watermark and scaler)."""
+        with self._topology_lock:
+            self._shards[self.shard_for(tenant)].drop(tenant)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def service_stats(self) -> ServiceStats:
+        """Cluster-wide serving counters (``ServiceStats.merge`` of shards).
+
+        Includes the history of shards retired by :meth:`remove_shard` —
+        their traffic was served, so it stays counted.
+        """
+        return ServiceStats.merge(
+            [self._retired_service] + [fc.service.stats for fc in self._shards.values()]
+        )
+
+    def streaming_stats(self) -> StreamingStats:
+        return StreamingStats.merge(
+            [self._retired_streaming] + [fc.stats for fc in self._shards.values()]
+        )
+
+    def store_stats(self) -> StoreStats:
+        return StoreStats.merge(
+            [self._retired_store] + [fc.store.stats for fc in self._shards.values()]
+        )
+
+    def reset_service_stats(self) -> None:
+        """Zero every shard's serving counters (between benchmark phases)."""
+        self._retired_service.reset()
+        for forecaster in self._shards.values():
+            forecaster.service.stats.reset()
+
+    def _fold_retired_stats(self, source: StreamingForecaster) -> None:
+        self._retired_service = ServiceStats.merge(
+            [self._retired_service, source.service.stats]
+        )
+        self._retired_streaming = StreamingStats.merge(
+            [self._retired_streaming, source.stats]
+        )
+        self._retired_store = StoreStats.merge(
+            [self._retired_store, source.store.stats]
+        )
+
+    def as_dict(self) -> dict:
+        """One observability payload: topology, balance and merged stats."""
+        return {
+            "shards": len(self._shards),
+            "tenants": self.tenant_count(),
+            "tenants_per_shard": {
+                shard_id: len(fc.store) for shard_id, fc in self._shards.items()
+            },
+            "rebalances": self.rebalances,
+            "tenants_migrated": self.tenants_migrated,
+            "service": self.service_stats().as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict:
+        """Serialisable snapshot of the whole cluster (ring + every shard).
+
+        Rebalance counters and the retired-shard stat accumulators travel
+        too — ``service_stats()`` promises retired traffic stays counted,
+        and that promise must hold across a restart.
+        """
+        with self._topology_lock:
+            return self._to_state_locked()
+
+    def _to_state_locked(self) -> dict:
+        return {
+            "vnodes": int(self.ring.vnodes),
+            "normalization": self.normalization,
+            "rebalances": int(self.rebalances),
+            "tenants_migrated": int(self.tenants_migrated),
+            "retired": {
+                # Per-tenant streaming/store stats travel inside each
+                # shard's own state; service stats live on the service
+                # objects, which restore *fresh* from the factory — so the
+                # cluster-wide total is snapshotted here and becomes the
+                # revived cluster's retired baseline.
+                "service": asdict(self.service_stats()),
+                "store": asdict(self._retired_store),
+                "streaming": asdict(self._retired_streaming),
+            },
+            "shards": {
+                shard_id: forecaster.to_state()
+                for shard_id, forecaster in self._shards.items()
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls, service_factory: Callable[[], ForecastService], state: dict
+    ) -> "ShardedForecaster":
+        """Rebuild a cluster from :meth:`to_state` output.
+
+        Shard services come fresh from ``service_factory`` (weights have
+        their own persistence path); shard names, ring layout, tenant
+        placement and all per-tenant streaming state are restored exactly,
+        so the revived cluster routes and forecasts bit-identically.
+        """
+        if not state["shards"]:
+            raise ValueError("cluster state holds no shards")
+        cluster = cls.__new__(cls)
+        cluster.service_factory = service_factory
+        cluster.normalization = str(state["normalization"])
+        # Shards built by a later add_shard must match the restored stores'
+        # geometry, or migration into them would be rejected — recover the
+        # capacity from the saved state rather than falling back to the
+        # constructor default.
+        first_shard = next(iter(state["shards"].values()))
+        cluster.window_capacity = int(first_shard["store"]["capacity"])
+        cluster.ring = HashRing(vnodes=int(state["vnodes"]))
+        cluster._shards = {}
+        cluster.config = None
+        cluster.rebalances = int(state["rebalances"])
+        cluster.tenants_migrated = int(state["tenants_migrated"])
+        cluster._retired_service = ServiceStats(**state["retired"]["service"])
+        cluster._retired_store = StoreStats(**state["retired"]["store"])
+        cluster._retired_streaming = StreamingStats(**state["retired"]["streaming"])
+        cluster._topology_lock = threading.RLock()
+        for shard_id, shard_state in state["shards"].items():
+            service = service_factory()
+            cluster._check_replica(service)
+            cluster.ring.add(shard_id)
+            cluster._shards[shard_id] = StreamingForecaster.from_state(
+                service, shard_state
+            )
+        return cluster
+
+    def save(self, path: str) -> None:
+        """Write the cluster snapshot to a compressed ``.npz`` archive."""
+        write_snapshot(self.to_state(), path)
+
+    @classmethod
+    def load(
+        cls, service_factory: Callable[[], ForecastService], path: str
+    ) -> "ShardedForecaster":
+        """Restore a :meth:`save` archive around fresh service replicas."""
+        return cls.from_state(service_factory, read_snapshot(path))
+
+    # ------------------------------------------------------------------ #
+    def _build_shard(self, service: Optional[ForecastService]) -> StreamingForecaster:
+        service = self.service_factory() if service is None else service
+        self._check_replica(service)
+        return StreamingForecaster(
+            service,
+            normalization=self.normalization,
+            window_capacity=self.window_capacity,
+        )
+
+    def _check_replica(self, service: ForecastService) -> None:
+        """All shards must share one model geometry or routing is nonsense."""
+        if self.config is None:
+            self.config = service.config
+            return
+        for field in ("input_length", "horizon", "n_channels"):
+            expected = getattr(self.config, field)
+            actual = getattr(service.config, field)
+            if actual != expected:
+                raise ValueError(
+                    f"shard service {field} {actual} does not match the "
+                    f"cluster's {field} {expected}"
+                )

@@ -1,0 +1,171 @@
+"""Persistence for streaming state: nested state dicts ↔ ``.npz`` archives.
+
+``to_state`` on the streaming classes returns plain nested Python dicts —
+the natural shape for in-process shard migration, but not directly
+writable as an ``.npz`` (whose namespace is a flat string → array map, and
+whose member names would collide with tenant keys containing ``/``).  This
+module provides the lossless bridge:
+
+* :func:`encode_state` / :func:`decode_state` — flatten any nested state
+  (dicts, lists, arrays, scalars, ``datetime64`` timestamps, ``None``)
+  into numbered array entries plus one JSON manifest describing the
+  structure, and back.  Tenant keys live inside the JSON manifest, so any
+  string key round-trips; nothing is pickled.
+* :func:`write_snapshot` / :func:`read_snapshot` — the same, through a
+  compressed archive on disk via :mod:`repro.nn.serialization`.
+* :func:`save_forecaster` / :func:`load_forecaster` — one-call
+  persistence for a :class:`~repro.streaming.forecaster.StreamingForecaster`:
+  a restored process keeps forecasting bit-identically to one that never
+  restarted.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..nn.serialization import load_state, save_state
+from ..serving.service import ForecastService
+from ..streaming.forecaster import StreamingForecaster
+
+__all__ = [
+    "encode_state",
+    "decode_state",
+    "write_snapshot",
+    "read_snapshot",
+    "save_forecaster",
+    "load_forecaster",
+]
+
+_MANIFEST_KEY = "__manifest__"
+#: formats understood by the codec; bumped on incompatible layout changes
+_FORMAT_VERSION = 1
+
+
+def encode_state(state) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Flatten a nested state tree into (JSON manifest, flat array map).
+
+    Arrays (and array-like scalars such as ``np.datetime64`` timestamps)
+    are pulled out into numbered entries; structure, strings, numbers,
+    booleans and ``None`` live in the manifest.  Only npz-native dtypes
+    are accepted — an object array would silently require pickling, so it
+    raises instead.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    tree = _encode(state, arrays)
+    manifest = {"version": _FORMAT_VERSION, "tree": tree}
+    return manifest, arrays
+
+
+def decode_state(manifest: dict, arrays: Dict[str, np.ndarray]):
+    """Invert :func:`encode_state`."""
+    version = manifest.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot format version {version!r}")
+    return _decode(manifest["tree"], arrays)
+
+
+def write_snapshot(state, path: str) -> None:
+    """Serialise a nested state tree to a compressed ``.npz`` snapshot."""
+    manifest, arrays = encode_state(state)
+    if _MANIFEST_KEY in arrays:  # pragma: no cover - numbered keys can't collide
+        raise ValueError(f"array map may not use the reserved key {_MANIFEST_KEY!r}")
+    payload = dict(arrays)
+    payload[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    save_state(payload, path, compressed=True)
+
+
+def read_snapshot(path: str):
+    """Load a snapshot written by :func:`write_snapshot`.
+
+    ``np.savez`` appends ``.npz`` to extension-less paths on write, so the
+    same courtesy applies on read — ``write_snapshot(x, p)`` followed by
+    ``read_snapshot(p)`` round-trips for any ``p``.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    payload = load_state(path)
+    if _MANIFEST_KEY not in payload:
+        raise ValueError(f"{path!r} is not a snapshot archive (missing manifest)")
+    manifest = json.loads(bytes(payload.pop(_MANIFEST_KEY)).decode("utf-8"))
+    return decode_state(manifest, payload)
+
+
+# ---------------------------------------------------------------------- #
+def save_forecaster(forecaster: StreamingForecaster, path: str) -> None:
+    """Snapshot a streaming forecaster's full per-tenant state to disk."""
+    write_snapshot(forecaster.to_state(), path)
+
+
+def load_forecaster(service: ForecastService, path: str) -> StreamingForecaster:
+    """Restore a :func:`save_forecaster` snapshot around a live service.
+
+    The service (model replica) is supplied by the caller — weights have
+    their own persistence path — and must match the geometry the snapshot
+    was taken under; :class:`StreamingForecaster` validates on construction.
+    """
+    return StreamingForecaster.from_state(service, read_snapshot(path))
+
+
+# ---------------------------------------------------------------------- #
+def _encode(value, arrays: Dict[str, np.ndarray]):
+    if value is None:
+        return {"t": "none"}
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, (int, float, str)):
+        return {"t": type(value).__name__, "v": value}
+    # Timestamp watermarks: ingest accepts any orderable timestamp, so the
+    # codec must at least cover the stdlib datetime types alongside
+    # np.datetime64 (handled below as a numpy scalar).
+    if isinstance(value, datetime.datetime):
+        return {"t": "datetime", "v": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"t": "date", "v": value.isoformat()}
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(f"state dict keys must be strings, got {key!r}")
+        return {"t": "dict", "v": {k: _encode(v, arrays) for k, v in value.items()}}
+    if isinstance(value, (list, tuple)):
+        return {"t": "list", "v": [_encode(item, arrays) for item in value]}
+    if isinstance(value, np.generic) or isinstance(value, np.ndarray):
+        array = np.asarray(value)
+        if array.dtype == object:
+            raise TypeError(
+                f"cannot snapshot object-dtype value {value!r} without pickling"
+            )
+        name = f"a{len(arrays)}"
+        arrays[name] = array
+        return {"t": "scalar" if isinstance(value, np.generic) else "array", "v": name}
+    raise TypeError(
+        f"cannot snapshot value of type {type(value).__name__}: {value!r} "
+        "(supported: dict/list/str/int/float/bool/None and numpy arrays/scalars)"
+    )
+
+
+def _decode(node, arrays: Dict[str, np.ndarray]):
+    kind = node["t"]
+    if kind == "none":
+        return None
+    if kind in ("bool", "int", "float", "str"):
+        return node["v"]
+    if kind == "datetime":
+        return datetime.datetime.fromisoformat(node["v"])
+    if kind == "date":
+        return datetime.date.fromisoformat(node["v"])
+    if kind == "dict":
+        return {key: _decode(child, arrays) for key, child in node["v"].items()}
+    if kind == "list":
+        return [_decode(child, arrays) for child in node["v"]]
+    if kind == "array":
+        return arrays[node["v"]]
+    if kind == "scalar":
+        return arrays[node["v"]][()]
+    raise ValueError(f"unknown snapshot node type {kind!r}")

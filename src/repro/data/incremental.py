@@ -106,6 +106,31 @@ class RollingScaler:
         self._check_fitted()
         return np.asarray(values, dtype=np.float64) * self.std_ + self._mean
 
+    def to_state(self) -> dict:
+        """Serialisable snapshot of the exact Welford accumulators.
+
+        Captures ``count`` / ``mean`` / ``M2`` (not the derived ``std_``),
+        so a restored scaler continues folding in chunks from precisely
+        where this one stopped — statistics after restore+update are
+        bit-identical to never having snapshotted at all.
+        """
+        return {
+            "eps": float(self.eps),
+            "count": int(self._count),
+            "mean": None if self._mean is None else self._mean.copy(),
+            "m2": None if self._m2 is None else self._m2.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RollingScaler":
+        """Rebuild a scaler from :meth:`to_state` output."""
+        scaler = cls(eps=state["eps"])
+        scaler._count = int(state["count"])
+        if state["mean"] is not None:
+            scaler._mean = np.asarray(state["mean"], dtype=np.float64).copy()
+            scaler._m2 = np.asarray(state["m2"], dtype=np.float64).copy()
+        return scaler
+
     def to_standard_scaler(self) -> StandardScaler:
         """Freeze the current statistics into an offline ``StandardScaler``."""
         self._check_fitted()

@@ -12,11 +12,18 @@ from .module import Module
 __all__ = ["save_state", "load_state", "save_module", "load_module"]
 
 
-def save_state(state: Dict[str, np.ndarray], path: str) -> None:
-    """Write a state dict to ``path`` (``.npz``)."""
+def save_state(state: Dict[str, np.ndarray], path: str, compressed: bool = False) -> None:
+    """Write a state dict to ``path`` (``.npz``).
+
+    ``compressed=True`` trades write time for zipped entries — the right
+    default for snapshot archives that hold many small per-tenant arrays
+    (cluster/streaming state), while model weights stay uncompressed for
+    fast registry spill/reload.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **state)
+    writer = np.savez_compressed if compressed else np.savez
+    writer(path, **state)
 
 
 def load_state(path: str) -> Dict[str, np.ndarray]:

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import ModelConfig
+from ..stats import merge_counters, reset_counters
 from ..core.base import ForecastModel
 from ..data.windows import SlidingWindowDataset
 from .batching import Forecast, ForecastRequest, coalesce, pad_history
@@ -54,6 +55,19 @@ class ServiceStats:
     @property
     def mean_batch_size(self) -> float:
         return self.requests / self.forward_passes if self.forward_passes else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between benchmark phases)."""
+        reset_counters(self)
+
+    @classmethod
+    def merge(cls, stats: Iterable["ServiceStats"]) -> "ServiceStats":
+        """Aggregate per-service stats cluster-wide.
+
+        Counters add; ``largest_batch`` is the max across services; the
+        derived ``mean_batch_size`` then reflects the whole fleet.
+        """
+        return merge_counters(cls, stats, maxed=("largest_batch",))
 
     def as_dict(self) -> dict:
         """Counters plus derived ratios, for reports and benchmarks."""

@@ -1,0 +1,44 @@
+"""Shared helpers for counter dataclasses (the ``*Stats`` objects).
+
+The serving, streaming and cluster layers each expose a small dataclass of
+monotonic counters that must support the same two operations: zeroing
+between benchmark phases and summing across shards/replicas.  Keeping the
+field loop in one place means a newly added counter field participates in
+``reset``/``merge`` everywhere automatically — the only per-class decision
+is which fields aggregate by ``max`` instead of ``+`` (gauges like
+``largest_batch``), passed declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Iterable, Sequence, Type, TypeVar
+
+__all__ = ["merge_counters", "reset_counters"]
+
+T = TypeVar("T")
+
+
+def merge_counters(cls: Type[T], stats: Iterable[T], maxed: Sequence[str] = ()) -> T:
+    """Aggregate counter dataclasses field-by-field into a new instance.
+
+    Fields named in ``maxed`` take the maximum across inputs; every other
+    field is summed.  Inputs are never mutated.
+    """
+    merged = cls()
+    for stat in stats:
+        for field_ in fields(cls):
+            current = getattr(merged, field_.name)
+            incoming = getattr(stat, field_.name)
+            setattr(
+                merged,
+                field_.name,
+                max(current, incoming) if field_.name in maxed else current + incoming,
+            )
+    return merged
+
+
+def reset_counters(stats) -> None:
+    """Zero a counter dataclass in place (back to each field's default)."""
+    for field_ in fields(stats):
+        setattr(stats, field_.name, field_.default)

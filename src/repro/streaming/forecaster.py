@@ -29,11 +29,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..data.incremental import RollingScaler
+from ..stats import merge_counters
 from ..serving.batching import Forecast
 from ..serving.service import ForecastService
 from .store import SeriesStore
@@ -85,6 +86,11 @@ class StreamingStats:
     forecasts: int = 0
     cold_start_forecasts: int = 0    # windows shorter than input_length
 
+    @classmethod
+    def merge(cls, stats: Iterable["StreamingStats"]) -> "StreamingStats":
+        """Sum counters across forecasters (field-driven)."""
+        return merge_counters(cls, stats)
+
 
 class StreamingForecaster:
     """Append observations per tenant; serve micro-batched fresh forecasts.
@@ -121,11 +127,20 @@ class StreamingForecaster:
                 f"window_capacity {capacity} cannot hold one input window "
                 f"of {self.config.input_length} steps"
             )
-        if store is not None and store.n_channels != self.config.n_channels:
-            raise ValueError(
-                f"store has {store.n_channels} channels, model expects "
-                f"{self.config.n_channels}"
-            )
+        if store is not None:
+            if store.n_channels != self.config.n_channels:
+                raise ValueError(
+                    f"store has {store.n_channels} channels, model expects "
+                    f"{self.config.n_channels}"
+                )
+            # A pre-built (e.g. restored) store must satisfy the same
+            # geometry bound as a default-built one, or every forecast is
+            # silently a left-padded cold start.
+            if store.capacity < self.config.input_length:
+                raise ValueError(
+                    f"store capacity {store.capacity} cannot hold one input "
+                    f"window of {self.config.input_length} steps"
+                )
         self.store = store if store is not None else SeriesStore(capacity, self.config.n_channels)
         self.normalization = normalization
         self.stats = StreamingStats()
@@ -157,19 +172,34 @@ class StreamingForecaster:
         return total
 
     # ------------------------------------------------------------------ #
-    def forecast(self, tenant: str) -> StreamingForecast:
+    def forecast(
+        self,
+        tenant: str,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> StreamingForecast:
         """Queue a forecast from the tenant's latest window; non-blocking.
 
         The returned handle resolves when the service flushes (queue full,
         explicit :meth:`flush`, or ``result()`` on any handle) — submitting
         for many tenants before flushing is what turns concurrent-tenant
         traffic into micro-batches.
+
+        ``future_numerical`` / ``future_categorical`` are this tenant's
+        known-future covariates over the model horizon (``[horizon, c]``);
+        they ride through :meth:`ForecastService.submit` untouched by the
+        tenant's normalisation mode (covariates live in their own scale —
+        only the history window and the returned forecast are mapped).
         """
         window = self.store.latest(tenant, self.config.input_length)
         if len(window) == 0:
             raise ValueError(f"tenant {tenant!r} has no observations to forecast from")
         normalized, denormalize = self._normalize(tenant, window)
-        handle = self.service.submit(normalized)
+        handle = self.service.submit(
+            normalized,
+            future_numerical=future_numerical,
+            future_categorical=future_categorical,
+        )
         with self._lock:
             self.stats.forecasts += 1
             if len(window) < self.config.input_length:
@@ -177,16 +207,32 @@ class StreamingForecaster:
         return StreamingForecast(tenant, handle, denormalize)
 
     def forecast_all(
-        self, tenants: Optional[Sequence[str]] = None, flush: bool = True
+        self,
+        tenants: Optional[Sequence[str]] = None,
+        flush: bool = True,
+        future_numerical: Optional[Mapping[str, np.ndarray]] = None,
+        future_categorical: Optional[Mapping[str, np.ndarray]] = None,
     ) -> Dict[str, StreamingForecast]:
         """Queue one forecast per tenant, then (by default) flush once.
 
         This is the steady-state serving shape: N live tenants produce N
         queued requests that the service coalesces into ``ceil(N /
         max_batch_size)`` forward passes instead of N model calls.
+
+        Per-tenant future covariates are passed as ``tenant -> [horizon, c]``
+        mappings; tenants absent from a mapping submit history-only.
         """
         keys: List[str] = list(tenants) if tenants is not None else self.store.tenants()
-        handles = {tenant: self.forecast(tenant) for tenant in keys}
+        future_numerical = future_numerical or {}
+        future_categorical = future_categorical or {}
+        handles = {
+            tenant: self.forecast(
+                tenant,
+                future_numerical=future_numerical.get(tenant),
+                future_categorical=future_categorical.get(tenant),
+            )
+            for tenant in keys
+        }
         if flush:
             self.service.flush()
         return handles
@@ -202,6 +248,70 @@ class StreamingForecaster:
     def flush(self) -> int:
         """Flush the underlying service queue; returns requests resolved."""
         return self.service.flush()
+
+    def drop(self, tenant: str) -> None:
+        """Forget a tenant entirely: ring buffer, timestamp AND scaler.
+
+        Dropping only the store entry would leak the tenant's rolling
+        statistics — a re-ingested tenant of the same name would then be
+        normalised with a dead tenant's history.
+        """
+        self.store.drop(tenant)
+        with self._lock:
+            self._scalers.pop(tenant, None)
+
+    # ------------------------------------------------------------------ #
+    # State codec — process restarts (snapshot/restore) and shard
+    # rebalancing (per-tenant migration) both ride on it.
+    # ------------------------------------------------------------------ #
+    def export_tenant(self, tenant: str) -> dict:
+        """One tenant's complete streaming state (window + scaler), portable."""
+        with self._lock:
+            scaler = self._scalers.get(tenant)
+            scaler_state = None if scaler is None else scaler.to_state()
+        return {"series": self.store.tenant_state(tenant), "scaler": scaler_state}
+
+    def import_tenant(self, tenant: str, state: dict) -> None:
+        """Adopt a tenant exported from another forecaster (same geometry)."""
+        self.store.restore_tenant(tenant, state["series"])
+        if state.get("scaler") is not None:
+            with self._lock:
+                self._scalers[tenant] = RollingScaler.from_state(state["scaler"])
+
+    def to_state(self) -> dict:
+        """Serialisable snapshot of all per-tenant streaming state.
+
+        Covers everything a restarted process needs to keep forecasting
+        bit-identically: ring contents in logical order, timestamp
+        watermarks, Welford moments and the normalisation mode.  The model
+        itself is *not* included — weights already have a persistence story
+        (:mod:`repro.nn.serialization` / the registry spill path).
+        """
+        with self._lock:
+            scalers = {tenant: scaler.to_state() for tenant, scaler in self._scalers.items()}
+            stats = {
+                "forecasts": self.stats.forecasts,
+                "cold_start_forecasts": self.stats.cold_start_forecasts,
+            }
+        return {
+            "normalization": self.normalization,
+            "store": self.store.to_state(),
+            "scalers": scalers,
+            "stats": stats,
+        }
+
+    @classmethod
+    def from_state(cls, service: ForecastService, state: dict) -> "StreamingForecaster":
+        """Rebuild a forecaster around ``service`` from :meth:`to_state` output."""
+        forecaster = cls(
+            service,
+            store=SeriesStore.from_state(state["store"]),
+            normalization=str(state["normalization"]),
+        )
+        for tenant, scaler_state in state["scalers"].items():
+            forecaster._scalers[tenant] = RollingScaler.from_state(scaler_state)
+        forecaster.stats = StreamingStats(**state["stats"])
+        return forecaster
 
     # ------------------------------------------------------------------ #
     def _normalize(self, tenant: str, window: np.ndarray):

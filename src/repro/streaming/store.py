@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
+
+from ..stats import merge_counters
 
 __all__ = ["RingBuffer", "SeriesStore", "StoreStats"]
 
@@ -91,6 +93,48 @@ class RingBuffer:
             return self._data[start:start + n].copy()
         return np.concatenate([self._data[start:], self._data[:start + n - self.capacity]])
 
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict:
+        """Serialisable snapshot: held rows in logical (oldest→newest) order.
+
+        The cursor position is *not* part of the state — a ring holding rows
+        ``[a, b, c]`` answers every ``latest`` query identically wherever
+        its write head happens to sit, so the snapshot normalises to
+        logical order and restore re-seats the cursor at ``size``.
+        """
+        return {
+            "capacity": int(self.capacity),
+            "n_channels": int(self.n_channels),
+            "dtype": self._data.dtype.name,
+            "data": self.latest(self._size),
+            "total_appended": int(self._total),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RingBuffer":
+        """Rebuild a buffer from :meth:`to_state` output (logical order)."""
+        buffer = cls(
+            int(state["capacity"]),
+            int(state["n_channels"]),
+            dtype=np.dtype(str(state["dtype"])),
+        )
+        data = np.asarray(state["data"], dtype=buffer._data.dtype)
+        size = len(data)
+        total = int(state["total_appended"])
+        if size > buffer.capacity:
+            raise ValueError(
+                f"state holds {size} rows but capacity is {buffer.capacity}"
+            )
+        if total < size:
+            raise ValueError(
+                f"total_appended {total} is smaller than held rows {size}"
+            )
+        buffer._data[:size] = data
+        buffer._write = size % buffer.capacity
+        buffer._size = size
+        buffer._total = total
+        return buffer
+
 
 @dataclass
 class StoreStats:
@@ -100,6 +144,11 @@ class StoreStats:
     ingests: int = 0            # ingest() calls
     observations: int = 0       # rows appended across all tenants
     evicted: int = 0            # rows that have fallen off a ring
+
+    @classmethod
+    def merge(cls, stats: Iterable["StoreStats"]) -> "StoreStats":
+        """Sum counters across stores (field-driven, so new counters join)."""
+        return merge_counters(cls, stats)
 
 
 class SeriesStore:
@@ -199,3 +248,84 @@ class SeriesStore:
         with self._lock:
             self._buffers.pop(tenant, None)
             self._last_timestamp.pop(tenant, None)
+
+    # ------------------------------------------------------------------ #
+    # State codec — snapshot/restore and shard migration both ride on it.
+    # ------------------------------------------------------------------ #
+    def tenant_state(self, tenant: str) -> dict:
+        """One tenant's full state (ring contents + timestamp watermark)."""
+        with self._lock:
+            return {
+                "buffer": self.buffer(tenant).to_state(),
+                "last_timestamp": self._last_timestamp.get(tenant),
+            }
+
+    def restore_tenant(self, tenant: str, state: dict) -> None:
+        """Adopt a tenant exported from another store (shard migration).
+
+        The tenant must not already exist here, and the incoming buffer must
+        match this store's geometry — silently re-bucketing rows across
+        capacities could drop the very window the next forecast needs.
+
+        ``StoreStats`` counters are deliberately untouched: they record what
+        *this* store ingested, and the tenant's history was already counted
+        once on the store that ingested it — bumping them again would
+        double-count every migration in cluster-wide aggregation.
+        """
+        buffer = RingBuffer.from_state(state["buffer"])
+        if buffer.capacity != self.capacity or buffer.n_channels != self.n_channels:
+            raise ValueError(
+                f"tenant state is [{buffer.capacity}, {buffer.n_channels}], "
+                f"store is [{self.capacity}, {self.n_channels}]"
+            )
+        with self._lock:
+            if tenant in self._buffers:
+                raise ValueError(f"tenant {tenant!r} already exists in this store")
+            self._buffers[tenant] = buffer
+            if state.get("last_timestamp") is not None:
+                self._last_timestamp[tenant] = state["last_timestamp"]
+
+    def to_state(self) -> dict:
+        """Serialisable snapshot of every tenant.
+
+        The ``buffers`` dict carries tenant order implicitly — dicts, the
+        JSON manifest and the snapshot codec all preserve insertion order,
+        so first-seen order survives without a redundant key list.
+        """
+        with self._lock:
+            return {
+                "capacity": int(self.capacity),
+                "n_channels": int(self.n_channels),
+                "dtype": np.dtype(self._dtype).name,
+                "buffers": {
+                    tenant: buffer.to_state() for tenant, buffer in self._buffers.items()
+                },
+                "last_timestamps": dict(self._last_timestamp),
+                "stats": {
+                    "tenants": self.stats.tenants,
+                    "ingests": self.stats.ingests,
+                    "observations": self.stats.observations,
+                    "evicted": self.stats.evicted,
+                },
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SeriesStore":
+        """Rebuild a store from :meth:`to_state` output, bit-identically.
+
+        Tenant iteration order (and therefore ``forecast_all`` batch
+        composition after restore) is preserved via the snapshot's ordered
+        tenant list.
+        """
+        store = cls(
+            int(state["capacity"]),
+            int(state["n_channels"]),
+            dtype=np.dtype(str(state["dtype"])),
+        )
+        for tenant, buffer_state in state["buffers"].items():
+            store._buffers[tenant] = RingBuffer.from_state(buffer_state)
+            timestamp = state["last_timestamps"].get(tenant)
+            if timestamp is not None:
+                store._last_timestamp[tenant] = timestamp
+        store.stats = StoreStats(**state["stats"])
+        return store

@@ -1,0 +1,201 @@
+"""Tests for the pickle-free nested-state ↔ .npz snapshot codec."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    decode_state,
+    encode_state,
+    load_forecaster,
+    read_snapshot,
+    save_forecaster,
+    write_snapshot,
+)
+from repro.config import ModelConfig
+from repro.core import LiPFormer
+from repro.serving import ForecastService
+from repro.streaming import StreamingForecaster
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(
+        input_length=32, horizon=8, n_channels=2, patch_length=8,
+        hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1,
+    )
+
+
+@pytest.fixture
+def service_factory(config):
+    def factory():
+        return ForecastService(LiPFormer(config), max_batch_size=8)
+    return factory
+
+
+def roundtrip(state):
+    manifest, arrays = encode_state(state)
+    return decode_state(manifest, arrays)
+
+
+class TestCodec:
+    def test_scalars_strings_none_roundtrip(self):
+        state = {"a": 1, "b": 2.5, "c": "text", "d": None, "e": True, "f": False}
+        assert roundtrip(state) == state
+
+    def test_nested_structure_roundtrips(self):
+        state = {"outer": {"inner": [1, {"deep": None}, "s"]}, "empty": {}, "list": []}
+        assert roundtrip(state) == state
+
+    def test_arrays_keep_dtype_and_values(self):
+        state = {
+            "f32": np.arange(6, dtype=np.float32).reshape(2, 3),
+            "f64": np.linspace(0, 1, 5),
+            "i64": np.array([1, 2, 3], dtype=np.int64),
+        }
+        out = roundtrip(state)
+        for key, value in state.items():
+            assert out[key].dtype == value.dtype
+            np.testing.assert_array_equal(out[key], value)
+
+    def test_datetime64_timestamp_roundtrips(self):
+        stamp = np.datetime64("2025-06-01T12:34:56")
+        out = roundtrip({"last": stamp})
+        assert out["last"] == stamp
+        assert out["last"].dtype == stamp.dtype
+
+    def test_stdlib_datetime_watermarks_roundtrip(self):
+        import datetime
+
+        stamps = {
+            "dt": datetime.datetime(2026, 7, 26, 12, 30, 15, 250000),
+            "date": datetime.date(2026, 7, 26),
+        }
+        out = roundtrip(stamps)
+        assert out == stamps
+        assert type(out["dt"]) is datetime.datetime
+        assert type(out["date"]) is datetime.date
+
+    def test_stdlib_datetime_watermark_survives_save(self, service_factory, rng, tmp_path):
+        """Ingest accepts datetime watermarks, so persistence must too."""
+        import datetime
+
+        path = str(tmp_path / "forecaster.npz")
+        original = StreamingForecaster(service_factory())
+        stamp = datetime.datetime(2026, 7, 26, 9, 0)
+        original.ingest("a", rng.normal(size=(1, 2)), timestamp=stamp)
+        save_forecaster(original, path)
+        restored = load_forecaster(service_factory(), path)
+        assert restored.store.last_timestamp("a") == stamp
+
+    def test_tenant_keys_with_slashes_and_unicode(self):
+        state = {"org/team/tenant": {"a/b": np.ones(2)}, "Ω-tenant": 1}
+        out = roundtrip(state)
+        assert set(out) == set(state)
+        np.testing.assert_array_equal(out["org/team/tenant"]["a/b"], np.ones(2))
+
+    def test_object_values_are_rejected_not_pickled(self):
+        with pytest.raises(TypeError, match="pickling"):
+            encode_state({"bad": np.array([object()])})
+        with pytest.raises(TypeError, match="cannot snapshot"):
+            encode_state({"bad": lambda: None})
+        with pytest.raises(TypeError, match="keys must be strings"):
+            encode_state({1: "x"})
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        state = {
+            "tenants": ["a", "b"],
+            "buffers": {"a": np.full((3, 2), 7.0, dtype=np.float32)},
+            "watermark": np.datetime64("2025-01-01"),
+            "mode": "rolling",
+        }
+        write_snapshot(state, path)
+        out = read_snapshot(path)
+        assert out["tenants"] == ["a", "b"]
+        assert out["mode"] == "rolling"
+        assert out["watermark"] == state["watermark"]
+        np.testing.assert_array_equal(out["buffers"]["a"], state["buffers"]["a"])
+
+    def test_non_snapshot_archive_is_rejected(self, tmp_path):
+        path = str(tmp_path / "weights.npz")
+        np.savez(path, w=np.ones(3))
+        with pytest.raises(ValueError, match="manifest"):
+            read_snapshot(path)
+
+    def test_unknown_version_is_rejected(self):
+        manifest, arrays = encode_state({"a": 1})
+        manifest["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            decode_state(manifest, arrays)
+
+
+class TestForecasterPersistence:
+    def test_restored_process_forecasts_bit_identically(self, service_factory, rng, tmp_path):
+        path = str(tmp_path / "forecaster.npz")
+        original = StreamingForecaster(service_factory(), normalization="rolling")
+        for i in range(5):
+            original.ingest(f"tenant-{i}", rng.normal(size=(40 + i, 2)).astype(np.float32) * (i + 1))
+        save_forecaster(original, path)
+
+        restored = load_forecaster(service_factory(), path)
+        assert restored.store.tenants() == original.store.tenants()
+        assert restored.normalization == "rolling"
+        assert restored.store.stats == original.store.stats
+        assert restored.stats == original.stats
+
+        # Same follow-up traffic into both processes → identical forecasts.
+        for i in range(5):
+            arrival = rng.normal(size=(3, 2)).astype(np.float32)
+            original.ingest(f"tenant-{i}", arrival)
+            restored.ingest(f"tenant-{i}", arrival)
+        want = {t: h.result() for t, h in original.forecast_all().items()}
+        got = {t: h.result() for t, h in restored.forecast_all().items()}
+        for tenant in want:
+            np.testing.assert_array_equal(got[tenant], want[tenant])
+
+    def test_timestamp_watermarks_survive_restart(self, service_factory, rng, tmp_path):
+        path = str(tmp_path / "forecaster.npz")
+        original = StreamingForecaster(service_factory())
+        original.ingest("a", rng.normal(size=(1, 2)), timestamp=np.datetime64("2025-01-01"))
+        save_forecaster(original, path)
+        restored = load_forecaster(service_factory(), path)
+        assert restored.store.last_timestamp("a") == np.datetime64("2025-01-01")
+        with pytest.raises(ValueError, match="not after"):
+            restored.ingest("a", rng.normal(size=(1, 2)), timestamp=np.datetime64("2024-12-31"))
+
+    def test_restore_validates_channel_geometry(self, service_factory, config, rng, tmp_path):
+        path = str(tmp_path / "forecaster.npz")
+        original = StreamingForecaster(service_factory())
+        original.ingest("a", rng.normal(size=(4, 2)))
+        save_forecaster(original, path)
+        wide = ModelConfig(
+            input_length=32, horizon=8, n_channels=3, patch_length=8,
+            hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1,
+        )
+        with pytest.raises(ValueError, match="channels"):
+            load_forecaster(ForecastService(LiPFormer(wide)), path)
+
+    def test_restore_validates_window_capacity(self, service_factory, rng, tmp_path):
+        """A snapshot too small for the service's window must not restore
+        into an every-forecast-is-a-cold-start forecaster silently."""
+        path = str(tmp_path / "forecaster.npz")
+        original = StreamingForecaster(service_factory(), window_capacity=40)
+        original.ingest("a", rng.normal(size=(40, 2)))
+        save_forecaster(original, path)
+        longer = ModelConfig(
+            input_length=96, horizon=8, n_channels=2, patch_length=8,
+            hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1,
+        )
+        with pytest.raises(ValueError, match="capacity 40"):
+            load_forecaster(ForecastService(LiPFormer(longer)), path)
+
+    def test_extensionless_path_roundtrips(self, service_factory, rng, tmp_path):
+        """np.savez appends .npz on write; read must honour the same path."""
+        path = str(tmp_path / "snap")        # no extension on purpose
+        original = StreamingForecaster(service_factory())
+        original.ingest("a", rng.normal(size=(40, 2)))
+        save_forecaster(original, path)
+        restored = load_forecaster(service_factory(), path)
+        np.testing.assert_array_equal(
+            restored.forecast("a").result(), original.forecast("a").result()
+        )

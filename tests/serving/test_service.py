@@ -7,7 +7,7 @@ from repro.baselines import DLinear
 from repro.config import ModelConfig
 from repro.core import LiPFormer
 from repro.data.windows import SlidingWindowDataset
-from repro.serving import ForecastService, ModelRegistry
+from repro.serving import ForecastService, ModelRegistry, ServiceStats
 
 
 def _config_for(data, hidden=16):
@@ -217,6 +217,36 @@ class TestStats:
         assert report["mean_batch_size"] == 3.0
         assert set(report) >= {"flushes", "padded_requests", "largest_batch",
                                "backfill_batches", "backfill_windows"}
+
+    def test_reset_zeroes_every_counter(self, service, history):
+        for _ in range(3):
+            service.submit(history)
+        service.flush()
+        service.stats.reset()
+        assert service.stats.as_dict() == ServiceStats().as_dict()
+        # Counters keep working after a reset (benchmark phase 2).
+        service.submit(history)
+        service.flush()
+        assert service.stats.requests == 1
+
+    def test_merge_aggregates_per_shard_stats(self):
+        a = ServiceStats(requests=10, forward_passes=2, flushes=2,
+                         padded_requests=1, largest_batch=6,
+                         backfill_batches=1, backfill_windows=32)
+        b = ServiceStats(requests=6, forward_passes=2, flushes=3,
+                         padded_requests=0, largest_batch=4,
+                         backfill_batches=0, backfill_windows=0)
+        merged = ServiceStats.merge([a, b])
+        assert merged.requests == 16
+        assert merged.forward_passes == 4
+        assert merged.flushes == 5
+        assert merged.padded_requests == 1
+        assert merged.largest_batch == 6          # max, not sum
+        assert merged.backfill_windows == 32
+        assert merged.mean_batch_size == 4.0      # derived fleet-wide
+        # Merging nothing is the zero object; inputs are not mutated.
+        assert ServiceStats.merge([]) == ServiceStats()
+        assert a.requests == 10
 
 
 class TestFromRegistry:

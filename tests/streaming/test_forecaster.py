@@ -146,6 +146,113 @@ class TestNormalization:
             StreamingForecaster(service, normalization="zscore")
 
 
+class TestDrop:
+    def test_drop_clears_buffer_watermark_and_scaler(self, service, rng):
+        forecaster = StreamingForecaster(service, normalization="rolling")
+        forecaster.ingest("a", stream(rng, 40, offset=1000.0), timestamp=7)
+        assert forecaster.scaler("a") is not None
+        forecaster.drop("a")
+        assert "a" not in forecaster.store
+        assert forecaster.store.last_timestamp("a") is None
+        assert forecaster.scaler("a") is None, "dropped tenants must not leak scaler state"
+
+    def test_reingested_tenant_starts_with_fresh_statistics(self, service, rng):
+        """A re-created tenant must not resume a dead tenant's statistics."""
+        forecaster = StreamingForecaster(service, normalization="rolling")
+        forecaster.ingest("a", stream(rng, 40, offset=1000.0))
+        forecaster.drop("a")
+        forecaster.ingest("a", stream(rng, 40, offset=1.0), timestamp=1)  # watermark reset too
+        assert forecaster.scaler("a").n_seen == 40
+        assert abs(float(forecaster.scaler("a").mean_[0])) < 10.0
+
+    def test_drop_unknown_tenant_is_a_no_op(self, forecaster):
+        forecaster.drop("ghost")
+
+
+class TestFutureCovariates:
+    @pytest.fixture
+    def cov_service(self):
+        config = ModelConfig(
+            input_length=32, horizon=8, n_channels=2, patch_length=8,
+            hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1,
+            covariate_numerical_dim=3, covariate_categorical_cardinalities=(24, 7),
+            covariate_embed_dim=2, covariate_hidden_dim=8,
+        )
+        model = LiPFormer(config)
+        # The guidance head is zero-initialised (residual gating), so an
+        # untrained model ignores covariates; nudge it so threading shows.
+        model.vector_mapping.weight.data[...] = 0.05
+        return ForecastService(model, max_batch_size=8)
+
+    def covariates(self, rng, horizon=8):
+        numerical = rng.normal(size=(horizon, 3)).astype(np.float32)
+        categorical = np.stack(
+            [rng.integers(0, 24, size=horizon), rng.integers(0, 7, size=horizon)], axis=1
+        ).astype(np.int64)
+        return numerical, categorical
+
+    def test_forecast_threads_covariates_through_submit(self, cov_service, rng):
+        forecaster = StreamingForecaster(cov_service)
+        values = stream(rng, 40)
+        forecaster.ingest("a", values)
+        numerical, categorical = self.covariates(rng)
+        produced = forecaster.forecast(
+            "a", future_numerical=numerical, future_categorical=categorical
+        ).result()
+        expected = cov_service.model.predict(
+            values[-32:][None],
+            future_numerical=numerical[None],
+            future_categorical=categorical[None],
+        )[0]
+        np.testing.assert_array_equal(produced, expected)
+        # and covariates actually changed the forecast vs. history-only
+        base = cov_service.model.predict(values[-32:][None])[0]
+        assert not np.array_equal(produced, base)
+
+    def test_forecast_all_per_tenant_covariate_mappings(self, cov_service, rng):
+        forecaster = StreamingForecaster(cov_service)
+        windows = {}
+        for i in range(3):
+            windows[f"t{i}"] = stream(rng, 40)
+            forecaster.ingest(f"t{i}", windows[f"t{i}"])
+        numerical, categorical = self.covariates(rng)
+        handles = forecaster.forecast_all(
+            future_numerical={"t1": numerical}, future_categorical={"t1": categorical}
+        )
+        expected = cov_service.model.predict(
+            windows["t1"][-32:][None],
+            future_numerical=numerical[None],
+            future_categorical=categorical[None],
+        )[0]
+        np.testing.assert_array_equal(handles["t1"].result(), expected)
+        # tenants absent from the mappings stay history-only
+        history_only = cov_service.model.predict(windows["t0"][-32:][None])[0]
+        np.testing.assert_array_equal(handles["t0"].result(), history_only)
+
+    def test_covariates_compose_with_normalization(self, cov_service, rng):
+        forecaster = StreamingForecaster(cov_service, normalization="last_value")
+        values = stream(rng, 40, offset=25.0)
+        forecaster.ingest("a", values)
+        numerical, categorical = self.covariates(rng)
+        produced = forecaster.forecast(
+            "a", future_numerical=numerical, future_categorical=categorical
+        ).result()
+        window = values[-32:]
+        anchor = window[-1:]
+        expected = cov_service.model.predict(
+            (window - anchor)[None],
+            future_numerical=numerical[None],
+            future_categorical=categorical[None],
+        )[0] + anchor
+        np.testing.assert_array_equal(produced, expected)
+
+    def test_invalid_covariate_shape_raises_at_submit(self, cov_service, rng):
+        forecaster = StreamingForecaster(cov_service)
+        forecaster.ingest("a", stream(rng, 40))
+        with pytest.raises(ValueError, match="future_numerical"):
+            forecaster.forecast("a", future_numerical=np.zeros((8, 99), dtype=np.float32))
+
+
 class TestConstruction:
     def test_capacity_must_hold_one_window(self, service):
         with pytest.raises(ValueError, match="window_capacity"):
