@@ -14,7 +14,10 @@ API groups into:
 * ``repro.serving``     — micro-batched inference service + model registry
 * ``repro.streaming``   — multi-tenant online ingestion + streaming forecasts
 * ``repro.cluster``     — sharded multi-replica serving with consistent-hash
-                          tenant partitioning and snapshot/restore persistence
+                          tenant partitioning, incremental checkpoints,
+                          replica failover and snapshot/restore persistence
+* ``repro.runtime``     — parallel execution layer: reader/writer locking
+                          and pluggable per-shard fan-out executors
 * ``repro.profiling``   — parameters, MACs, timing, edge emulation
 * ``repro.experiments`` — drivers regenerating every paper table / figure
 """
@@ -24,6 +27,7 @@ from .core import LiPFormer
 from .baselines import available_models, create_model
 from .cluster import HashRing, ShardedForecaster
 from .data import load_dataset, prepare_forecasting_data
+from .runtime import PoolExecutor, SerialExecutor
 from .serving import ForecastService, ModelRegistry
 from .streaming import SeriesStore, StreamingForecaster
 from .training import Trainer, run_experiment
@@ -44,6 +48,8 @@ __all__ = [
     "StreamingForecaster",
     "HashRing",
     "ShardedForecaster",
+    "SerialExecutor",
+    "PoolExecutor",
     "Trainer",
     "run_experiment",
     "__version__",

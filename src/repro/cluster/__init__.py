@@ -24,6 +24,15 @@ past both limits:
   rebalanced and snapshot/restored deployments must forecast
   **bit-identically** to an uninterrupted single forecaster.
 
+Built on :mod:`repro.runtime` (PR 4), the cluster also runs *parallel*:
+routed traffic shares a reader/writer topology lock with per-shard locks
+underneath, fan-outs drive S shards on S cores through a pluggable
+executor, :meth:`~ShardedForecaster.save_incremental` writes O(churn)
+delta checkpoints chained under :func:`resolve_chain`, and
+:meth:`~ShardedForecaster.failover` re-routes a dead shard's ring arc to
+the survivors, restoring its tenants from the last checkpoint chain with
+an honest :class:`FailoverReport` of any data loss.
+
 See ``examples/cluster_quickstart.py`` for a tour and
 ``benchmarks/test_cluster_scaling.py`` for throughput-vs-shards and
 rebalance-cost measurements.
@@ -31,12 +40,13 @@ rebalance-cost measurements.
 
 from .parity import compare_cluster_to_unsharded, replay_cluster
 from .ring import HashRing, stable_hash
-from .sharded import ShardedForecaster
+from .sharded import FailoverReport, ShardedForecaster
 from .snapshot import (
     decode_state,
     encode_state,
     load_forecaster,
     read_snapshot,
+    resolve_chain,
     save_forecaster,
     write_snapshot,
 )
@@ -45,10 +55,12 @@ __all__ = [
     "HashRing",
     "stable_hash",
     "ShardedForecaster",
+    "FailoverReport",
     "encode_state",
     "decode_state",
     "write_snapshot",
     "read_snapshot",
+    "resolve_chain",
     "save_forecaster",
     "load_forecaster",
     "replay_cluster",

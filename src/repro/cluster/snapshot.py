@@ -12,7 +12,18 @@ module provides the lossless bridge:
   structure, and back.  Tenant keys live inside the JSON manifest, so any
   string key round-trips; nothing is pickled.
 * :func:`write_snapshot` / :func:`read_snapshot` — the same, through a
-  compressed archive on disk via :mod:`repro.nn.serialization`.
+  compressed archive on disk via :mod:`repro.nn.serialization`.  Writes
+  are **crash-atomic**: the archive lands in a temp file in the target
+  directory and is :func:`os.replace`'d into place, so a crash
+  mid-checkpoint leaves either the previous snapshot or the new one —
+  never a truncated ``.npz``.
+* :func:`resolve_chain` — replay an incremental checkpoint chain (one
+  full snapshot plus zero or more delta snapshots written by
+  ``ShardedForecaster.save_incremental``) into the equivalent full state
+  dict, validating chain identity and sequence linkage.  Deltas carry
+  per-tenant payloads only for tenants that churned, plus each shard's
+  full tenant *order* — so a resolved chain reproduces tenant placement,
+  iteration order and contents exactly.
 * :func:`save_forecaster` / :func:`load_forecaster` — one-call
   persistence for a :class:`~repro.streaming.forecaster.StreamingForecaster`:
   a restored process keeps forecasting bit-identically to one that never
@@ -24,7 +35,8 @@ from __future__ import annotations
 import datetime
 import json
 import os
-from typing import Dict, Tuple
+import tempfile
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +49,8 @@ __all__ = [
     "decode_state",
     "write_snapshot",
     "read_snapshot",
+    "resolve_chain",
+    "resolve_tenant_payloads",
     "save_forecaster",
     "load_forecaster",
 ]
@@ -44,6 +58,22 @@ __all__ = [
 _MANIFEST_KEY = "__manifest__"
 #: formats understood by the codec; bumped on incompatible layout changes
 _FORMAT_VERSION = 1
+
+# The process umask, probed once at import (os.umask is the only portable
+# read, and it is a process-wide mutation — doing the probe per write would
+# race every other thread creating files mid-probe).
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+
+
+def _npz_path(path: str) -> str:
+    """The archive file a snapshot path maps to (np.savez suffixes ``.npz``).
+
+    The one suffix rule shared by the writer below and the cluster's
+    duplicate-chain-link guard — they must agree on which file a path
+    produces, or the guard stops protecting the file actually written.
+    """
+    return path if path.endswith(".npz") else path + ".npz"
 
 
 def encode_state(state) -> Tuple[dict, Dict[str, np.ndarray]]:
@@ -70,7 +100,14 @@ def decode_state(manifest: dict, arrays: Dict[str, np.ndarray]):
 
 
 def write_snapshot(state, path: str) -> None:
-    """Serialise a nested state tree to a compressed ``.npz`` snapshot."""
+    """Serialise a nested state tree to a compressed ``.npz`` snapshot.
+
+    Crash-atomic: the archive is written to a temp file *in the target
+    directory* (same filesystem, so the final rename cannot fail with
+    ``EXDEV``) and moved into place with :func:`os.replace`.  A crash or
+    disk-full mid-write leaves the previous snapshot untouched instead of
+    a truncated archive that ``read_snapshot`` would choke on.
+    """
     manifest, arrays = encode_state(state)
     if _MANIFEST_KEY in arrays:  # pragma: no cover - numbered keys can't collide
         raise ValueError(f"array map may not use the reserved key {_MANIFEST_KEY!r}")
@@ -78,7 +115,29 @@ def write_snapshot(state, path: str) -> None:
     payload[_MANIFEST_KEY] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
-    save_state(payload, path, compressed=True)
+    # Mirror np.savez's suffix behaviour up front so the tempfile already
+    # carries the final ``.npz`` suffix (savez would append one otherwise,
+    # and the rename below must target the exact written file).
+    final = _npz_path(path)
+    directory = os.path.dirname(os.path.abspath(final))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(final) + ".", suffix=".tmp.npz"
+    )
+    os.close(fd)
+    # mkstemp creates 0600 files; the rename below would silently tighten
+    # the published snapshot's permissions vs a plain open() (breaking e.g.
+    # group-readable backup jobs), so restore the umask-derived mode.
+    os.chmod(tmp_path, 0o666 & ~_UMASK)
+    try:
+        save_state(payload, tmp_path, compressed=True)
+        os.replace(tmp_path, final)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
 
 
 def read_snapshot(path: str):
@@ -95,6 +154,142 @@ def read_snapshot(path: str):
         raise ValueError(f"{path!r} is not a snapshot archive (missing manifest)")
     manifest = json.loads(bytes(payload.pop(_MANIFEST_KEY)).decode("utf-8"))
     return decode_state(manifest, payload)
+
+
+# ---------------------------------------------------------------------- #
+# Incremental checkpoint chains.
+# ---------------------------------------------------------------------- #
+def resolve_chain(paths: Sequence[str]):
+    """Replay ``[full, delta, delta, ...]`` snapshots into one full state.
+
+    The first path must be a full cluster snapshot
+    (``ShardedForecaster.save``); each subsequent path a delta
+    (``save_incremental``) whose ``chain_id`` matches the base and whose
+    ``parent_seq`` equals the sequence number of the state resolved so far
+    — a delta applied out of order, twice, or against a foreign chain is a
+    hard error, never a silently wrong cluster.
+
+    Returns a state dict interchangeable with ``ShardedForecaster.to_state``
+    output (feed it to ``from_state`` to revive the cluster).
+    """
+    paths = list(paths)
+    if not paths:
+        raise ValueError("checkpoint chain is empty")
+    state = read_snapshot(paths[0])
+    if state.get("kind", "full") != "full":
+        raise ValueError(
+            f"chain base {paths[0]!r} is a {state.get('kind')!r} snapshot; "
+            "the first link must be a full save()"
+        )
+    for path in paths[1:]:
+        delta = read_snapshot(path)
+        if delta.get("kind") != "delta":
+            raise ValueError(
+                f"chain link {path!r} is not a delta snapshot "
+                f"(kind={delta.get('kind')!r})"
+            )
+        if delta.get("chain_id") != state.get("chain_id"):
+            raise ValueError(
+                f"delta {path!r} belongs to chain {delta.get('chain_id')!r}, "
+                f"not this chain {state.get('chain_id')!r}"
+            )
+        if int(delta.get("parent_seq", -1)) != int(state.get("seq", 0)):
+            raise ValueError(
+                f"delta {path!r} (parent_seq {delta.get('parent_seq')!r}) does "
+                f"not follow checkpoint seq {state.get('seq')!r} — chain out of "
+                "order or missing a link"
+            )
+        state = _apply_delta(state, delta)
+    return state
+
+
+def resolve_tenant_payloads(state: dict) -> Dict[str, dict]:
+    """Flatten a (resolved) cluster state into per-tenant codec payloads.
+
+    Returns ``tenant -> {"series": {...}, "scaler": ...}`` in exactly the
+    shape ``StreamingForecaster.export_tenant`` produces, wherever the
+    tenant lives — the one extraction both the chain replay (clean-tenant
+    lookup) and ``ShardedForecaster.failover`` (checkpoint restore) share,
+    so a new per-tenant field only has to be threaded through here.
+    """
+    payloads: Dict[str, dict] = {}
+    for shard_state in state["shards"].values():
+        store = shard_state["store"]
+        generations = store.get("generations", {})
+        for tenant, buffer_state in store["buffers"].items():
+            payloads[tenant] = {
+                "series": {
+                    "buffer": buffer_state,
+                    "last_timestamp": store["last_timestamps"].get(tenant),
+                    "generation": int(generations.get(tenant, 0)),
+                },
+                "scaler": shard_state["scalers"].get(tenant),
+            }
+    return payloads
+
+
+def _apply_delta(state: dict, delta: dict) -> dict:
+    """One chain step: rebuild every shard's state from base + churn.
+
+    Deltas record, per shard, the full tenant *order* (cheap — names only)
+    and per-tenant payloads for *dirty* tenants only.  A clean tenant's
+    payload is looked up in the state resolved so far — wherever it lived
+    (migrations move tenants between shards without touching their data).
+    Tenants absent from every order list were dropped.  Rebuilding the
+    dicts in recorded order keeps ``forecast_all`` batch composition (and
+    any later re-snapshot) identical to the live cluster's.
+    """
+    lookup = resolve_tenant_payloads(state)
+    geometry = delta["store"]
+    shards: Dict[str, dict] = {}
+    for shard_id, entry in delta["shards"].items():
+        buffers: Dict[str, dict] = {}
+        timestamps: Dict[str, object] = {}
+        scalers: Dict[str, object] = {}
+        generations: Dict[str, int] = {}
+        dirty = entry["dirty"]
+        for tenant in entry["order"]:
+            if tenant in dirty:
+                export = dirty[tenant]
+            elif tenant in lookup:
+                export = lookup[tenant]
+            else:
+                raise ValueError(
+                    f"chain corruption: shard {shard_id!r} lists clean tenant "
+                    f"{tenant!r} but no earlier checkpoint holds its state"
+                )
+            buffers[tenant] = export["series"]["buffer"]
+            timestamp = export["series"].get("last_timestamp")
+            if timestamp is not None:
+                timestamps[tenant] = timestamp
+            if export.get("scaler") is not None:
+                scalers[tenant] = export["scaler"]
+            generations[tenant] = int(export["series"].get("generation", 0))
+        shards[shard_id] = {
+            "normalization": delta["normalization"],
+            "store": {
+                "capacity": int(geometry["capacity"]),
+                "n_channels": int(geometry["n_channels"]),
+                "dtype": str(geometry["dtype"]),
+                "buffers": buffers,
+                "last_timestamps": timestamps,
+                "generations": generations,
+                "stats": dict(entry["store_stats"]),
+            },
+            "scalers": scalers,
+            "stats": dict(entry["stats"]),
+        }
+    return {
+        "kind": "full",
+        "chain_id": delta["chain_id"],
+        "seq": int(delta["seq"]),
+        "vnodes": int(delta["vnodes"]),
+        "normalization": delta["normalization"],
+        "rebalances": int(delta["rebalances"]),
+        "tenants_migrated": int(delta["tenants_migrated"]),
+        "retired": delta["retired"],
+        "shards": shards,
+    }
 
 
 # ---------------------------------------------------------------------- #

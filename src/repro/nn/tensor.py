@@ -21,6 +21,7 @@ numerical gradient checking (see :mod:`repro.nn.gradcheck`).
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -59,31 +60,42 @@ def get_default_dtype():
     return _DEFAULT_DTYPE
 
 
-class _GradMode:
-    """Process-wide switch controlling whether operations record a graph."""
+class _GradMode(threading.local):
+    """Per-thread switch controlling whether operations record a graph.
+
+    Thread-local, exactly like ``torch``'s grad mode: the parallel serving
+    layer (``repro.runtime.PoolExecutor``) runs ``no_grad`` inference on
+    worker threads, and a process-wide flag would let two overlapping
+    ``no_grad`` blocks restore each other's state — leaving gradients
+    disabled for an unrelated training thread (or forever).  Each thread
+    starts with gradients enabled via the class-attribute default.
+    """
 
     enabled: bool = True
+
+
+_grad_mode = _GradMode()
 
 
 class no_grad:
     """Context manager that disables gradient tracking.
 
     Used for inference and for optimizer parameter updates, exactly like
-    ``torch.no_grad()``.
+    ``torch.no_grad()``.  Affects only the current thread.
     """
 
     def __enter__(self) -> "no_grad":
-        self._previous = _GradMode.enabled
-        _GradMode.enabled = False
+        self._previous = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        _GradMode.enabled = self._previous
+        _grad_mode.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GradMode.enabled
+    return _grad_mode.enabled
 
 
 class MacCounter:

@@ -1,0 +1,25 @@
+"""``repro.runtime`` — the parallel execution layer under the cluster.
+
+PR 3's :class:`~repro.cluster.sharded.ShardedForecaster` gave the system N
+model replicas but one global lock, so N shards still used one core.  This
+package holds the concurrency primitives that fix that, kept separate from
+the cluster so they stay reusable (and testable) on their own:
+
+* :class:`RWLock` — writer-preferring reentrant reader/writer lock: routed
+  traffic shares the topology read-side, rebalances/checkpoints take the
+  exclusive write-side;
+* :class:`Executor` / :class:`SerialExecutor` / :class:`PoolExecutor` —
+  pluggable fan-out strategies for per-shard work (inline vs thread pool;
+  forward passes are NumPy-bound, so threads reach S cores for S shards);
+* :func:`map_shards` — the one fan-out idiom: ``fn(shard_id)`` per shard,
+  results keyed and ordered by shard id.
+
+See ``ARCHITECTURE.md`` for how these compose with the per-shard locks in
+the cluster layer, and ``benchmarks/test_parallel_scaling.py`` for the
+measured speedup.
+"""
+
+from .executor import Executor, PoolExecutor, SerialExecutor, map_shards
+from .locks import RWLock
+
+__all__ = ["Executor", "SerialExecutor", "PoolExecutor", "map_shards", "RWLock"]

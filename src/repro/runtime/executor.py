@@ -1,0 +1,162 @@
+"""Execution strategies for fanning work out across shards.
+
+The cluster's fan-out paths (``forecast_all``, ``flush``, checkpoint
+collection) are embarrassingly parallel: one independent task per shard,
+each dominated by NumPy forward passes that release the GIL inside BLAS.
+:class:`Executor` abstracts *how* those tasks run so the policy is a
+constructor argument, not a code path:
+
+* :class:`SerialExecutor` — run tasks inline on the calling thread.  Zero
+  overhead, fully deterministic scheduling; the right default for tests,
+  single-core hosts and debugging.
+* :class:`PoolExecutor` — run tasks on a shared
+  :class:`concurrent.futures.ThreadPoolExecutor`, so S shards drive S
+  cores.  Threads (not processes) suffice because the work is NumPy-bound;
+  per-shard locks one level down keep tasks for the *same* shard
+  serialised regardless of executor.
+
+Both preserve input order, propagate the first failure *after* every task
+has finished (no task is abandoned mid-flight with shard locks held), and
+are context managers.  :func:`map_shards` is the one fan-out idiom the
+cluster uses: run ``fn`` once per shard id, return ``{shard_id: result}``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor as _ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+
+__all__ = ["Executor", "SerialExecutor", "PoolExecutor", "map_shards"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _settle_then_raise(
+    producers: Iterable[Callable[[], R]],
+    immediate: tuple = (),
+) -> List[R]:
+    """Collect every producer's result, then re-raise the first failure.
+
+    The shared collection rule both executors must agree on: a failing
+    task does not stop later tasks (its slot settles to ``None``), and the
+    first error — in input order — surfaces only after the whole batch has
+    run, so callers never observe half-cancelled work.  Exception types in
+    ``immediate`` (e.g. ``KeyboardInterrupt`` for inline execution, where
+    nothing else is in flight yet) propagate at once instead.
+    """
+    results: List[R] = []
+    first_error: BaseException | None = None
+    for produce in producers:
+        try:
+            results.append(produce())
+        except immediate:
+            raise
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            if first_error is None:
+                first_error = error
+            results.append(None)  # type: ignore[arg-type]
+    if first_error is not None:
+        raise first_error
+    return results
+
+
+class Executor:
+    """Strategy interface: run independent tasks, keep input order."""
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Run ``fn`` over ``items``; results align with input order.
+
+        Every task runs to completion even if an earlier one fails — the
+        first exception (in input order) is re-raised only after the whole
+        batch has settled, so callers never observe half-cancelled work.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class SerialExecutor(Executor):
+    """Run every task inline on the calling thread, in order.
+
+    Honours the same settle-then-raise contract as the pool — except for
+    ``KeyboardInterrupt``/``SystemExit``, which propagate immediately: no
+    task is in flight between serial items, and grinding through the
+    remaining shards' forward passes after a Ctrl-C reads as a hang.
+    """
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return _settle_then_raise(
+            (lambda item=item: fn(item) for item in items),
+            immediate=(KeyboardInterrupt, SystemExit),
+        )
+
+
+class PoolExecutor(Executor):
+    """Thread-pool execution: independent tasks overlap across cores.
+
+    Parameters
+    ----------
+    max_workers:
+        pool width; defaults to ``os.cpu_count()``.  The pool is created
+        lazily on first use and shared across calls, so a long-lived
+        cluster pays thread start-up once, not per flush.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self._pool: _ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> _ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = _ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-shard"
+                )
+            return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            # One task gains nothing from a thread hop; run it inline so
+            # single-shard clusters keep SerialExecutor performance.
+            return [fn(items[0])]
+        futures = [self._ensure_pool().submit(fn, item) for item in items]
+        # Everything is already in flight, so even interrupts wait for the
+        # batch: abandoning futures here would leave shard work running
+        # unobserved behind the caller's back.
+        return _settle_then_raise(future.result for future in futures)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def map_shards(
+    executor: Executor, fn: Callable[[str], R], shard_ids: Sequence[str]
+) -> Dict[str, R]:
+    """Run ``fn(shard_id)`` for every shard; return ``{shard_id: result}``.
+
+    The returned dict preserves ``shard_ids`` order, so downstream
+    aggregation (stat merges, handle collection) stays deterministic
+    whatever the executor's scheduling did.
+    """
+    ids = list(shard_ids)
+    return dict(zip(ids, executor.map(fn, ids)))

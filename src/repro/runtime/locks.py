@@ -1,0 +1,120 @@
+"""Reader/writer synchronisation for the parallel execution layer.
+
+The cluster façade has two very different kinds of critical section:
+
+* **routed traffic** (``ingest`` / ``forecast`` / the per-shard fan-outs) —
+  frequent, short, and mutually compatible as long as the *topology* (ring
+  layout, shard map) stays put; per-shard state is guarded by per-shard
+  locks one level down;
+* **topology changes** (``add_shard`` / ``remove_shard`` / ``failover`` /
+  checkpoints) — rare, and incompatible with everything: a reader that
+  observes a half-done rebalance routes a tenant into the void.
+
+A single mutex (PR 3's design) serialises both kinds and caps the whole
+cluster at one core.  :class:`RWLock` splits them: any number of readers
+proceed concurrently, one writer excludes everyone.  The lock is
+
+* **writer-preferring** — once a writer is waiting, *new* readers queue
+  behind it, so a steady stream of traffic cannot starve a rebalance;
+* **reentrant** — a thread already holding a read lock may re-enter
+  ``read()`` even while a writer waits (blocking it there would deadlock),
+  and a thread holding the write lock may nest both ``write()`` and
+  ``read()`` sections.  Upgrading (``write()`` while holding only a read
+  lock) deadlocks by construction and raises instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Writer-preferring, reentrant reader/writer lock.
+
+    Usage::
+
+        lock = RWLock()
+        with lock.read():     # shared: many readers at once
+            ...
+        with lock.write():    # exclusive: no readers, no other writer
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0      # threads currently inside read()
+        self._waiting_writers = 0     # threads blocked entering write()
+        self._writer: int | None = None   # ident of the thread holding write
+        self._writer_depth = 0
+        self._local = threading.local()   # per-thread read re-entrancy depth
+
+    def _read_depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def read(self):
+        """Shared access; blocks while a writer holds or waits for the lock."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Reading inside one's own write section: already exclusive,
+                # just extend the write hold.
+                self._writer_depth += 1
+                nested_write = True
+            else:
+                nested_write = False
+                depth = self._read_depth()
+                if depth == 0:
+                    # New readers queue behind waiting writers (preference),
+                    # but re-entrant readers pass — they already hold the
+                    # lock, and parking them behind the writer they block
+                    # would deadlock both.
+                    while self._writer is not None or self._waiting_writers:
+                        self._cond.wait()
+                    self._active_readers += 1
+                self._local.depth = depth + 1
+        try:
+            yield self
+        finally:
+            with self._cond:
+                if nested_write:
+                    self._writer_depth -= 1
+                else:
+                    self._local.depth -= 1
+                    if self._local.depth == 0:
+                        self._active_readers -= 1
+                        if self._active_readers == 0:
+                            self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Exclusive access; reentrant for the thread already writing."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+            else:
+                if self._read_depth():
+                    raise RuntimeError(
+                        "cannot upgrade a read lock to a write lock "
+                        "(release the read section first)"
+                    )
+                self._waiting_writers += 1
+                try:
+                    while self._writer is not None or self._active_readers:
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self._writer = me
+                self._writer_depth = 1
+        try:
+            yield self
+        finally:
+            with self._cond:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer = None
+                    self._cond.notify_all()

@@ -20,7 +20,7 @@ The service also exposes:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -178,6 +178,24 @@ class ForecastService:
         """Run every pending request through the model; returns the count."""
         with self._lock:
             return self._flush_locked()
+
+    def stats_snapshot(self) -> ServiceStats:
+        """A consistent copy of the counters, taken under the service lock.
+
+        ``self.stats`` is mutated field-by-field inside submit/flush;
+        merging live objects across a cluster while shards keep serving
+        could tear a ``requests``/``forward_passes`` pair mid-update.  The
+        copy pins each service at one self-consistent point.
+        """
+        with self._lock:
+            return ServiceStats(**asdict(self.stats))
+
+    def reset_stats(self) -> None:
+        """Zero the counters under the service lock (between benchmark
+        phases), so an in-flight submit/flush can't interleave its
+        field-by-field increments with the reset."""
+        with self._lock:
+            self.stats.reset()
 
     def predict_many(
         self,

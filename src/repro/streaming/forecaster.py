@@ -28,7 +28,7 @@ serving boundary:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -259,6 +259,28 @@ class StreamingForecaster:
         self.store.drop(tenant)
         with self._lock:
             self._scalers.pop(tenant, None)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint bookkeeping and consistent stat reads.
+    # ------------------------------------------------------------------ #
+    def dirty_tenants(self) -> List[str]:
+        """Tenants whose state changed since the last checkpoint.
+
+        Scaler statistics only ever move on ``ingest`` (which also dirties
+        the store entry) or tenant adoption (likewise), so the store's
+        churn set covers the whole per-tenant state — no separate scaler
+        tracking needed.
+        """
+        return self.store.dirty_tenants()
+
+    def clear_dirty(self) -> None:
+        """Reset churn tracking after a checkpoint captured this shard."""
+        self.store.mark_clean()
+
+    def stats_snapshot(self) -> StreamingStats:
+        """A consistent copy of the forecast counters."""
+        with self._lock:
+            return StreamingStats(**asdict(self.stats))
 
     # ------------------------------------------------------------------ #
     # State codec — process restarts (snapshot/restore) and shard

@@ -13,8 +13,8 @@ ring buffers and enforces per-tenant timestamp monotonicity.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
@@ -170,6 +170,19 @@ class SeriesStore:
         self._last_timestamp: Dict[str, object] = {}
         self._lock = threading.Lock()
         self.stats = StoreStats()
+        # Checkpoint bookkeeping.  An incremental snapshot is O(churn) only
+        # if someone remembers the churn: every mutation a delta would need
+        # to re-capture (ingest, adoption) marks the tenant dirty; drop
+        # unmarks it (absence from the next checkpoint's tenant list is the
+        # deletion record).  Generations disambiguate incarnations of a
+        # reused tenant key: a drop tombstones the key so a re-created
+        # tenant gets generation + 1, and failover can refuse to resurrect
+        # a deleted incarnation from an older checkpoint.  Tombstones are
+        # in-memory only — they bridge drop → re-create within a process
+        # lifetime, which is the window checkpoints can confuse.
+        self._dirty: Set[str] = set()
+        self._generations: Dict[str, int] = {}
+        self._tombstones: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     def __contains__(self, tenant: str) -> bool:
@@ -181,6 +194,11 @@ class SeriesStore:
     def tenants(self) -> List[str]:
         """Tenant keys in first-seen order."""
         return list(self._buffers)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The stored row dtype (every tenant buffer shares it)."""
+        return np.dtype(self._dtype)
 
     def buffer(self, tenant: str) -> RingBuffer:
         try:
@@ -211,6 +229,7 @@ class SeriesStore:
             if buffer is None:
                 buffer = RingBuffer(self.capacity, self.n_channels, dtype=self._dtype)
                 self._buffers[tenant] = buffer
+                self._generations[tenant] = self._tombstones.pop(tenant, 0)
                 self.stats.tenants += 1
             if timestamp is not None:
                 last = self._last_timestamp.get(tenant)
@@ -227,6 +246,7 @@ class SeriesStore:
             self.stats.ingests += 1
             self.stats.observations += buffer.total_appended - total_before
             self.stats.evicted += (buffer.total_appended - len(buffer)) - dropped_before
+            self._dirty.add(tenant)
             return buffer.total_appended
 
     def latest(self, tenant: str, n: int) -> np.ndarray:
@@ -248,16 +268,61 @@ class SeriesStore:
         with self._lock:
             self._buffers.pop(tenant, None)
             self._last_timestamp.pop(tenant, None)
+            # A dropped tenant needs no delta payload — its absence from the
+            # next checkpoint's tenant list is the deletion record.
+            self._dirty.discard(tenant)
+            generation = self._generations.pop(tenant, None)
+            if generation is not None:
+                self._tombstones[tenant] = generation + 1
+
+    def generation(self, tenant: str) -> int:
+        """Which incarnation of the key this tenant is (0 for the first).
+
+        Bumped each time a key is re-created after :meth:`drop`; travels
+        with the tenant's state, so a checkpoint of a *deleted*
+        incarnation can be told apart from the live one however many rows
+        either has.
+        """
+        return self._generations.get(tenant, 0)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint bookkeeping — incremental snapshots ride on it.
+    # ------------------------------------------------------------------ #
+    def dirty_tenants(self) -> List[str]:
+        """Tenants mutated since :meth:`mark_clean`, in first-seen order."""
+        with self._lock:
+            return [tenant for tenant in self._buffers if tenant in self._dirty]
+
+    def mark_clean(self) -> None:
+        """Reset churn tracking (called when a checkpoint captures state)."""
+        with self._lock:
+            self._dirty.clear()
+
+    def generations(self) -> Dict[str, int]:
+        """Per-tenant incarnation numbers (live tenants only)."""
+        with self._lock:
+            return dict(self._generations)
+
+    def stats_snapshot(self) -> StoreStats:
+        """A consistent copy of the counters, taken under the store lock.
+
+        Cluster-wide aggregation merges many stores while their traffic is
+        still running; copying under the lock keeps each store's counters
+        internally consistent (no torn ``ingests``/``observations`` pairs).
+        """
+        with self._lock:
+            return StoreStats(**asdict(self.stats))
 
     # ------------------------------------------------------------------ #
     # State codec — snapshot/restore and shard migration both ride on it.
     # ------------------------------------------------------------------ #
     def tenant_state(self, tenant: str) -> dict:
-        """One tenant's full state (ring contents + timestamp watermark)."""
+        """One tenant's full state (ring contents, watermark, incarnation)."""
         with self._lock:
             return {
                 "buffer": self.buffer(tenant).to_state(),
                 "last_timestamp": self._last_timestamp.get(tenant),
+                "generation": self._generations.get(tenant, 0),
             }
 
     def restore_tenant(self, tenant: str, state: dict) -> None:
@@ -284,6 +349,10 @@ class SeriesStore:
             self._buffers[tenant] = buffer
             if state.get("last_timestamp") is not None:
                 self._last_timestamp[tenant] = state["last_timestamp"]
+            self._generations[tenant] = int(state.get("generation", 0))
+            # Adoption is churn: the next incremental checkpoint must record
+            # this tenant's new placement and contents.
+            self._dirty.add(tenant)
 
     def to_state(self) -> dict:
         """Serialisable snapshot of every tenant.
@@ -301,6 +370,7 @@ class SeriesStore:
                     tenant: buffer.to_state() for tenant, buffer in self._buffers.items()
                 },
                 "last_timestamps": dict(self._last_timestamp),
+                "generations": dict(self._generations),
                 "stats": {
                     "tenants": self.stats.tenants,
                     "ingests": self.stats.ingests,
@@ -322,10 +392,12 @@ class SeriesStore:
             int(state["n_channels"]),
             dtype=np.dtype(str(state["dtype"])),
         )
+        generations = state.get("generations", {})
         for tenant, buffer_state in state["buffers"].items():
             store._buffers[tenant] = RingBuffer.from_state(buffer_state)
             timestamp = state["last_timestamps"].get(tenant)
             if timestamp is not None:
                 store._last_timestamp[tenant] = timestamp
+            store._generations[tenant] = int(generations.get(tenant, 0))
         store.stats = StoreStats(**state["stats"])
         return store

@@ -1,0 +1,238 @@
+"""Concurrency tests for the parallel cluster: many threads, one truth.
+
+The reader/writer refactor's whole claim is that routed traffic on
+different shards can proceed concurrently *without* weakening any of PR
+3's guarantees: no lost updates, no deadlocks, exact cluster-wide stats,
+and forecasts bit-identical to an unsharded single-threaded reference.
+These tests hammer the cluster from many threads (with rebalances
+mid-stream) and then audit the books.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardedForecaster, compare_cluster_to_unsharded, replay_cluster
+from repro.config import ModelConfig
+from repro.core import LiPFormer
+from repro.runtime import PoolExecutor
+from repro.serving import ForecastService
+from repro.streaming import StreamingForecaster
+
+INPUT_LENGTH = 16
+HORIZON = 4
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(
+        input_length=INPUT_LENGTH, horizon=HORIZON, n_channels=1, patch_length=4,
+        hidden_dim=8, dropout=0.0, n_heads=2, n_layers=1,
+    )
+
+
+@pytest.fixture
+def service_factory(config):
+    def factory():
+        return ForecastService(LiPFormer(config), max_batch_size=8)
+    return factory
+
+
+class TestStress:
+    def test_threads_across_shards_with_midstream_rebalance(self, service_factory):
+        """Ingest + forecast from many threads while the topology changes.
+
+        Each worker owns a disjoint set of tenants, so the expected counts
+        are exact.  Mid-stream the main thread grows and shrinks the ring
+        and runs cluster-wide fan-outs.  Afterwards every ledger must
+        balance: per-tenant row counts, store totals, streaming forecast
+        counts and service request counts — nothing lost, nothing double-
+        counted, and (implicitly) no deadlock because the test finishes.
+        """
+        n_threads, tenants_per_thread, iterations = 6, 3, 24
+        cluster = ShardedForecaster(service_factory, n_shards=3, executor=PoolExecutor(3))
+        owned = {
+            worker: [f"w{worker}-t{j}" for j in range(tenants_per_thread)]
+            for worker in range(n_threads)
+        }
+        ingested = {t: 0 for ts in owned.values() for t in ts}
+        forecasts_by_thread = [0] * n_threads
+        errors = []
+        start = threading.Barrier(n_threads + 1, timeout=30)
+
+        def worker(index: int) -> None:
+            rng = np.random.default_rng(index)
+            try:
+                start.wait()
+                for step in range(iterations):
+                    for tenant in owned[index]:
+                        cluster.ingest(tenant, rng.normal(size=(1, 1)).astype(np.float32))
+                        ingested[tenant] += 1
+                    if step % 4 == 3:
+                        tenant = owned[index][step % tenants_per_thread]
+                        value = cluster.forecast(tenant).result()
+                        forecasts_by_thread[index] += 1
+                        assert value.shape == (HORIZON, 1)
+            except Exception as error:  # noqa: BLE001 - surfaced by the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        fan_out_requests = 0
+        for round_index in range(3):
+            cluster.add_shard()
+            handles = cluster.forecast_all()
+            fan_out_requests += len(handles)
+            for handle in handles.values():
+                assert handle.result().shape == (HORIZON, 1)
+            cluster.remove_shard(cluster.shard_ids()[-1])
+        for thread in threads:
+            thread.join(60)
+            assert not thread.is_alive(), "worker deadlocked"
+        cluster.flush()
+
+        assert not errors, f"concurrent traffic failed: {errors[:1]}"
+        # No lost updates: every tenant's row count matches what was sent.
+        for tenant, count in ingested.items():
+            owner = cluster.shard(cluster.shard_for(tenant))
+            assert owner.store.observed(tenant) == count, f"{tenant} lost rows"
+        store = cluster.store_stats()
+        assert store.observations == sum(ingested.values())
+        assert store.tenants == len(ingested)
+        # Exact service accounting: one request per submitted forecast.
+        submitted = sum(forecasts_by_thread) + fan_out_requests
+        assert cluster.service_stats().requests == submitted
+        assert cluster.streaming_stats().forecasts == submitted
+
+    def test_concurrent_fan_outs_never_tear_stats(self, service_factory):
+        """Parallel forecast_all calls from several threads stay exact."""
+        cluster = ShardedForecaster(service_factory, n_shards=2, executor=PoolExecutor(2))
+        rng = np.random.default_rng(7)
+        tenants = [f"tenant-{i}" for i in range(12)]
+        for tenant in tenants:
+            cluster.ingest(tenant, rng.normal(size=(INPUT_LENGTH, 1)).astype(np.float32))
+        rounds_per_thread, n_threads = 5, 4
+        errors = []
+
+        def fan_out():
+            try:
+                for _ in range(rounds_per_thread):
+                    for handle in cluster.forecast_all().values():
+                        handle.result()
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=fan_out) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+            assert not thread.is_alive(), "fan-out deadlocked"
+        assert not errors, f"fan-out failed: {errors[:1]}"
+        expected = len(tenants) * rounds_per_thread * n_threads
+        stats = cluster.service_stats()
+        assert stats.requests == expected
+        assert cluster.streaming_stats().forecasts == expected
+
+
+class TestDropRace:
+    def test_forecast_all_tolerates_concurrent_drops(self, service_factory, rng):
+        """A tenant dropped between enumeration and its shard's fan-out must
+        vanish from the result, not KeyError the whole fan-out."""
+        cluster = ShardedForecaster(service_factory, n_shards=2, executor=PoolExecutor(2))
+        stable = [f"stable-{i}" for i in range(6)]
+        churny = [f"churny-{i}" for i in range(6)]
+        for tenant in stable + churny:
+            cluster.ingest(tenant, rng.normal(size=(INPUT_LENGTH, 1)).astype(np.float32))
+        errors = []
+        stop = threading.Event()
+
+        def churn():
+            local = np.random.default_rng(3)
+            try:
+                while not stop.is_set():
+                    for tenant in churny:
+                        cluster.drop(tenant)
+                        cluster.ingest(
+                            tenant, local.normal(size=(1, 1)).astype(np.float32)
+                        )
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(30):
+                handles = cluster.forecast_all()
+                # Stable tenants are always served; churny ones may skip a
+                # round mid-drop but must never poison the fan-out.
+                assert set(stable) <= set(handles)
+                for handle in handles.values():
+                    assert handle.result().shape == (HORIZON, 1)
+        finally:
+            stop.set()
+            thread.join(30)
+            assert not thread.is_alive()
+        assert not errors, f"churn thread failed: {errors[:1]}"
+
+    def test_explicit_tenant_list_still_errors_on_unknown(self, service_factory, rng):
+        cluster = ShardedForecaster(service_factory, n_shards=2)
+        cluster.ingest("known", rng.normal(size=(4, 1)).astype(np.float32))
+        with pytest.raises(KeyError, match="unknown tenant"):
+            cluster.forecast_all(tenants=["known", "ghost"])
+
+
+class TestAssignmentCache:
+    def test_ring_lookup_cache_tracks_the_live_population(self, service_factory, rng):
+        """drop() must evict the memoised lookup — under tenant churn the
+        cache cannot grow with every key ever seen."""
+        cluster = ShardedForecaster(service_factory, n_shards=2)
+        for i in range(50):
+            tenant = f"ephemeral-{i}"
+            cluster.ingest(tenant, rng.normal(size=(1, 1)).astype(np.float32))
+            cluster.drop(tenant)
+        assert len(cluster._assign_cache) == 0
+        cluster.ingest("kept", rng.normal(size=(1, 1)).astype(np.float32))
+        assert set(cluster._assign_cache) == {"kept"}
+
+    def test_cache_invalidated_by_topology_changes(self, service_factory, rng):
+        cluster = ShardedForecaster(service_factory, n_shards=2)
+        tenants = [f"tenant-{i}" for i in range(30)]
+        for tenant in tenants:
+            cluster.ingest(tenant, rng.normal(size=(1, 1)).astype(np.float32))
+        cluster.add_shard()
+        # Fresh lookups after the rebalance agree with the ring everywhere.
+        for tenant in tenants:
+            assert cluster.shard_for(tenant) == cluster.ring.assign(tenant)
+            assert tenant in cluster.shard(cluster.shard_for(tenant)).store
+
+
+class TestPoolParity:
+    def test_pool_executor_keeps_bit_identical_parity(self, service_factory, rng):
+        """Acceptance: parallel fan-out must not change a single bit.
+
+        The same per-tenant streams replayed through an unsharded
+        forecaster and through a 3-shard cluster running its fan-outs on a
+        thread pool must produce identical forecasts — parallelism is a
+        scheduling decision, never a numerical one.
+        """
+        steps = INPUT_LENGTH + 12
+        t = np.arange(steps, dtype=np.float32)
+        streams = {
+            f"tenant-{i}": (
+                np.sin(2 * np.pi * (t / 12.0 + i / 7.0))[:, None]
+                + rng.normal(scale=0.2, size=(steps, 1))
+            ).astype(np.float32)
+            for i in range(7)
+        }
+        reference = StreamingForecaster(service_factory())
+        expected = replay_cluster(reference, streams, warmup=INPUT_LENGTH)
+        with PoolExecutor(4) as pool:
+            cluster = ShardedForecaster(service_factory, n_shards=3, executor=pool)
+            produced = replay_cluster(cluster, streams, warmup=INPUT_LENGTH)
+        report = compare_cluster_to_unsharded(produced, expected)
+        assert report.bit_identical, f"max |Δ| = {report.max_abs_error}"
+        assert report.windows_compared == 7 * 13

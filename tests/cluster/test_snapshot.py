@@ -1,5 +1,7 @@
 """Tests for the pickle-free nested-state ↔ .npz snapshot codec."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -199,3 +201,62 @@ class TestForecasterPersistence:
         np.testing.assert_array_equal(
             restored.forecast("a").result(), original.forecast("a").result()
         )
+
+
+class TestAtomicWrites:
+    """A crash mid-checkpoint must never leave a corrupt archive behind."""
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path, monkeypatch):
+        """A failing re-checkpoint leaves the previous snapshot readable."""
+        import repro.cluster.snapshot as snapshot_module
+
+        path = str(tmp_path / "state.npz")
+        write_snapshot({"generation": 1}, path)
+
+        real_save_state = snapshot_module.save_state
+
+        def crash_mid_write(payload, target, **kwargs):
+            # Simulate dying after bytes hit the disk but before the
+            # archive is complete: write garbage, then fail.
+            with open(target, "wb") as handle:
+                handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(snapshot_module, "save_state", crash_mid_write)
+        with pytest.raises(OSError, match="disk full"):
+            write_snapshot({"generation": 2}, path)
+        monkeypatch.setattr(snapshot_module, "save_state", real_save_state)
+
+        # The published snapshot is still generation 1, and the aborted
+        # attempt left no temp litter for an operator to trip over.
+        assert read_snapshot(path) == {"generation": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+
+    def test_failed_first_write_leaves_nothing(self, tmp_path, monkeypatch):
+        import repro.cluster.snapshot as snapshot_module
+
+        def explode(payload, target, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(snapshot_module, "save_state", explode)
+        with pytest.raises(OSError, match="disk full"):
+            write_snapshot({"a": 1}, str(tmp_path / "state.npz"))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_goes_through_a_rename(self, tmp_path, monkeypatch):
+        """The final path only ever receives a complete archive."""
+        replaced = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            replaced.append((os.path.basename(src), os.path.basename(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        path = str(tmp_path / "state.npz")
+        write_snapshot({"a": np.ones(3)}, path)
+        assert len(replaced) == 1
+        src, dst = replaced[0]
+        assert dst == "state.npz"
+        assert src != dst and src.endswith(".npz")
+        np.testing.assert_array_equal(read_snapshot(path)["a"], np.ones(3))

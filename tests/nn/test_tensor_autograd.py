@@ -131,3 +131,60 @@ class TestItemAndRepr:
 
     def test_repr_mentions_shape(self):
         assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+
+class TestGradModeThreadLocality:
+    """no_grad must be per-thread: parallel inference (repro.runtime pool
+    workers running predict under no_grad) must never switch gradients off
+    for a concurrent training thread — or leave them off for the process."""
+
+    def test_no_grad_in_worker_does_not_leak_to_main_thread(self):
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(5)
+                seen["worker"] = is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(5)
+        # The worker sits inside no_grad right now; this thread must be
+        # unaffected, both for the flag and for real graph recording.
+        assert is_grad_enabled()
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+        release.set()
+        thread.join(5)
+        assert seen["worker"] is False
+        assert is_grad_enabled()
+
+    def test_overlapping_no_grad_blocks_cannot_corrupt_each_other(self):
+        """The process-wide-flag failure mode: B enters while A is inside,
+        A exits, B exits restoring A's 'False' — gradients stay off
+        forever.  Thread-local state makes the interleaving harmless."""
+        import threading
+
+        barrier = threading.Barrier(2, timeout=5)
+
+        def inference():
+            for _ in range(50):
+                with no_grad():
+                    barrier.wait()          # force overlapping enter/exit
+                    assert not is_grad_enabled()
+                    barrier.wait()
+                assert is_grad_enabled()
+
+        threads = [threading.Thread(target=inference) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+            assert not thread.is_alive()
+        assert is_grad_enabled()

@@ -1,0 +1,138 @@
+"""Tests for the pluggable shard fan-out executors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import Executor, PoolExecutor, SerialExecutor, map_shards
+
+
+@pytest.fixture(params=["serial", "pool"])
+def executor(request):
+    instance = SerialExecutor() if request.param == "serial" else PoolExecutor(4)
+    yield instance
+    instance.close()
+
+
+class TestContract:
+    """Behaviour every executor implementation must share."""
+
+    def test_results_align_with_input_order(self, executor):
+        assert executor.map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_input(self, executor):
+        assert executor.map(lambda x: x, []) == []
+
+    def test_single_item(self, executor):
+        assert executor.map(lambda x: x + 1, [41]) == [42]
+
+    def test_first_error_in_input_order_propagates(self, executor):
+        def boom(x):
+            if x % 2:
+                raise ValueError(f"bad {x}")
+            return x
+
+        with pytest.raises(ValueError, match="bad 1"):
+            executor.map(boom, [0, 1, 2, 3])
+
+    def test_all_tasks_complete_before_error_is_raised(self, executor):
+        """No task is abandoned mid-flight: failures surface after the batch
+        settles, so shard work never stops halfway with locks held."""
+        finished = []
+
+        def task(x):
+            if x == 0:
+                raise RuntimeError("first fails")
+            finished.append(x)
+            return x
+
+        with pytest.raises(RuntimeError, match="first fails"):
+            executor.map(task, [0, 1, 2, 3])
+        assert sorted(finished) == [1, 2, 3]
+
+    def test_context_manager_closes(self, executor):
+        with executor as inside:
+            assert inside.map(lambda x: x, [1]) == [1]
+
+    def test_base_class_map_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Executor().map(lambda x: x, [1])
+
+
+class TestSerialInterrupts:
+    def test_keyboard_interrupt_propagates_immediately(self):
+        """Ctrl-C mid-fan-out must not grind through the remaining shards
+        first — inline execution has nothing in flight to wait for."""
+        ran = []
+
+        def task(x):
+            if x == 1:
+                raise KeyboardInterrupt
+            ran.append(x)
+            return x
+
+        with pytest.raises(KeyboardInterrupt):
+            SerialExecutor().map(task, [0, 1, 2, 3])
+        assert ran == [0]
+
+
+class TestPoolExecutor:
+    def test_tasks_overlap_across_threads(self):
+        """Two tasks that each wait for the other can only finish if they
+        genuinely run concurrently."""
+        barrier = threading.Barrier(2, timeout=5)
+
+        def task(_):
+            barrier.wait()
+            return threading.get_ident()
+
+        with PoolExecutor(2) as pool:
+            idents = pool.map(task, [0, 1])
+        assert len(set(idents)) == 2
+
+    def test_pool_is_reused_across_calls(self):
+        """The underlying thread pool is built once, not per map() call."""
+        with PoolExecutor(2) as pool:
+            pool.map(lambda x: x, [0, 1])
+            inner = pool._pool
+            assert inner is not None
+            pool.map(lambda x: x, [0, 1])
+            assert pool._pool is inner
+
+    def test_single_task_runs_inline(self):
+        with PoolExecutor(2) as pool:
+            assert pool.map(lambda _: threading.get_ident(), [0]) == [threading.get_ident()]
+
+    def test_close_is_idempotent_and_reopens_on_use(self):
+        pool = PoolExecutor(2)
+        assert pool.map(lambda x: x, [1, 2]) == [1, 2]
+        pool.close()
+        pool.close()
+        # A closed pool lazily rebuilds on next use rather than erroring.
+        assert pool.map(lambda x: x, [3, 4]) == [3, 4]
+        pool.close()
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            PoolExecutor(0)
+
+    def test_default_width_is_cpu_count(self):
+        assert PoolExecutor().max_workers >= 1
+
+
+class TestMapShards:
+    def test_results_keyed_and_ordered_by_shard_id(self):
+        out = map_shards(SerialExecutor(), lambda s: s.upper(), ["b", "a", "c"])
+        assert out == {"b": "B", "a": "A", "c": "C"}
+        assert list(out) == ["b", "a", "c"]
+
+    def test_parallel_map_shards_preserves_order(self):
+        def slow_for_first(shard_id):
+            if shard_id == "s0":
+                time.sleep(0.02)
+            return shard_id
+
+        with PoolExecutor(3) as pool:
+            out = map_shards(pool, slow_for_first, ["s0", "s1", "s2"])
+        assert list(out) == ["s0", "s1", "s2"]

@@ -1,0 +1,138 @@
+"""Tests for the reader/writer topology lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import RWLock
+
+
+def run_threads(*targets, timeout=10.0):
+    threads = [threading.Thread(target=t) for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+        assert not thread.is_alive(), "thread deadlocked"
+
+
+class TestReaders:
+    def test_readers_overlap(self):
+        lock = RWLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read():
+                inside.wait()   # only passes if both readers are inside at once
+
+        run_threads(reader, reader)
+
+    def test_read_is_reentrant(self):
+        lock = RWLock()
+        with lock.read():
+            with lock.read():
+                pass
+        # fully released: a writer can now proceed
+        with lock.write():
+            pass
+
+    def test_reentrant_read_passes_a_waiting_writer(self):
+        """A reader re-entering while a writer waits must not deadlock."""
+        lock = RWLock()
+        entered = threading.Event()
+        release = threading.Event()
+        result = []
+
+        def reader():
+            with lock.read():
+                entered.set()
+                release.wait(5)
+                with lock.read():       # would deadlock if queued behind writer
+                    result.append("nested")
+
+        def writer():
+            entered.wait(5)
+            release.set()
+            with lock.write():
+                result.append("writer")
+
+        run_threads(reader, writer)
+        assert result == ["nested", "writer"]
+
+
+class TestWriters:
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        order = []
+
+        def writer():
+            with lock.write():
+                order.append("w-in")
+                time.sleep(0.05)
+                order.append("w-out")
+
+        def reader():
+            time.sleep(0.01)        # let the writer in first
+            with lock.read():
+                order.append("r")
+
+        run_threads(writer, reader)
+        assert order == ["w-in", "w-out", "r"]
+
+    def test_write_is_reentrant(self):
+        lock = RWLock()
+        with lock.write():
+            with lock.write():
+                with lock.read():   # reads nested in a write are allowed
+                    pass
+        with lock.read():
+            pass
+
+    def test_upgrade_raises_instead_of_deadlocking(self):
+        lock = RWLock()
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                with lock.write():
+                    pass  # pragma: no cover
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a steady read stream cannot starve a writer."""
+        lock = RWLock()
+        first_reader_in = threading.Event()
+        writer_waiting = threading.Event()
+        order = []
+
+        def long_reader():
+            with lock.read():
+                first_reader_in.set()
+                writer_waiting.wait(5)
+                time.sleep(0.05)    # give the late reader time to (not) enter
+
+        def writer():
+            first_reader_in.wait(5)
+            writer_waiting.set()    # set just before blocking on the held read
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            writer_waiting.wait(5)
+            time.sleep(0.01)        # arrive while the writer is queued
+            with lock.read():
+                order.append("late-reader")
+
+        run_threads(long_reader, writer, late_reader)
+        assert order == ["writer", "late-reader"]
+
+    def test_concurrent_writers_serialise(self):
+        lock = RWLock()
+        counter = {"value": 0, "max_inside": 0}
+
+        def writer():
+            for _ in range(50):
+                with lock.write():
+                    counter["value"] += 1
+                    counter["max_inside"] = max(counter["max_inside"], 1)
+
+        run_threads(writer, writer, writer)
+        assert counter["value"] == 150

@@ -122,3 +122,65 @@ class TestSeriesStore:
         assert "bad" not in store
         assert store.tenants() == []
         assert store.stats.tenants == 0
+
+
+class TestDirtyTracking:
+    """Churn bookkeeping that incremental checkpoints ride on."""
+
+    def test_ingest_marks_dirty_in_first_seen_order(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("b", rows(0, 1, channels=1))
+        store.ingest("a", rows(0, 1, channels=1))
+        store.ingest("b", rows(1, 1, channels=1))
+        assert store.dirty_tenants() == ["b", "a"]
+
+    def test_mark_clean_resets_until_next_mutation(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("a", rows(0, 2, channels=1))
+        store.mark_clean()
+        assert store.dirty_tenants() == []
+        store.ingest("a", rows(2, 1, channels=1))
+        assert store.dirty_tenants() == ["a"]
+
+    def test_drop_removes_from_dirty_set(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("a", rows(0, 1, channels=1))
+        store.drop("a")
+        assert store.dirty_tenants() == []
+
+    def test_adopted_tenant_is_dirty(self):
+        source = SeriesStore(capacity=4, n_channels=1)
+        source.ingest("a", rows(0, 2, channels=1))
+        target = SeriesStore(capacity=4, n_channels=1)
+        target.restore_tenant("a", source.tenant_state("a"))
+        assert target.dirty_tenants() == ["a"]
+
+    def test_restored_store_starts_clean(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("a", rows(0, 2, channels=1))
+        revived = SeriesStore.from_state(store.to_state())
+        assert revived.dirty_tenants() == []
+
+    def test_stats_snapshot_is_a_detached_copy(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("a", rows(0, 2, channels=1))
+        snapshot = store.stats_snapshot()
+        assert snapshot == store.stats
+        store.ingest("a", rows(2, 1, channels=1))
+        assert snapshot.observations == 2
+        assert store.stats.observations == 3
+
+    def test_generation_bumps_on_recreation_and_travels(self):
+        store = SeriesStore(capacity=4, n_channels=1)
+        store.ingest("a", rows(0, 2, channels=1))
+        assert store.generation("a") == 0
+        store.drop("a")
+        store.ingest("a", rows(0, 2, channels=1))
+        assert store.generation("a") == 1
+        # The incarnation number rides the tenant codec (migration) and the
+        # full-store codec (snapshots) alike.
+        target = SeriesStore(capacity=4, n_channels=1)
+        target.restore_tenant("a", store.tenant_state("a"))
+        assert target.generation("a") == 1
+        revived = SeriesStore.from_state(store.to_state())
+        assert revived.generation("a") == 1
