@@ -507,6 +507,21 @@ class ShardedForecaster:
 
             return sum(map_shards(self.executor, run_shard, self.shard_ids()).values())
 
+    def warmup(self, batch_sizes: Optional[Sequence[int]] = None) -> int:
+        """Pre-trace compiled inference plans on every shard (in parallel
+        under a pool executor); returns the total batch sizes warmed.
+
+        Run after building, restoring or failing over a cluster so the
+        first fan-out doesn't pay per-shard plan-tracing latency.
+        """
+        with self._topology.read():
+
+            def run_shard(shard_id: str) -> int:
+                with self._shard_locks[shard_id]:
+                    return self._shards[shard_id].warmup(batch_sizes)
+
+            return sum(map_shards(self.executor, run_shard, self.shard_ids()).values())
+
     def drop(self, tenant: str) -> None:
         """Forget a tenant cluster-wide (buffer, watermark and scaler)."""
         with self._topology.read():

@@ -38,6 +38,10 @@ __all__ = ["BasePredictor"]
 class BasePredictor(ForecastModel):
     """The lightweight patch-wise backbone used by LiPFormer."""
 
+    # Patch division, attention and the prediction head are all
+    # shape-determined, so the backbone traces into an inference plan.
+    supports_compiled_plan = True
+
     def __init__(
         self,
         config: ModelConfig,

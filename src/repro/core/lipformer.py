@@ -28,6 +28,9 @@ class LiPFormer(ForecastModel):
     """Lightweight Patch-wise Transformer with weak data enriching."""
 
     supports_covariates = True
+    # The whole forward (base predictor, covariate encoder, vector mapping)
+    # is shape-determined, so it traces into a graph-free inference plan.
+    supports_compiled_plan = True
 
     def __init__(
         self,

@@ -31,6 +31,7 @@ from .losses import (
 )
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, AdamW, Optimizer
+from .plan import CompiledPredictor, InferencePlan, PlanUnsupported
 from .scheduler import CosineAnnealingLR, LRScheduler, ReduceLROnPlateau, StepLR
 from .serialization import load_module, load_state, save_module, save_state
 from .tensor import (
@@ -104,4 +105,7 @@ __all__ = [
     "clip_grad_norm",
     "check_gradients",
     "numerical_gradient",
+    "CompiledPredictor",
+    "InferencePlan",
+    "PlanUnsupported",
 ]

@@ -10,7 +10,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, concatenate, stack, where_mask
+from .tensor import Tensor, _trace_state, _unbroadcast, as_tensor, concatenate, is_grad_enabled, stack, where_mask
 
 __all__ = [
     "relu",
@@ -19,6 +19,9 @@ __all__ = [
     "tanh",
     "softmax",
     "log_softmax",
+    "softmax_kernel",
+    "log_softmax_kernel",
+    "layer_norm_kernel",
     "dropout",
     "manual_seed",
     "default_generator",
@@ -75,19 +78,114 @@ def tanh(x: Tensor) -> Tensor:
     return as_tensor(x).tanh()
 
 
+def softmax_kernel(
+    x: np.ndarray,
+    axis: int = -1,
+    out: Optional[np.ndarray] = None,
+    reduce_buf: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Numerically stable softmax forward kernel (plain NumPy).
+
+    The single source of truth shared by the eager autograd op below and by
+    traced inference plans (:mod:`repro.nn.plan`).  When ``out`` (shaped
+    like ``x``) and ``reduce_buf`` (shaped like ``x`` with ``axis`` reduced
+    to 1) are given, the computation is allocation-free: ``reduce_buf``
+    holds the row maximum and is then reused for the normalising sum.
+    """
+    mx = np.amax(x, axis=axis, keepdims=True, out=reduce_buf)
+    shifted = np.subtract(x, mx, out=out)
+    np.exp(shifted, out=shifted)
+    total = np.sum(shifted, axis=axis, keepdims=True, out=reduce_buf)
+    np.divide(shifted, total, out=shifted)
+    return shifted
+
+
+def log_softmax_kernel(
+    x: np.ndarray,
+    axis: int = -1,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Numerically stable log-softmax forward kernel (plain NumPy)."""
+    mx = np.amax(x, axis=axis, keepdims=True)
+    shifted = np.subtract(x, mx, out=out)
+    total = np.sum(np.exp(shifted), axis=axis, keepdims=True)
+    np.log(total, out=total)
+    np.subtract(shifted, total, out=shifted)
+    return shifted
+
+
+def layer_norm_kernel(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    eps: float = 1e-5,
+    out: Optional[np.ndarray] = None,
+    square_buf: Optional[np.ndarray] = None,
+    reduce_buf: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Layer-normalisation forward kernel over the last dimension.
+
+    Shared by the eager autograd op and traced plans; with ``out`` /
+    ``square_buf`` (shaped like ``x``) and ``reduce_buf`` (last dim reduced
+    to 1) the computation is allocation-free.  ``reduce_buf`` holds the mean
+    until ``centered`` is formed, then the variance/denominator.
+    """
+    n = float(x.shape[-1])
+    mean = np.sum(x, axis=-1, keepdims=True, out=reduce_buf)
+    np.divide(mean, n, out=mean)
+    centered = np.subtract(x, mean, out=out)
+    squares = np.multiply(centered, centered, out=square_buf)
+    denom = np.sum(squares, axis=-1, keepdims=True, out=reduce_buf)
+    np.divide(denom, n, out=denom)
+    np.add(denom, eps, out=denom)
+    np.sqrt(denom, out=denom)
+    np.divide(centered, denom, out=centered)
+    np.multiply(centered, weight, out=centered)
+    np.add(centered, bias, out=centered)
+    return centered
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis`` (primitive autograd op)."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    exps = shifted.exp()
-    return exps / exps.sum(axis=axis, keepdims=True)
+    a = x.data
+    out_data = softmax_kernel(a, axis=axis)
+    if is_grad_enabled() and x.requires_grad:
+
+        def backward(grad: np.ndarray) -> None:
+            inner = np.sum(grad * out_data, axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - inner))
+
+        return Tensor._node(out_data, (x,), backward)
+    rec = _trace_state.recorder
+    if rec is not None:
+        reduced = list(a.shape)
+        reduced[axis] = 1
+        reduce_buf = np.empty(tuple(reduced), dtype=out_data.dtype)
+        rec.add(
+            lambda a=a, o=out_data, ax=axis, rb=reduce_buf: softmax_kernel(a, axis=ax, out=o, reduce_buf=rb),
+            out_data,
+        )
+        rec.scratch(reduce_buf)
+    return Tensor._wrap(out_data)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Log of the softmax along ``axis``, computed stably."""
+    """Log of the softmax along ``axis``, computed stably (primitive op)."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    a = x.data
+    out_data = log_softmax_kernel(a, axis=axis)
+    if is_grad_enabled() and x.requires_grad:
+
+        def backward(grad: np.ndarray) -> None:
+            total = np.sum(grad, axis=axis, keepdims=True)
+            x._accumulate(grad - np.exp(out_data) * total)
+
+        return Tensor._node(out_data, (x,), backward)
+    rec = _trace_state.recorder
+    if rec is not None:
+        rec.add(lambda a=a, o=out_data, ax=axis: log_softmax_kernel(a, axis=ax, out=o), out_data)
+    return Tensor._wrap(out_data)
 
 
 def dropout(
@@ -120,12 +218,44 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
-    """Layer normalisation over the last dimension."""
-    mean = x.mean(axis=-1, keepdims=True)
-    centered = x - mean
-    variance = (centered * centered).mean(axis=-1, keepdims=True)
-    normalised = centered / (variance + eps).sqrt()
-    return normalised * weight + bias
+    """Layer normalisation over the last dimension (primitive autograd op)."""
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    bias = as_tensor(bias)
+    a, w, b = x.data, weight.data, bias.data
+    if is_grad_enabled() and (x.requires_grad or weight.requires_grad or bias.requires_grad):
+        n = float(a.shape[-1])
+        mean = np.sum(a, axis=-1, keepdims=True) / n
+        centered = a - mean
+        sigma = np.sqrt(np.sum(centered * centered, axis=-1, keepdims=True) / n + eps)
+        normalised = centered / sigma
+        out_data = normalised * w + b
+
+        def backward(grad: np.ndarray) -> None:
+            if bias.requires_grad:
+                bias._accumulate(_unbroadcast(grad, b.shape))
+            if weight.requires_grad:
+                weight._accumulate(_unbroadcast(grad * normalised, w.shape))
+            if x.requires_grad:
+                d_norm = grad * w
+                m1 = np.mean(d_norm, axis=-1, keepdims=True)
+                m2 = np.mean(d_norm * normalised, axis=-1, keepdims=True)
+                x._accumulate((d_norm - m1 - normalised * m2) / sigma)
+
+        return Tensor._node(out_data, (x, weight, bias), backward)
+    out_data = layer_norm_kernel(a, w, b, eps=eps)
+    rec = _trace_state.recorder
+    if rec is not None:
+        square_buf = np.empty_like(out_data)
+        reduce_buf = np.empty(a.shape[:-1] + (1,), dtype=out_data.dtype)
+        rec.add(
+            lambda a=a, w=w, b=b, o=out_data, sq=square_buf, rb=reduce_buf: layer_norm_kernel(
+                a, w, b, eps=eps, out=o, square_buf=sq, reduce_buf=rb
+            ),
+            out_data,
+        )
+        rec.scratch(square_buf, reduce_buf)
+    return Tensor._wrap(out_data)
 
 
 def scaled_dot_product_attention(

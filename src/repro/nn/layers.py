@@ -9,7 +9,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, _trace_state
 
 __all__ = [
     "Linear",
@@ -99,13 +99,23 @@ class Embedding(Module):
         self.embedding_dim = embedding_dim
         self.weight = Parameter(init.xavier_normal((num_embeddings, embedding_dim), rng=rng))
 
-    def forward(self, indices: np.ndarray) -> Tensor:
-        indices = np.asarray(indices, dtype=np.int64)
-        if indices.min() < 0 or indices.max() >= self.num_embeddings:
+    @staticmethod
+    def _validate_indices(indices: np.ndarray, num_embeddings: int) -> None:
+        if indices.min() < 0 or indices.max() >= num_embeddings:
             raise IndexError(
-                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"embedding index out of range [0, {num_embeddings}): "
                 f"min={indices.min()}, max={indices.max()}"
             )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        self._validate_indices(indices, self.num_embeddings)
+        rec = _trace_state.recorder
+        if rec is not None:
+            # Replayed plans re-read the index buffer live; without this
+            # step a compiled forecast would silently gather wrapped rows
+            # for indices the eager path rejects (e.g. -1 sentinels).
+            rec.add(lambda idx=indices, n=self.num_embeddings: self._validate_indices(idx, n))
         return self.weight[indices]
 
 

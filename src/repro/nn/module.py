@@ -12,11 +12,41 @@ from .tensor import Tensor
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
 
 
+_TENSOR_DATA = Tensor.data  # the base class's ``__slots__`` descriptor
+
+
 class Parameter(Tensor):
-    """A tensor that is registered as a trainable model parameter."""
+    """A tensor that is registered as a trainable model parameter.
+
+    Every rebind of ``.data`` (optimizer steps, ``load_state_dict``,
+    snapshot restores) bumps a monotonic per-parameter version counter.
+    Compiled inference plans (:mod:`repro.nn.plan`) capture parameter
+    arrays by reference at trace time and use the counter to detect that a
+    captured array has gone stale — a stale plan must never serve old
+    weights.  In-place writes (``param.data[...] = ...``) need no bump:
+    plans read the same backing array and see the new values directly.
+    """
+
+    __slots__ = ("_version",)
 
     def __init__(self, data, name: Optional[str] = None) -> None:
         super().__init__(data, requires_grad=True, name=name)
+
+    def _rebind_data(self, value) -> None:
+        _TENSOR_DATA.__set__(self, value)
+        try:
+            self._version += 1
+        except AttributeError:  # first assignment, from Tensor.__init__
+            self._version = 1
+
+    # Reads go straight through the base slot descriptor (no Python-level
+    # getter frame on the hot path); only writes pay the version bump.
+    data = property(_TENSOR_DATA.__get__, _rebind_data)
+
+    @property
+    def version(self) -> int:
+        """Monotonic count of ``.data`` rebinds (plan-staleness signal)."""
+        return self._version
 
 
 class Module:
@@ -64,6 +94,16 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
         return int(sum(param.size for param in self.parameters()))
+
+    def parameter_version(self) -> int:
+        """Sum of all parameters' rebind counters.
+
+        Monotonically increasing under any weight mutation that rebinds a
+        parameter's array (optimizer steps, ``load_state_dict``, restores);
+        compiled inference plans key their validity on the per-parameter
+        counters this aggregates.
+        """
+        return int(sum(getattr(param, "_version", 0) for param in self.parameters()))
 
     # ------------------------------------------------------------------ #
     # Training / evaluation state

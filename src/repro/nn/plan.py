@@ -1,0 +1,374 @@
+"""Compiled graph-free inference plans.
+
+LiPFormer's pitch is *lightweight* inference, yet an eager forward pass
+still pays per-op Python overhead on every call: ``Tensor`` wrapping,
+grad-mode checks, and a fresh ndarray allocation for every intermediate.
+This module removes all of it for the steady-state serving hot path:
+
+* :class:`PlanRecorder` — installed thread-locally while a model's
+  ``forward`` runs once under ``no_grad``.  Every tensor operation on the
+  no-grad fast path registers a *replay kernel*: a closure that recomputes
+  the op's output **into the very array produced at trace time** (via
+  ``out=``-style NumPy calls).  View-producing ops (transpose, slicing,
+  contiguous reshape) register nothing at all — once the plan refreshes a
+  source buffer, every view derived from it reads the new data for free.
+
+* :class:`InferencePlan` — the flat, ordered list of replay kernels plus
+  the preallocated buffer arena (the trace-time intermediates themselves).
+  ``run`` copies fresh inputs into the input buffers, executes the kernels
+  in order, and returns the output buffer — no ``Tensor`` objects, no graph
+  bookkeeping, and zero new arena allocations per call.  Parameters are
+  captured as live array references, so a plan is only valid while no
+  parameter has been rebound; staleness is detected through the per-
+  :class:`~repro.nn.module.Parameter` version counter (bumped on every
+  ``.data`` assignment — optimizer steps, ``load_state_dict``, restores).
+
+* :class:`CompiledPredictor` — a per-model plan cache keyed by input
+  signature (shapes/covariate presence), with LRU eviction, transparent
+  re-tracing on staleness, and a non-blocking lock so concurrent callers
+  sharing one model fall back to eager instead of serialising (eager and
+  compiled outputs are bit-identical, so the fallback is invisible).
+
+Correctness model: tracing assumes the forward's *structure* depends only
+on input shapes, never on input values.  All ``repro.nn`` tensor ops and
+the ``softmax`` / ``layer_norm`` / ``log_softmax`` primitives satisfy this;
+models computing raw-NumPy, value-dependent constants inside ``forward``
+must not enable ``supports_compiled_plan``.  Every freshly traced plan is
+self-checked by replaying it on the traced inputs and requiring the output
+to match the eager result exactly before it may serve traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _trace_state, no_grad
+
+__all__ = ["PlanUnsupported", "PlanRecorder", "InferencePlan", "CompiledPredictor"]
+
+
+class PlanUnsupported(RuntimeError):
+    """The model (or environment) cannot be traced into a plan.
+
+    Raised during tracing only; callers fall back to eager inference.
+    """
+
+
+class PlanRecorder:
+    """Collects replay kernels while a forward pass is being traced."""
+
+    __slots__ = ("steps", "arena_nbytes")
+
+    def __init__(self) -> None:
+        self.steps: List[Callable[[], object]] = []
+        self.arena_nbytes = 0
+
+    def add(self, run: Callable[[], object], out: Optional[np.ndarray] = None) -> None:
+        """Register one replay kernel; ``out`` is its arena buffer."""
+        self.steps.append(run)
+        if out is not None:
+            self.arena_nbytes += out.nbytes
+
+    def scratch(self, *arrays: np.ndarray) -> None:
+        """Account scratch buffers owned by composite kernels."""
+        for array in arrays:
+            self.arena_nbytes += array.nbytes
+
+    def unsupported(self, reason: str) -> None:
+        """Abort the trace (called from op sites that cannot replay)."""
+        raise PlanUnsupported(reason)
+
+
+class _recording:
+    """Install ``recorder`` thread-locally for the duration of a trace."""
+
+    def __init__(self, recorder: PlanRecorder) -> None:
+        self._recorder = recorder
+
+    def __enter__(self) -> PlanRecorder:
+        if _trace_state.recorder is not None:
+            raise PlanUnsupported("nested plan tracing is not supported")
+        _trace_state.recorder = self._recorder
+        return self._recorder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _trace_state.recorder = None
+
+
+class InferencePlan:
+    """A traced forward pass: flat replay kernels over a fixed buffer arena."""
+
+    __slots__ = (
+        "_steps",
+        "_x_buf",
+        "_fn_buf",
+        "_fc_buf",
+        "output",
+        "_param_state",
+        "arena_nbytes",
+    )
+
+    def __init__(
+        self,
+        steps: Tuple[Callable[[], object], ...],
+        x_buf: np.ndarray,
+        fn_buf: Optional[np.ndarray],
+        fc_buf: Optional[np.ndarray],
+        output: np.ndarray,
+        param_state: Tuple[Tuple[Tensor, int], ...],
+        arena_nbytes: int,
+    ) -> None:
+        self._steps = steps
+        self._x_buf = x_buf
+        self._fn_buf = fn_buf
+        self._fc_buf = fc_buf
+        self.output = output
+        self._param_state = param_state
+        self.arena_nbytes = arena_nbytes
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def trace(
+        cls,
+        model,
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> "InferencePlan":
+        """Trace ``model.forward`` once under ``no_grad`` into a plan.
+
+        ``model`` must be in eval mode (stochastic layers like dropout
+        would otherwise bake one sampled mask into every replay).  The
+        traced output becomes the plan's output buffer; a replay self-check
+        must reproduce it bit-for-bit before the plan is returned.
+        """
+        if getattr(model, "training", False):
+            raise PlanUnsupported("plans are traced in eval mode only")
+        x_buf = np.array(x, dtype=np.float32)
+        wrapped = Tensor(x_buf)
+        if wrapped.data is not x_buf:
+            raise PlanUnsupported("default tensor dtype is not float32")
+        fn_buf = None if future_numerical is None else np.array(future_numerical, dtype=np.float32)
+        fc_buf = None if future_categorical is None else np.array(future_categorical, dtype=np.int64)
+
+        recorder = PlanRecorder()
+        with no_grad():
+            with _recording(recorder):
+                out = model.forward(
+                    wrapped, future_numerical=fn_buf, future_categorical=fc_buf
+                )
+        if not isinstance(out, Tensor):
+            raise PlanUnsupported(f"forward returned {type(out).__name__}, not a Tensor")
+
+        param_state = tuple(
+            (param, getattr(param, "_version", 0)) for param in model.parameters()
+        )
+        plan = cls(
+            steps=tuple(recorder.steps),
+            x_buf=x_buf,
+            fn_buf=fn_buf,
+            fc_buf=fc_buf,
+            output=out.data,
+            param_state=param_state,
+            arena_nbytes=recorder.arena_nbytes,
+        )
+        # Self-check: replaying over the traced inputs must reproduce the
+        # eager output exactly, or the plan never serves a single request.
+        expected = plan.output.copy()
+        plan._replay()
+        if not np.array_equal(plan.output, expected):
+            raise PlanUnsupported("replay self-check diverged from the eager forward")
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def is_stale(self) -> bool:
+        """Whether any captured parameter has been rebound since tracing."""
+        return any(getattr(param, "_version", 0) != version for param, version in self._param_state)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self._steps)
+
+    def _replay(self) -> None:
+        for step in self._steps:
+            step()
+
+    def run(
+        self,
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+        copy: bool = True,
+    ) -> np.ndarray:
+        """Execute the plan on fresh inputs.
+
+        With ``copy=False`` the internal output buffer is returned: valid
+        only until the next ``run`` — callers that retain results (the
+        serving layer resolving request handles) must take the copy.
+        """
+        if x.shape != self._x_buf.shape:
+            raise ValueError(f"plan expects input shape {self._x_buf.shape}, got {x.shape}")
+        if (future_numerical is None) != (self._fn_buf is None) or (
+            future_categorical is None
+        ) != (self._fc_buf is None):
+            raise ValueError("plan was traced with a different covariate signature")
+        for name, value, buffer in (
+            ("future_numerical", future_numerical, self._fn_buf),
+            ("future_categorical", future_categorical, self._fc_buf),
+        ):
+            # Exact-shape check: np.copyto would happily broadcast a
+            # narrower covariate block into the buffer and serve a wrong
+            # forecast silently.
+            if buffer is not None and np.shape(value) != buffer.shape:
+                raise ValueError(
+                    f"plan expects {name} shape {buffer.shape}, got {np.shape(value)}"
+                )
+        np.copyto(self._x_buf, x)
+        if self._fn_buf is not None:
+            np.copyto(self._fn_buf, future_numerical)
+        if self._fc_buf is not None:
+            np.copyto(self._fc_buf, future_categorical)
+        self._replay()
+        return self.output.copy() if copy else self.output
+
+
+class CompiledPredictor:
+    """Per-model cache of :class:`InferencePlan` objects, keyed by signature.
+
+    ``predict`` returns the forecast array, or ``None`` when the caller
+    should run eager inference instead (unsupported model, lock contention
+    from another thread sharing this model, or a failed trace).  Because a
+    valid plan's output is bit-identical to eager ``no_grad`` inference,
+    interleaving the two paths is invisible to callers.
+    """
+
+    def __init__(self, model, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.model = model
+        self.capacity = capacity
+        self._plans: "OrderedDict[Tuple, InferencePlan]" = OrderedDict()
+        # Signatures whose trace failed, tagged with the model's parameter
+        # version at failure time: a weight change retires the marker, so a
+        # transient failure (bad weights, mid-swap state) never disables
+        # the compiled path permanently.  Kept apart from the plan LRU so
+        # markers neither consume plan capacity nor evict live plans.
+        self._unsupported: "OrderedDict[Tuple, int]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.traces = 0
+        self.fallbacks = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def _key(
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray],
+        future_categorical: Optional[np.ndarray],
+    ) -> Tuple:
+        return (
+            x.shape,
+            None if future_numerical is None else np.shape(future_numerical),
+            None if future_categorical is None else np.shape(future_categorical),
+        )
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def reserve(self, capacity: int) -> None:
+        """Grow (never shrink) the plan cache.
+
+        The serving layer calls this with its batch-shape budget: a flush
+        loop produces tail batches of any size up to ``max_batch_size``,
+        and an LRU smaller than the live shape population would thrash —
+        every miss re-traces (several eager forwards' worth of work) under
+        the predictor lock.  Capped by the caller; plans are only traced
+        for shapes that actually occur, so reserved-but-unused slots cost
+        nothing.
+        """
+        self.capacity = max(self.capacity, int(capacity))
+
+    def _parameter_version(self) -> int:
+        version = getattr(self.model, "parameter_version", None)
+        return int(version()) if callable(version) else 0
+
+    @property
+    def needs_eval_trace(self) -> bool:
+        """Whether a miss just now requires eval mode to trace.
+
+        Plans replay regardless of the train/eval flag, but *tracing* must
+        happen in eval mode (dropout masks must not be baked in).  When the
+        model is mid-training, ``predict`` declines to trace and the caller
+        decides whether to flip to eval and retry.
+        """
+        return bool(getattr(self.model, "training", False))
+
+    def plan_for(
+        self,
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Optional[InferencePlan]:
+        """The cached plan for this signature, if any (test/debug helper)."""
+        return self._plans.get(self._key(x, future_numerical, future_categorical))
+
+    def predict(
+        self,
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """Run (tracing on demand) the plan for this input signature.
+
+        Returns ``None`` when the caller must fall back to eager inference.
+        Exceptions raised by the model's own ``forward`` (validation
+        errors and the like) propagate unchanged, exactly as eager would.
+        """
+        if not self._lock.acquire(blocking=False):
+            # Another thread is replaying over this model's arenas; eager
+            # fallback keeps concurrent callers parallel instead of queued.
+            return None
+        try:
+            key = self._key(x, future_numerical, future_categorical)
+            marker = self._unsupported.get(key)
+            if marker is not None:
+                if marker == self._parameter_version():
+                    self.fallbacks += 1
+                    return None
+                # Weights changed since the failed trace: retry below.
+                del self._unsupported[key]
+            entry = self._plans.get(key)
+            if entry is not None and entry.is_stale():
+                del self._plans[key]
+                self.invalidations += 1
+                entry = None
+            if entry is None:
+                if getattr(self.model, "training", False):
+                    # Tracing needs eval mode; don't poison the cache —
+                    # the caller may flip the flag and retry.
+                    return None
+                try:
+                    entry = InferencePlan.trace(
+                        self.model, x, future_numerical, future_categorical
+                    )
+                except PlanUnsupported:
+                    self._unsupported[key] = self._parameter_version()
+                    while len(self._unsupported) > 4 * self.capacity:
+                        self._unsupported.popitem(last=False)
+                    self.fallbacks += 1
+                    return None
+                self.traces += 1
+                self._plans[key] = entry
+                while len(self._plans) > self.capacity:
+                    self._plans.popitem(last=False)
+                # The trace itself already computed this call's forecast.
+                return entry.output.copy()
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return entry.run(x, future_numerical, future_categorical, copy=True)
+        finally:
+            self._lock.release()

@@ -14,6 +14,22 @@ The design mirrors the familiar PyTorch semantics at a much smaller scale:
 * broadcasting is fully supported — gradients are "unbroadcast" (summed)
   back to the shape of each parent.
 
+Every operation has two code paths, selected once per call:
+
+* **grad path** — builds the ``_backward`` closure and wires the graph
+  (:meth:`Tensor._node`);
+* **no-grad fast path** — wraps the result with :meth:`Tensor._wrap`
+  without creating the backward closure, parent references or graph
+  bookkeeping at all.  Long-running inference services therefore carry no
+  closure cells, no reference cycles, and no GC pressure from the graph.
+
+The fast path is also where plan tracing hooks in: when a
+:class:`repro.nn.plan.PlanRecorder` is installed (thread-locally), each
+no-grad operation registers a replay kernel that recomputes its output
+*into the very array produced at trace time*, which is what lets
+:class:`repro.nn.plan.InferencePlan` re-execute a whole forward pass with
+zero Python graph overhead and zero steady-state allocations.
+
 Only operations required by the forecasting models in this repository are
 implemented, which keeps the engine small, auditable and easy to verify with
 numerical gradient checking (see :mod:`repro.nn.gradcheck`).
@@ -75,6 +91,19 @@ class _GradMode(threading.local):
 
 
 _grad_mode = _GradMode()
+
+
+class _TraceState(threading.local):
+    """Per-thread plan recorder installed by :mod:`repro.nn.plan`.
+
+    ``None`` (the class-attribute default) outside plan tracing.  Checked
+    only on the no-grad fast path, so the grad path pays nothing for it.
+    """
+
+    recorder = None
+
+
+_trace_state = _TraceState()
 
 
 class no_grad:
@@ -217,17 +246,35 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _make(
+    def _wrap(data) -> "Tensor":
+        """Fast no-grad result constructor: no closure, no parents, no graph.
+
+        This is the whole point of the inference fast path — a tensor built
+        here retains nothing but its array, so ``no_grad`` regions create no
+        reference cycles and no ``_backward`` cells for the GC to chase.
+        """
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._prev = ()
+        out.name = None
+        return out
+
+    @staticmethod
+    def _node(
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
         backward,
     ) -> "Tensor":
-        """Create a result tensor, wiring the graph only when needed."""
-        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
-        if requires:
-            out._prev = tuple(p for p in parents if p.requires_grad)
-            out._backward = backward
+        """Create a graph node (grad path only; caller checked grad mode)."""
+        out = Tensor._wrap(data)
+        out.requires_grad = True
+        out._prev = tuple(p for p in parents if p.requires_grad)
+        out._backward = backward
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -288,24 +335,37 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data + other.data
+        a, b = self.data, other.data
+        out_data = a + b
+        if _grad_mode.enabled and (self.requires_grad or other.requires_grad):
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(grad, a.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(grad, b.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+            return Tensor._node(out_data, (self, other), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, b=b, o=out_data: np.add(a, b, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+        a = self.data
+        out_data = -a
+        if _grad_mode.enabled and self.requires_grad:
+
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, o=out_data: np.negative(a, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other))
@@ -315,31 +375,41 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data * other.data
+        a, b = self.data, other.data
+        out_data = a * b
+        if _grad_mode.enabled and (self.requires_grad or other.requires_grad):
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(grad * b, a.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(grad * a, b.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+            return Tensor._node(out_data, (self, other), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, b=b, o=out_data: np.multiply(a, b, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data / other.data
+        a, b = self.data, other.data
+        out_data = a / b
+        if _grad_mode.enabled and (self.requires_grad or other.requires_grad):
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
-                )
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(grad / b, a.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(-grad * a / (b**2), b.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+            return Tensor._node(out_data, (self, other), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, b=b, o=out_data: np.divide(a, b, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -347,45 +417,65 @@ class Tensor:
     def __pow__(self, exponent: Number) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data**exponent
+        a = self.data
+        out_data = a**exponent
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * exponent * a ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            # ``ndarray.__pow__`` has value-specific fast paths, so replay
+            # re-runs the operator itself (small temp) to stay bit-exact.
+            rec.add(lambda a=a, e=exponent, o=out_data: np.copyto(o, a**e), out_data)
+        return Tensor._wrap(out_data)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        a, b = self.data, other.data
+        out_data = a @ b
         if MacCounter.active is not None:
-            MacCounter.active.add(out_data.size * self.data.shape[-1])
+            MacCounter.active.add(out_data.size * a.shape[-1])
+        if _grad_mode.enabled and (self.requires_grad or other.requires_grad):
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                grad_self = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(grad_self, self.shape))
-            if other.requires_grad:
-                grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(grad_other, other.shape))
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    grad_self = grad @ np.swapaxes(b, -1, -2)
+                    self._accumulate(_unbroadcast(grad_self, a.shape))
+                if other.requires_grad:
+                    grad_other = np.swapaxes(a, -1, -2) @ grad
+                    other._accumulate(_unbroadcast(grad_other, b.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+            return Tensor._node(out_data, (self, other), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, b=b, o=out_data: np.matmul(a, b, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        a = self.data
+        out_data = np.asarray(a.sum(axis=axis, keepdims=keepdims))
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.shape).astype(self.data.dtype))
+            def backward(grad: np.ndarray) -> None:
+                g = grad
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                self._accumulate(np.broadcast_to(g, a.shape).astype(a.dtype))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(
+                lambda a=a, o=out_data, ax=axis, kd=keepdims: np.sum(a, axis=ax, keepdims=kd, out=o),
+                out_data,
+            )
+        return Tensor._wrap(out_data)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -407,104 +497,159 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Maximum along ``axis``.  Gradient flows to the arg-max entries."""
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        a = self.data
+        out_data = np.asarray(a.max(axis=axis, keepdims=keepdims))
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            o = out_data
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-                o = np.expand_dims(o, axis=axis)
-            mask = (self.data == o).astype(self.data.dtype)
-            # Split gradient evenly among ties to stay consistent.
-            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * g / denom)
+            def backward(grad: np.ndarray) -> None:
+                g = grad
+                o = out_data
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                    o = np.expand_dims(o, axis=axis)
+                mask = (a == o).astype(a.dtype)
+                # Split gradient evenly among ties to stay consistent.
+                denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+                self._accumulate(mask * g / denom)
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(
+                lambda a=a, o=out_data, ax=axis, kd=keepdims: np.amax(a, axis=ax, keepdims=kd, out=o),
+                out_data,
+            )
+        return Tensor._wrap(out_data)
 
     # ------------------------------------------------------------------ #
     # Element-wise functions
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        a = self.data
+        out_data = np.exp(a)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, o=out_data: np.exp(a, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        a = self.data
+        out_data = np.log(a)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / self.data)
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(grad / a)
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, o=out_data: np.log(a, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
+        a = self.data
+        out_data = np.sqrt(a)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, o=out_data: np.sqrt(a, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
+        a = self.data
+        out_data = np.abs(a)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * np.sign(self.data))
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * np.sign(a))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, o=out_data: np.abs(a, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        a = self.data
+        out_data = np.tanh(a)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, o=out_data: np.tanh(a, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        a = self.data
+        out_data = 1.0 / (1.0 + np.exp(-a))
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+
+            def run(a=a, o=out_data):
+                np.negative(a, out=o)
+                np.exp(o, out=o)
+                np.add(1.0, o, out=o)
+                np.divide(1.0, o, out=o)
+
+            rec.add(run, out_data)
+        return Tensor._wrap(out_data)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(self.data.dtype)
-        out_data = self.data * mask
+        a = self.data
+        if _grad_mode.enabled and self.requires_grad:
+            mask = (a > 0).astype(a.dtype)
+            out_data = a * mask
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        out_data = np.maximum(a, 0.0)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, o=out_data: np.maximum(a, 0.0, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     def clip(self, minimum: Optional[float] = None, maximum: Optional[float] = None) -> "Tensor":
-        out_data = np.clip(self.data, minimum, maximum)
-        mask = np.ones_like(self.data)
-        if minimum is not None:
-            mask = mask * (self.data >= minimum)
-        if maximum is not None:
-            mask = mask * (self.data <= maximum)
-        mask = mask.astype(self.data.dtype)
+        a = self.data
+        out_data = np.clip(a, minimum, maximum)
+        if _grad_mode.enabled and self.requires_grad:
+            mask = np.ones_like(a)
+            if minimum is not None:
+                mask = mask * (a >= minimum)
+            if maximum is not None:
+                mask = mask * (a <= maximum)
+            mask = mask.astype(a.dtype)
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(lambda a=a, mn=minimum, mx=maximum, o=out_data: np.clip(a, mn, mx, out=o), out_data)
+        return Tensor._wrap(out_data)
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
@@ -512,14 +657,24 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
-        original_shape = self.shape
+        a = self.data
+        out_data = a.reshape(shape)
+        if _grad_mode.enabled and self.requires_grad:
+            original_shape = a.shape
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad.reshape(original_shape))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None and not _is_view_of(out_data, a):
+            # Non-contiguous source: numpy reshape copied.  Replay refills
+            # the traced copy through a flat view — no temporaries.
+            def run(a=a, o=out_data):
+                o.reshape(a.shape)[...] = a
+
+            rec.add(run, out_data)
+        return Tensor._wrap(out_data)
 
     def transpose(self, *axes: int) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -527,77 +682,116 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         out_data = self.data.transpose(axes)
-        inverse = tuple(np.argsort(axes))
+        if _grad_mode.enabled and self.requires_grad:
+            inverse = tuple(np.argsort(axes))
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        return Tensor._wrap(out_data)  # always a view: replay reads through
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         out_data = np.swapaxes(self.data, axis1, axis2)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(np.swapaxes(grad, axis1, axis2))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        return Tensor._wrap(out_data)  # view
 
     def unsqueeze(self, axis: int) -> "Tensor":
         out_data = np.expand_dims(self.data, axis=axis)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        return Tensor._wrap(out_data)  # view
 
     def squeeze(self, axis: int) -> "Tensor":
         out_data = np.squeeze(self.data, axis=axis)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(np.expand_dims(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        return Tensor._wrap(out_data)  # view
 
     def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
-        out_data = np.broadcast_to(self.data, shape).copy()
-        original_shape = self.shape
+        a = self.data
+        out_data = np.broadcast_to(a, shape).copy()
+        if _grad_mode.enabled and self.requires_grad:
+            original_shape = a.shape
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            def backward(grad: np.ndarray) -> None:
                 self._accumulate(_unbroadcast(grad, original_shape))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+            rec.add(
+                lambda a=a, o=out_data, shp=tuple(shape): np.copyto(o, np.broadcast_to(a, shp)),
+                out_data,
+            )
+        return Tensor._wrap(out_data)
 
     def repeat(self, repeats: int, axis: int) -> "Tensor":
         """Repeat the tensor ``repeats`` times along ``axis`` (tile-style)."""
-        out_data = np.repeat(self.data, repeats, axis=axis)
-        original_dim = self.shape[axis]
+        a = self.data
+        # Normalise once: both the backward reshape-and-insert and the
+        # replay reshape build shapes positionally, where a negative axis
+        # would regroup the wrong elements.
+        axis = axis % a.ndim
+        out_data = np.repeat(a, repeats, axis=axis)
+        if _grad_mode.enabled and self.requires_grad:
+            original_dim = a.shape[axis]
 
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            new_shape = list(grad.shape)
-            new_shape[axis] = original_dim
-            new_shape.insert(axis + 1, repeats)
-            self._accumulate(grad.reshape(new_shape).sum(axis=axis + 1))
+            def backward(grad: np.ndarray) -> None:
+                new_shape = list(grad.shape)
+                new_shape[axis] = original_dim
+                new_shape.insert(axis + 1, repeats)
+                self._accumulate(grad.reshape(new_shape).sum(axis=axis + 1))
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None:
+
+            def run(a=a, o=out_data, ax=axis, r=repeats):
+                expanded = a.shape[: ax + 1] + (r,) + a.shape[ax + 1 :]
+                o.reshape(expanded)[...] = np.expand_dims(a, ax + 1)
+
+            rec.add(run, out_data)
+        return Tensor._wrap(out_data)
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
+        a = self.data
+        raw = a[index]
+        out_data = raw if isinstance(raw, np.ndarray) else np.asarray(raw)
+        if _grad_mode.enabled and self.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+            def backward(grad: np.ndarray) -> None:
+                full = np.zeros_like(a)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+            return Tensor._node(out_data, (self,), backward)
+        rec = _trace_state.recorder
+        if rec is not None and not _is_view_of(out_data, a):
+            if isinstance(index, np.ndarray) and index.dtype.kind in "iu":
+                # Integer-array gather (Embedding lookup): the index array is
+                # read live at replay, so plans follow fresh covariate inputs.
+                rec.add(lambda a=a, idx=index, o=out_data: np.take(a, idx, axis=0, out=o), out_data)
+            else:
+
+                def run(a=a, idx=index, o=out_data):
+                    o[...] = a[idx]
+
+                rec.add(run, out_data)
+        return Tensor._wrap(out_data)
 
     # ------------------------------------------------------------------ #
     # Comparison helpers (no gradient)
@@ -615,6 +809,16 @@ class Tensor:
         return self.data <= as_tensor(other).data
 
 
+def _is_view_of(out: np.ndarray, source: np.ndarray) -> bool:
+    """Whether ``out`` is a no-copy view into ``source``'s memory.
+
+    View results need no replay step in a traced plan: once the plan writes
+    fresh values into the source buffer, every view derived from it at trace
+    time reads the new data automatically.
+    """
+    return out.base is not None and np.may_share_memory(out, source)
+
+
 # ---------------------------------------------------------------------- #
 # Free functions on tensors
 # ---------------------------------------------------------------------- #
@@ -628,33 +832,53 @@ def as_tensor(value: ArrayLike) -> Tensor:
 def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    arrays = [t.data for t in tensors]
+    out_data = np.concatenate(arrays, axis=axis)
+    if _grad_mode.enabled and any(t.requires_grad for t in tensors):
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
 
-    def backward(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            if not tensor.requires_grad:
-                continue
-            slicer = [slice(None)] * grad.ndim
-            slicer[axis] = slice(int(start), int(stop))
-            tensor._accumulate(grad[tuple(slicer)])
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if not tensor.requires_grad:
+                    continue
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                tensor._accumulate(grad[tuple(slicer)])
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+        return Tensor._node(out_data, tuple(tensors), backward)
+    rec = _trace_state.recorder
+    if rec is not None:
+        rec.add(lambda arrs=arrays, ax=axis, o=out_data: np.concatenate(arrs, axis=ax, out=o), out_data)
+    return Tensor._wrap(out_data)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
+    arrays = [t.data for t in tensors]
+    out_data = np.stack(arrays, axis=axis)
+    if _grad_mode.enabled and any(t.requires_grad for t in tensors):
 
-    def backward(grad: np.ndarray) -> None:
-        pieces = np.split(grad, len(tensors), axis=axis)
-        for tensor, piece in zip(tensors, pieces):
-            if tensor.requires_grad:
-                tensor._accumulate(np.squeeze(piece, axis=axis))
+        def backward(grad: np.ndarray) -> None:
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                if tensor.requires_grad:
+                    tensor._accumulate(np.squeeze(piece, axis=axis))
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+        return Tensor._node(out_data, tuple(tensors), backward)
+    rec = _trace_state.recorder
+    if rec is not None:
+        ax = axis % out_data.ndim
+
+        def run(arrs=arrays, ax=ax, o=out_data):
+            slicer = [slice(None)] * o.ndim
+            for position, arr in enumerate(arrs):
+                slicer[ax] = position
+                o[tuple(slicer)] = arr
+
+        rec.add(run, out_data)
+    return Tensor._wrap(out_data)
 
 
 def where_mask(mask: np.ndarray, when_true: Tensor, when_false: Tensor) -> Tensor:

@@ -20,7 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Forecast", "ForecastRequest", "pad_history", "coalesce"]
+__all__ = [
+    "Forecast",
+    "ForecastRequest",
+    "pad_history",
+    "group_requests",
+    "BatchAssembler",
+    "coalesce",
+]
 
 
 class Forecast:
@@ -119,23 +126,93 @@ def _signature(request: ForecastRequest) -> Tuple:
     )
 
 
-def coalesce(
-    requests: Sequence[ForecastRequest],
-) -> List[Tuple[Dict[str, Optional[np.ndarray]], List[ForecastRequest]]]:
-    """Stack pending requests into per-forward-pass groups.
+def group_requests(requests: Sequence[ForecastRequest]) -> List[List[ForecastRequest]]:
+    """Split pending requests into per-forward-pass groups.
 
     Requests can only share a forward pass when their covariate signatures
     match (the covariate encoder needs full rectangular ``[b, L, c]``
-    blocks), so pending requests are grouped by signature — typically one
-    group with covariates and one without — and each group is stacked into
-    one batch dictionary with keys ``x`` / ``future_numerical`` /
-    ``future_categorical``.  Submission order is preserved within a group.
+    blocks) — typically one group with covariates and one without.
+    Submission order is preserved within a group.
     """
     by_signature: Dict[Tuple, List[ForecastRequest]] = {}
     for request in requests:
         by_signature.setdefault(_signature(request), []).append(request)
+    return list(by_signature.values())
+
+
+class BatchAssembler:
+    """Assemble request groups into padded batches over reusable scratch.
+
+    ``np.stack`` per flush allocated a fresh batch block (plus per-row
+    copies) every time; the assembler instead keeps one scratch buffer per
+    input kind — history, numerical covariates, categorical covariates —
+    already in the model's dtype, and copies each request's rows straight
+    in.  Steady-state flushing therefore performs no batch-sized
+    allocations and no dtype casts (``pad_history`` / submit-time
+    validation normalised dtypes already).
+
+    The returned batch views alias the scratch buffers: they are valid
+    until the next :meth:`assemble` call, which is exactly the flush loop's
+    assemble → forward → resolve cadence.
+    """
+
+    __slots__ = ("_x", "_fn", "_fc")
+
+    def __init__(self) -> None:
+        self._x: Optional[np.ndarray] = None
+        self._fn: Optional[np.ndarray] = None
+        self._fc: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _fill(
+        buffer: Optional[np.ndarray],
+        rows: List[np.ndarray],
+        dtype: np.dtype,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy ``rows`` into (a large-enough) ``buffer``; returns (buffer, view)."""
+        n = len(rows)
+        row_shape = rows[0].shape
+        if buffer is None or buffer.shape[0] < n or buffer.shape[1:] != row_shape:
+            buffer = np.empty((n,) + row_shape, dtype=dtype)
+        view = buffer[:n]
+        for index, row in enumerate(rows):
+            view[index] = row
+        return buffer, view
+
+    def assemble(self, members: Sequence[ForecastRequest]) -> Dict[str, Optional[np.ndarray]]:
+        """One batch dictionary (keys ``x`` / ``future_numerical`` /
+        ``future_categorical``) for a signature-homogeneous group."""
+        batch: Dict[str, Optional[np.ndarray]] = {
+            "x": None,
+            "future_numerical": None,
+            "future_categorical": None,
+        }
+        self._x, batch["x"] = self._fill(
+            self._x, [r.history for r in members], np.float32
+        )
+        first = members[0]
+        if first.future_numerical is not None:
+            self._fn, batch["future_numerical"] = self._fill(
+                self._fn, [r.future_numerical for r in members], np.float32
+            )
+        if first.future_categorical is not None:
+            self._fc, batch["future_categorical"] = self._fill(
+                self._fc, [r.future_categorical for r in members], np.int64
+            )
+        return batch
+
+
+def coalesce(
+    requests: Sequence[ForecastRequest],
+) -> List[Tuple[Dict[str, Optional[np.ndarray]], List[ForecastRequest]]]:
+    """Stack pending requests into per-forward-pass ``(batch, members)`` pairs.
+
+    Standalone convenience built on :func:`group_requests`; each group is
+    stacked into freshly allocated arrays.  The service's flush loop uses
+    :class:`BatchAssembler` instead so the batch blocks are reused.
+    """
     groups: List[Tuple[Dict[str, Optional[np.ndarray]], List[ForecastRequest]]] = []
-    for members in by_signature.values():
+    for members in group_requests(requests):
         batch: Dict[str, Optional[np.ndarray]] = {
             "x": np.stack([r.history for r in members]),
             "future_numerical": None,

@@ -29,7 +29,7 @@ from ..config import ModelConfig
 from ..stats import merge_counters, reset_counters
 from ..core.base import ForecastModel
 from ..data.windows import SlidingWindowDataset
-from .batching import Forecast, ForecastRequest, coalesce, pad_history
+from .batching import BatchAssembler, Forecast, ForecastRequest, group_requests, pad_history
 from .registry import ModelRegistry
 
 __all__ = ["ServiceStats", "ForecastService"]
@@ -107,6 +107,7 @@ class ForecastService:
         model: ForecastModel,
         max_batch_size: int = 32,
         pad_mode: str = "edge",
+        compiled: bool = True,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -114,8 +115,19 @@ class ForecastService:
         self.config: ModelConfig = model.config
         self.max_batch_size = max_batch_size
         self.pad_mode = pad_mode
+        #: route batch forwards through the model's compiled inference plan
+        #: (bit-identical to eager; models that never opted into
+        #: ``supports_compiled_plan`` silently stay eager).
+        self.compiled = bool(compiled)
+        if self.compiled and getattr(model, "supports_compiled_plan", False):
+            # The flush loop produces tail batches of any size up to
+            # max_batch_size (x2 signatures: with / without covariates);
+            # size the model's plan cache to that shape population so
+            # fluctuating load doesn't LRU-thrash into per-flush re-traces.
+            model.compiled_predictor().reserve(min(2 * max_batch_size + 2, 64))
         self.stats = ServiceStats()
         self._pending: List[ForecastRequest] = []
+        self._assembler = BatchAssembler()
         self._lock = threading.RLock()
 
     @classmethod
@@ -126,11 +138,12 @@ class ForecastService:
         config: ModelConfig,
         max_batch_size: int = 32,
         pad_mode: str = "edge",
+        compiled: bool = True,
         **factory_kwargs,
     ) -> "ForecastService":
         """Build a service for a registry scenario (loading on cache miss)."""
         model = registry.get(model_name, config, **factory_kwargs)
-        return cls(model, max_batch_size=max_batch_size, pad_mode=pad_mode)
+        return cls(model, max_batch_size=max_batch_size, pad_mode=pad_mode, compiled=compiled)
 
     # ------------------------------------------------------------------ #
     @property
@@ -246,7 +259,7 @@ class ForecastService:
             # The lock keeps stats updates and the model's train/eval flag
             # flips race-free against concurrent submit()/flush() callers.
             with self._lock:
-                outputs.append(self._forward(batch))
+                outputs.append(self._run_batch(batch))
                 self.stats.backfill_batches += 1
                 self.stats.backfill_windows += len(batch["x"])
         return np.concatenate(outputs, axis=0)
@@ -298,15 +311,44 @@ class ForecastService:
             normalised.append(value)
         return tuple(normalised)
 
-    def _forward(self, batch) -> np.ndarray:
-        """One padded forward pass (eval + ``no_grad`` via ``predict``)."""
+    def warmup(self, batch_sizes: Optional[Sequence[int]] = None) -> int:
+        """Pre-trace compiled plans for the given batch sizes.
+
+        First-request latency on a fresh service (cold start, failover
+        replacement, restored snapshot) includes one trace per batch shape;
+        ``warmup`` moves that cost off the request path by tracing
+        history-only plans up front.  Defaults to sizes 1 and
+        ``max_batch_size`` — the single-caller and full-batch shapes.
+        Returns the number of batch sizes warmed (0 when the model or the
+        service runs eager).
+        """
+        if not self.compiled or not getattr(self.model, "supports_compiled_plan", False):
+            return 0
+        sizes = sorted({int(n) for n in (batch_sizes or (1, self.max_batch_size))})
+        if any(n < 1 for n in sizes):
+            raise ValueError(f"batch sizes must be positive, got {sizes}")
+        template = np.zeros(
+            (sizes[-1], self.config.input_length, self.config.n_channels), dtype=np.float32
+        )
+        with self._lock:
+            for n in sizes:
+                self.model.predict(template[:n], compiled=True)
+        return len(sizes)
+
+    def _run_batch(self, batch) -> np.ndarray:
+        """One padded forward pass (eval + ``no_grad`` via ``predict``).
+
+        With ``compiled`` enabled the pass replays the model's traced
+        inference plan for this batch shape — bit-identical output, no
+        autograd bookkeeping, no per-op allocations.
+        """
         kwargs = {}
         if self.model.supports_covariates:
             kwargs = {
                 "future_numerical": batch.get("future_numerical"),
                 "future_categorical": batch.get("future_categorical"),
             }
-        return self.model.predict(batch["x"], **kwargs)
+        return self.model.predict(batch["x"], compiled=self.compiled, **kwargs)
 
     def _flush_locked(self) -> int:
         if not self._pending:
@@ -315,7 +357,7 @@ class ForecastService:
         self.stats.flushes += 1
         for start in range(0, len(pending), self.max_batch_size):
             chunk = pending[start : start + self.max_batch_size]
-            for batch, members in coalesce(chunk):
+            for members in group_requests(chunk):
                 # A failing forward must not take unrelated requests down
                 # with it: the error is attached to the failing group's
                 # handles (raised from their result()), and the remaining
@@ -323,7 +365,10 @@ class ForecastService:
                 self.stats.forward_passes += 1
                 self.stats.largest_batch = max(self.stats.largest_batch, len(members))
                 try:
-                    output = self._forward(batch)
+                    # The assembled batch aliases the service's scratch
+                    # buffers — consumed by the forward pass below before
+                    # the next group is assembled.
+                    output = self._run_batch(self._assembler.assemble(members))
                 except Exception as error:  # noqa: BLE001 - routed to handles
                     for request in members:
                         request.forecast._fail(error)

@@ -1,0 +1,135 @@
+"""Compiled serving through the sharded cluster: parity and plan invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardedForecaster, compare_cluster_to_unsharded, replay_cluster
+from repro.config import ModelConfig
+from repro.core import LiPFormer
+from repro.serving import ForecastService
+from repro.streaming import StreamingForecaster
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(
+        input_length=32, horizon=8, n_channels=2, patch_length=8,
+        hidden_dim=16, dropout=0.0, seed=31,
+    )
+
+
+def make_streams(rng, n_tenants, steps, channels=2):
+    streams = {}
+    t = np.arange(steps, dtype=np.float32)
+    for i in range(n_tenants):
+        seasonal = np.cos(2 * np.pi * (t / 16.0 + i / max(1, n_tenants)))[:, None]
+        noise = rng.normal(scale=0.2, size=(steps, channels))
+        streams[f"tenant-{i}"] = ((i + 1) * seasonal + noise).astype(np.float32)
+    return streams
+
+
+class TestCompiledClusterParity:
+    def test_compiled_cluster_matches_eager_unsharded(self, config, rng):
+        """Sharded + compiled must equal unsharded + eager, bit for bit."""
+        streams = make_streams(rng, 6, 44)
+        warmup = config.input_length
+
+        cluster = ShardedForecaster(
+            lambda: ForecastService(LiPFormer(config), max_batch_size=8, compiled=True),
+            n_shards=3,
+        )
+        cluster.warmup()
+        cluster_forecasts = replay_cluster(cluster, streams, warmup)
+
+        reference = StreamingForecaster(
+            ForecastService(LiPFormer(config), max_batch_size=8, compiled=False)
+        )
+        reference_forecasts = replay_cluster(reference, streams, warmup)
+
+        report = compare_cluster_to_unsharded(cluster_forecasts, reference_forecasts)
+        report.raise_on_mismatch()
+        assert report.bit_identical
+
+    def test_migrated_tenants_get_fresh_plans_on_the_new_shard(self, config, rng):
+        """add_shard mid-stream: rebalanced tenants serve from a shard whose
+        model traced its own plans; outputs still match the eager reference."""
+        streams = make_streams(rng, 6, 44)
+        warmup = config.input_length
+
+        cluster = ShardedForecaster(
+            lambda: ForecastService(LiPFormer(config), max_batch_size=8, compiled=True),
+            n_shards=2,
+        )
+
+        def on_tick(step):
+            if step == warmup + 4:
+                cluster.add_shard()
+
+        cluster_forecasts = replay_cluster(cluster, streams, warmup, on_tick=on_tick)
+        reference = StreamingForecaster(
+            ForecastService(LiPFormer(config), max_batch_size=8, compiled=False)
+        )
+        reference_forecasts = replay_cluster(reference, streams, warmup)
+        report = compare_cluster_to_unsharded(cluster_forecasts, reference_forecasts)
+        report.raise_on_mismatch()
+
+    def test_restored_cluster_serves_compiled_and_matches(self, config, rng, tmp_path):
+        """save → load builds fresh services (fresh models, no stale plans);
+        the restored cluster's compiled forecasts equal the original's."""
+        streams = make_streams(rng, 4, 40)
+        factory = lambda: ForecastService(LiPFormer(config), max_batch_size=8, compiled=True)
+        cluster = ShardedForecaster(factory, n_shards=2)
+        for tenant, values in streams.items():
+            cluster.ingest(tenant, values)
+        path = str(tmp_path / "cluster.npz")
+        cluster.save(path)
+
+        revived = ShardedForecaster.load(factory, path)
+        revived.warmup()
+        original = {t: h.result() for t, h in cluster.forecast_all().items()}
+        restored = {t: h.result() for t, h in revived.forecast_all().items()}
+        for tenant in streams:
+            assert np.array_equal(original[tenant], restored[tenant])
+
+
+class TestClusterPlanInvalidation:
+    def test_weight_swap_on_live_shards_never_serves_stale_plans(self, config, rng):
+        """Hot-swapping model weights (load_state_dict on every replica) must
+        invalidate traced plans: the next fan-out serves the new weights."""
+        streams = make_streams(rng, 6, 36)
+        cluster = ShardedForecaster(
+            lambda: ForecastService(LiPFormer(config), max_batch_size=8, compiled=True),
+            n_shards=2,
+        )
+        for tenant, values in streams.items():
+            cluster.ingest(tenant, values)
+        before = {t: h.result() for t, h in cluster.forecast_all().items()}
+
+        # One trained-elsewhere checkpoint, swapped into every replica.
+        new_state = {
+            name: value + rng.normal(scale=0.05, size=value.shape).astype(value.dtype)
+            for name, value in LiPFormer(config).state_dict().items()
+        }
+        models = []
+        for shard_id in cluster.shard_ids():
+            model = cluster.shard(shard_id).service.model
+            model.load_state_dict(new_state)
+            models.append(model)
+
+        after = {t: h.result() for t, h in cluster.forecast_all().items()}
+
+        # Eager reference cluster built directly on the new weights.
+        def fresh_service():
+            model = LiPFormer(config)
+            model.load_state_dict(new_state)
+            return ForecastService(model, max_batch_size=8, compiled=False)
+
+        reference = ShardedForecaster(fresh_service, n_shards=2)
+        for tenant, values in streams.items():
+            reference.ingest(tenant, values)
+        expected = {t: h.result() for t, h in reference.forecast_all().items()}
+
+        for tenant in streams:
+            assert np.array_equal(after[tenant], expected[tenant]), tenant
+            assert not np.array_equal(after[tenant], before[tenant])
+        assert any(m.compiled_predictor().invalidations >= 1 for m in models)

@@ -57,6 +57,28 @@ class TestSoftmax:
     def test_softmax_gradcheck(self, rng):
         check_gradients(lambda t: (F.softmax(t[0], axis=-1) ** 2).sum(), [rng.standard_normal((3, 4))])
 
+    def test_log_softmax_gradcheck(self, rng):
+        check_gradients(lambda t: (F.log_softmax(t[0], axis=-1) ** 2).sum(), [rng.standard_normal((3, 4))])
+
+    def test_softmax_kernel_buffered_is_bit_identical(self, rng):
+        """The plan path (preallocated buffers) and the eager path (fresh
+        arrays) must share one softmax — outputs equal bit for bit."""
+        x = rng.standard_normal((5, 9)).astype(np.float32)
+        plain = F.softmax_kernel(x, axis=-1)
+        out = np.empty_like(x)
+        reduce_buf = np.empty((5, 1), dtype=np.float32)
+        buffered = F.softmax_kernel(x, axis=-1, out=out, reduce_buf=reduce_buf)
+        assert buffered is out
+        assert np.array_equal(plain, buffered)
+        assert np.array_equal(plain, F.softmax(Tensor(x), axis=-1).data)
+
+    def test_log_softmax_kernel_buffered_is_bit_identical(self, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        plain = F.log_softmax_kernel(x, axis=-1)
+        out = np.empty_like(x)
+        assert np.array_equal(plain, F.log_softmax_kernel(x, axis=-1, out=out))
+        assert np.array_equal(plain, F.log_softmax(Tensor(x), axis=-1).data)
+
 
 class TestDropout:
     def test_eval_mode_is_identity(self, rng):
@@ -107,6 +129,36 @@ class TestLinearAndLayerNorm:
             lambda t: (F.layer_norm(t[0], t[1], t[2]) ** 2).sum(),
             [rng.standard_normal((3, 5)), rng.standard_normal(5), rng.standard_normal(5)],
         )
+
+    def test_layer_norm_kernel_buffered_is_bit_identical(self, rng):
+        """Eager (fresh arrays) and plan (reused buffers) layer norm share
+        one kernel and agree bit for bit."""
+        x = rng.standard_normal((6, 8)).astype(np.float32)
+        w = rng.standard_normal(8).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        plain = F.layer_norm_kernel(x, w, b)
+        out = np.empty_like(x)
+        square_buf = np.empty_like(x)
+        reduce_buf = np.empty((6, 1), dtype=np.float32)
+        buffered = F.layer_norm_kernel(
+            x, w, b, out=out, square_buf=square_buf, reduce_buf=reduce_buf
+        )
+        assert buffered is out
+        assert np.array_equal(plain, buffered)
+        assert np.array_equal(plain, F.layer_norm(Tensor(x), Tensor(w), Tensor(b)).data)
+
+    def test_layer_norm_grad_and_eval_forwards_agree(self, rng):
+        from repro.nn import no_grad
+
+        x = rng.standard_normal((3, 7)).astype(np.float32)
+        w = rng.standard_normal(7).astype(np.float32)
+        b = rng.standard_normal(7).astype(np.float32)
+        tracked = F.layer_norm(
+            Tensor(x, requires_grad=True), Tensor(w), Tensor(b)
+        ).data
+        with no_grad():
+            untracked = F.layer_norm(Tensor(x), Tensor(w), Tensor(b)).data
+        np.testing.assert_allclose(tracked, untracked, rtol=1e-6, atol=1e-7)
 
 
 class TestAttentionFunctional:

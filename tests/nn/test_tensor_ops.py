@@ -269,6 +269,11 @@ class TestGradientsOfOps:
     def test_repeat_grad(self, rng):
         check_gradients(lambda t: (t[0].repeat(3, axis=0) ** 2).sum(), [rng.standard_normal((2, 3))])
 
+    def test_repeat_grad_negative_axis(self, rng):
+        """Regression: axis=-1 used to insert the repeats dim at the front
+        of the backward reshape, silently regrouping gradients."""
+        check_gradients(lambda t: (t[0].repeat(3, axis=-1) ** 2).sum(), [rng.standard_normal((2, 3))])
+
     def test_broadcast_to_grad(self, rng):
         check_gradients(
             lambda t: (t[0].broadcast_to((4, 3)) ** 2).sum(), [rng.standard_normal((1, 3))]

@@ -1,0 +1,170 @@
+"""Compiled fast path through the serving layer: parity, warmup, scratch reuse."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.core import LiPFormer
+from repro.serving import ForecastService
+from repro.serving.batching import BatchAssembler, ForecastRequest, coalesce, group_requests, Forecast
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(
+        input_length=48, horizon=12, n_channels=2, patch_length=12,
+        hidden_dim=16, dropout=0.0, covariate_numerical_dim=3,
+        covariate_categorical_cardinalities=(5,), covariate_embed_dim=2,
+        covariate_hidden_dim=8, seed=11,
+    )
+
+
+@pytest.fixture
+def model(config, rng):
+    model = LiPFormer(config)
+    # Give the zero-initialised vector mapping weight so covariates matter.
+    model.vector_mapping.weight.data[...] = rng.normal(
+        size=model.vector_mapping.weight.shape
+    ).astype(np.float32)
+    return model
+
+
+def _histories(rng, n, config):
+    return [
+        rng.normal(size=(config.input_length, config.n_channels)).astype(np.float32)
+        for _ in range(n)
+    ]
+
+
+class TestCompiledServiceParity:
+    def test_submit_path_bit_identical_to_eager_service(self, model, config, rng):
+        compiled = ForecastService(model, max_batch_size=8, compiled=True)
+        eager = ForecastService(model, max_batch_size=8, compiled=False)
+        histories = _histories(rng, 8, config)
+        assert np.array_equal(
+            compiled.predict_many(histories), eager.predict_many(histories)
+        )
+        predictor = model.compiled_predictor()
+        assert predictor.traces >= 1
+
+    def test_covariate_requests_bit_identical_to_eager(self, model, config, rng):
+        compiled = ForecastService(model, max_batch_size=8, compiled=True)
+        eager = ForecastService(model, max_batch_size=8, compiled=False)
+        histories = _histories(rng, 4, config)
+        fn = rng.normal(size=(4, config.horizon, 3)).astype(np.float32)
+        fc = rng.integers(0, 5, size=(4, config.horizon, 1))
+        a = compiled.predict_many(histories, future_numerical=fn, future_categorical=fc)
+        b = eager.predict_many(histories, future_numerical=fn, future_categorical=fc)
+        assert np.array_equal(a, b)
+
+    def test_mixed_flush_groups_resolve_correctly_with_scratch_reuse(self, model, config, rng):
+        """Two signature groups in one flush share the scratch buffers
+        sequentially; every resolved row must match an eager service fed
+        the identical submission pattern (same groups, same batches)."""
+        compiled = ForecastService(model, max_batch_size=8, compiled=True)
+        eager = ForecastService(model, max_batch_size=8, compiled=False)
+        histories = _histories(rng, 6, config)
+        fn = rng.normal(size=(config.horizon, 3)).astype(np.float32)
+        fc = rng.integers(0, 5, size=(config.horizon, 1))
+        handles = {}
+        for name, service in (("compiled", compiled), ("eager", eager)):
+            plain = [service.submit(h) for h in histories[:3]]
+            with_cov = [
+                service.submit(h, future_numerical=fn, future_categorical=fc)
+                for h in histories[3:]
+            ]
+            service.flush()
+            handles[name] = plain + with_cov
+        for got, want in zip(handles["compiled"], handles["eager"]):
+            assert np.array_equal(got.result(), want.result())
+
+    def test_results_survive_later_flushes(self, model, config, rng):
+        """Plan output buffers are reused across flushes; resolved handles
+        must hold copies, not views into the arena."""
+        service = ForecastService(model, max_batch_size=4)
+        first_history = _histories(rng, 1, config)[0]
+        first = service.submit(first_history)
+        service.flush()
+        snapshot = first.result().copy()
+        for history in _histories(rng, 5, config):
+            service.submit(history)
+        service.flush()
+        assert np.array_equal(first.result(), snapshot)
+
+    def test_warmup_pretraces_plans(self, model, config):
+        service = ForecastService(model, max_batch_size=8)
+        assert service.warmup() == 2          # batch sizes 1 and max_batch_size
+        predictor = model.compiled_predictor()
+        traces_after_warmup = predictor.traces
+        assert traces_after_warmup == 2
+        histories = _histories(np.random.default_rng(0), 8, config)
+        service.predict_many(histories)
+        assert predictor.traces == traces_after_warmup  # full batch was warm
+        assert predictor.hits >= 1
+
+    def test_warmup_is_a_noop_for_eager_services(self, model):
+        service = ForecastService(model, max_batch_size=8, compiled=False)
+        assert service.warmup() == 0
+
+    def test_backfill_compiled_matches_eager(self, model, config, rng):
+        from repro.data.containers import MultivariateTimeSeries
+        from repro.data.timefeatures import make_timestamps
+        from repro.data.windows import SlidingWindowDataset
+
+        values = rng.normal(size=(120, config.n_channels)).astype(np.float32)
+        series = MultivariateTimeSeries(
+            values=values, timestamps=make_timestamps(len(values), freq_minutes=60), name="bf"
+        )
+        dataset = SlidingWindowDataset(series, config.input_length, config.horizon)
+        compiled = ForecastService(model, max_batch_size=16, compiled=True)
+        eager = ForecastService(model, max_batch_size=16, compiled=False)
+        assert np.array_equal(compiled.backfill(dataset), eager.backfill(dataset))
+
+
+class TestBatchAssembler:
+    def _request(self, rng, config, fn=None, fc=None):
+        history = rng.normal(size=(config.input_length, config.n_channels)).astype(np.float32)
+        return ForecastRequest(
+            history=history,
+            observed_length=config.input_length,
+            future_numerical=fn,
+            future_categorical=fc,
+            forecast=Forecast(None),
+        )
+
+    def test_assemble_matches_coalesce_stacks(self, config, rng):
+        fn = rng.normal(size=(config.horizon, 3)).astype(np.float32)
+        fc = rng.integers(0, 5, size=(config.horizon, 1)).astype(np.int64)
+        requests = [
+            self._request(rng, config),
+            self._request(rng, config, fn=fn, fc=fc),
+            self._request(rng, config),
+        ]
+        assembler = BatchAssembler()
+        stacked = {id(m[0]): batch for batch, m in coalesce(requests)}
+        for members in group_requests(requests):
+            batch = assembler.assemble(members)
+            expected = stacked[id(members[0])]
+            for key in ("x", "future_numerical", "future_categorical"):
+                if expected[key] is None:
+                    assert batch[key] is None
+                else:
+                    assert np.array_equal(batch[key], expected[key])
+                    assert batch[key].dtype == expected[key].dtype
+
+    def test_scratch_buffer_is_reused_between_assemblies(self, config, rng):
+        assembler = BatchAssembler()
+        members = [self._request(rng, config) for _ in range(4)]
+        first = assembler.assemble(members)["x"]
+        second = assembler.assemble(members)["x"]
+        assert first.base is second.base or first is second  # same backing buffer
+
+    def test_scratch_grows_for_larger_groups(self, config, rng):
+        assembler = BatchAssembler()
+        small = assembler.assemble([self._request(rng, config)])["x"]
+        big_members = [self._request(rng, config) for _ in range(6)]
+        big = assembler.assemble(big_members)["x"]
+        assert big.shape[0] == 6
+        for i, member in enumerate(big_members):
+            assert np.array_equal(big[i], member.history)
+        assert small.shape[0] == 1

@@ -131,11 +131,11 @@ class TestSubmitAndFlush:
         fc = np.zeros((data.horizon, len(data.covariate_categorical_cardinalities)), dtype=np.int64)
         original = service.model.predict
 
-        def flaky(x, future_numerical=None, future_categorical=None):
+        def flaky(x, future_numerical=None, future_categorical=None, **kwargs):
             if future_numerical is not None:
                 raise RuntimeError("covariate branch down")
             return original(x, future_numerical=future_numerical,
-                            future_categorical=future_categorical)
+                            future_categorical=future_categorical, **kwargs)
 
         service.model.predict = flaky
         plain = service.submit(history)
