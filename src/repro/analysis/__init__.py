@@ -1,0 +1,30 @@
+"""``repro.analysis`` — project-specific static analysis.
+
+An AST-based linter enforcing the invariants the rest of the stack is
+built on: lock discipline on shared mutable state, allocation-free replay
+kernels, ``no_grad`` purity on the trace path, pickle/hash bans in the
+state-carrying packages, and exception hygiene.  Run it with::
+
+    python -m repro.analysis src/
+
+See ``ARCHITECTURE.md`` ("Static analysis & concurrency invariants") for
+the rule catalogue, the ``@guarded_by`` annotation convention, and how to
+suppress (``# repro: disable=<rule>``) or baseline a finding.
+"""
+
+from . import rules  # noqa: F401  (importing registers every rule)
+from .base import Rule, all_rules, get_rule, register
+from .baseline import Baseline
+from .engine import Analyzer, FileContext
+from .findings import Finding
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+]

@@ -1,0 +1,95 @@
+"""CLI for the project linter: ``python -m repro.analysis src/``.
+
+Exit codes: 0 — clean (baselined findings and stale baseline entries are
+reported but do not fail the run); 1 — at least one non-baselined
+finding; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .base import all_rules
+from .baseline import Baseline
+from .engine import Analyzer
+from .reporters import REPORTERS
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _locate_baseline(arg: str | None, paths: list) -> Path:
+    if arg:
+        return Path(arg)
+    # Default: analysis-baseline.json next to the scanned tree's root
+    # (repo root when invoked as ``python -m repro.analysis src/``).
+    anchor = Path(paths[0]) if paths else Path.cwd()
+    anchor = anchor if anchor.is_dir() else anchor.parent
+    for candidate in [anchor, *anchor.resolve().parents]:
+        found = candidate / DEFAULT_BASELINE
+        if found.exists():
+            return found
+    return Path.cwd() / DEFAULT_BASELINE
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific concurrency & invariant linter.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: nearest {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.ID:16s} {rule.DESCRIPTION}")
+        return 0
+
+    paths = [Path(p) for p in (options.paths or ["src"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    findings = Analyzer().run(paths)
+    baseline_path = _locate_baseline(options.baseline, paths)
+
+    if options.write_baseline:
+        Baseline.from_findings(
+            findings, justification="grandfathered by --write-baseline; adjudicate"
+        ).save(baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = (
+        Baseline() if options.no_baseline else Baseline.load(baseline_path)
+    )
+    new, grandfathered, stale = baseline.split(findings)
+    REPORTERS[options.fmt](new, grandfathered, stale, sys.stdout)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Baseline (grandfathering) support for the project linter.
+
+A baseline file records findings that predate a rule (or are adjudicated
+acceptable) so the linter can gate CI on *new* findings only.  Entries
+carry a mandatory justification — a baseline is a ledger of debts, not a
+mute button.  Matching is by line-insensitive fingerprint
+``(rule, path, symbol, message)``, so shifting code around does not
+invalidate (or accidentally widen) an entry.
+
+Stale entries — baselined findings the code no longer produces — are
+reported as warnings, never errors: deleting dead debt should not block
+the PR that paid it off, but it should be visible so the file shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from / saved to JSON."""
+
+    def __init__(self, entries: Sequence[dict] = ()) -> None:
+        self._entries: Dict[Tuple[str, str, str, str], dict] = {}
+        for entry in entries:
+            self._entries[self._fingerprint(entry)] = dict(entry)
+
+    @staticmethod
+    def _fingerprint(entry: dict) -> Tuple[str, str, str, str]:
+        return (
+            entry.get("rule", ""),
+            entry.get("path", ""),
+            entry.get("symbol", ""),
+            entry.get("message", ""),
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(data.get("findings", []))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "findings": sorted(
+                self._entries.values(),
+                key=lambda e: (e.get("path", ""), e.get("rule", ""), e.get("symbol", "")),
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str = "grandfathered"
+    ) -> "Baseline":
+        entries = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "message": f.message,
+                "justification": f.justification or justification,
+            }
+            for f in findings
+        ]
+        return cls(entries)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._entries
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[dict]]:
+        """Partition ``findings`` into (new, grandfathered, stale-entries)."""
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        matched: set = set()
+        for finding in findings:
+            entry = self._entries.get(finding.fingerprint)
+            if entry is None:
+                new.append(finding)
+            else:
+                matched.add(finding.fingerprint)
+                grandfathered.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self._entries.items())
+            if fingerprint not in matched
+        ]
+        return new, grandfathered, stale

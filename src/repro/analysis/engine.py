@@ -1,0 +1,151 @@
+"""The analysis engine: file discovery, parsing, suppression handling.
+
+The engine walks the given paths for ``*.py`` files, parses each once into
+a :class:`FileContext`, runs every registered rule over it, and filters
+the raw findings through per-line suppressions.  Baseline filtering is a
+separate, later stage (:mod:`repro.analysis.baseline`) so the ``--write-
+baseline`` flow can see the unfiltered set.
+
+Suppressions
+------------
+``# repro: disable=<rule>[,<rule>...]`` or ``# repro: disable=all`` on the
+offending line silences those rules for that line.  A comment-only line
+immediately above the offending line works too, for lines with no room::
+
+    # repro: disable=replay-alloc
+    data = np.stack(chunks)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .base import Rule, all_rules
+from .findings import Finding
+
+_SUPPRESS = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\- ]+)")
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, handed to every rule."""
+
+    path: Path                 # absolute path on disk
+    relpath: str               # root-relative posix path, e.g. "repro/nn/plan.py"
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    package_path: Tuple[str, ...] = field(default_factory=tuple)
+    # ``package_path`` is the dotted location inside the ``repro`` package,
+    # e.g. ("cluster", "sharded") — rules scoped to subpackages key off it.
+
+    def in_package(self, *heads: str) -> bool:
+        """Whether this file lives under any of the given subpackages."""
+        return bool(self.package_path) and self.package_path[0] in heads
+
+    def module_name(self) -> str:
+        return ".".join(self.package_path)
+
+
+def _package_path(path: Path) -> Tuple[str, ...]:
+    """Path components after the last ``repro`` directory component.
+
+    Files outside any ``repro`` package (fixtures, scripts) get their
+    path relative to the scanned root, so package-scoped rules still work
+    on test fixtures laid out as ``tmp/repro/cluster/bad.py``.
+    """
+    parts = list(path.parts)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            tail = parts[index + 1 :]
+            return tuple(tail[:-1]) + (Path(tail[-1]).stem,) if tail else ()
+    return ()
+
+
+def parse_file(path: Path, root: Path) -> Optional[FileContext]:
+    """Parse one file; ``None`` when it cannot be read or parsed.
+
+    Unparseable files are skipped rather than fatal: the linter's job is
+    invariants, not syntax — the interpreter reports syntax errors better.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return FileContext(
+        path=path,
+        relpath=rel,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        package_path=_package_path(path),
+    )
+
+
+def discover(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``*.py`` under the given files/directories, sorted."""
+    seen: Set[Path] = set()
+    for entry in paths:
+        if entry.is_dir():
+            candidates: Iterable[Path] = sorted(entry.rglob("*.py"))
+        elif entry.suffix == ".py":
+            candidates = [entry]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and "__pycache__" not in resolved.parts:
+                seen.add(resolved)
+                yield candidate
+
+
+def suppressed_rules(context: FileContext, line: int) -> Set[str]:
+    """Rules suppressed at ``line`` (1-based) by disable comments."""
+    rules: Set[str] = set()
+    for candidate in (line, line - 1):
+        if not 1 <= candidate <= len(context.lines):
+            continue
+        text = context.lines[candidate - 1]
+        if candidate == line - 1 and not _COMMENT_ONLY.match(text):
+            continue  # the previous line only counts when comment-only
+        match = _SUPPRESS.search(text)
+        if match:
+            rules.update(part.strip() for part in match.group(1).split(","))
+    return rules
+
+
+class Analyzer:
+    """Run all (or a subset of) registered rules over a set of paths."""
+
+    def __init__(self, rules: Optional[Sequence[type]] = None) -> None:
+        self.rule_classes = list(rules) if rules is not None else all_rules()
+
+    def run(self, paths: Sequence[Path], root: Optional[Path] = None) -> List[Finding]:
+        """Analyze; returns suppression-filtered findings, sorted."""
+        paths = [Path(p) for p in paths]
+        if root is None:
+            root = paths[0] if len(paths) == 1 and paths[0].is_dir() else Path.cwd()
+        rules: List[Rule] = [cls() for cls in self.rule_classes]
+        findings: List[Finding] = []
+        for file_path in discover(paths):
+            context = parse_file(file_path, root)
+            if context is None:
+                continue
+            for rule in rules:
+                for finding in rule.check(context):
+                    silenced = suppressed_rules(context, finding.line)
+                    if finding.rule in silenced or "all" in silenced:
+                        continue
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings

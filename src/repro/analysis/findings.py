@@ -1,0 +1,44 @@
+"""Finding objects produced by analysis rules.
+
+A finding is pinned to a file/line for the reporter, but its *fingerprint*
+deliberately omits the line number: baselines grandfather a finding by
+``(rule, path, symbol, message)``, so unrelated edits that shift line
+numbers do not resurrect grandfathered findings, while moving the same
+code into a different function (a real change) does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str          # rule identifier, e.g. "lock-discipline"
+    path: str          # repo-root-relative posix path
+    line: int          # 1-based line of the offending node
+    col: int           # 0-based column of the offending node
+    message: str       # human-readable description, line-independent
+    symbol: str = ""   # enclosing qualified name, e.g. "SeriesStore.buffer"
+    justification: str = field(default="", compare=False)  # from baseline
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str, str]:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }

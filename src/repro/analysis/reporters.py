@@ -1,0 +1,56 @@
+"""Text and JSON reporters for analyzer output."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, TextIO
+
+from .findings import Finding
+
+
+def report_text(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[dict],
+    stream: TextIO,
+) -> None:
+    for finding in new:
+        symbol = f" [{finding.symbol}]" if finding.symbol else ""
+        stream.write(
+            f"{finding.location()}: {finding.rule}: {finding.message}{symbol}\n"
+        )
+    if stale:
+        stream.write("\n")
+        for entry in stale:
+            stream.write(
+                "warning: stale baseline entry (no longer produced): "
+                f"{entry.get('rule')}: {entry.get('path')} "
+                f"[{entry.get('symbol', '')}]\n"
+            )
+    stream.write(
+        f"\n{len(new)} finding(s), {len(grandfathered)} baselined, "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}\n"
+    )
+
+
+def report_json(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[dict],
+    stream: TextIO,
+) -> None:
+    payload = {
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in grandfathered],
+        "stale_baseline": list(stale),
+        "summary": {
+            "new": len(new),
+            "baselined": len(grandfathered),
+            "stale": len(stale),
+        },
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+REPORTERS = {"text": report_text, "json": report_json}

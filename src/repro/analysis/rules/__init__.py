@@ -1,0 +1,9 @@
+"""Concrete analysis rules.
+
+Importing this package registers every rule with the registry in
+:mod:`repro.analysis.base`; the engine then instantiates them per run.
+"""
+
+from . import bans, exceptions, grad_mode, lock_discipline, replay_alloc  # noqa: F401
+
+__all__ = ["lock_discipline", "replay_alloc", "grad_mode", "bans", "exceptions"]

@@ -1,0 +1,106 @@
+"""Rule ``grad-mode``: trace/replay paths stay out of autograd.
+
+The compiled path's correctness rests on tracing under ``no_grad()`` —
+a plan must never capture backward closures, and replay kernels must not
+touch the autograd machinery (``Tensor._node``, ``.backward()``,
+``._accumulate()``).  Three checks:
+
+* ``no_grad`` may only be used as a context manager (``with no_grad():``)
+  — calling it for side effects or stashing the instance lets grad-mode
+  leak past the lexical scope;
+* the thread-local ``_grad_mode.enabled`` flag may only be assigned inside
+  ``repro/nn/tensor.py`` (the ``no_grad`` implementation itself);
+* replay-kernel scopes and ``repro/nn/plan.py`` must not reference the
+  autograd surface at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..base import Rule, call_name, register
+from ..findings import Finding
+from .replay_alloc import _collect_kernel_scopes
+
+_AUTOGRAD_ATTRS = {"_node", "grad"}
+_AUTOGRAD_CALLS = {"backward", "_accumulate"}
+
+
+@register
+class GradModeRule(Rule):
+    ID = "grad-mode"
+    DESCRIPTION = "no_grad only as context manager; no autograd in trace/replay paths"
+
+    def check(self, context) -> Iterable[Finding]:
+        yield from self._check_no_grad_usage(context)
+        yield from self._check_grad_mode_writes(context)
+        yield from self._check_autograd_free_scopes(context)
+
+    # ------------------------------------------------------------------ #
+    def _check_no_grad_usage(self, context) -> Iterable[Finding]:
+        as_context: Set[int] = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    as_context.add(id(item.context_expr))
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node).split(".")[-1] == "no_grad"
+                and id(node) not in as_context
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "no_grad() must be used as a context manager "
+                    "('with no_grad():'), not called standalone",
+                )
+
+    def _check_grad_mode_writes(self, context) -> Iterable[Finding]:
+        if context.module_name() == "nn.tensor":
+            return  # the implementation itself
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)
+                and node.attr == "enabled"
+                and isinstance(node.value, ast.Name)
+                and node.value.id.endswith("_grad_mode")
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "direct assignment to _grad_mode.enabled outside nn/tensor.py; "
+                    "use 'with no_grad():'",
+                )
+
+    def _check_autograd_free_scopes(self, context) -> Iterable[Finding]:
+        scopes = list(_collect_kernel_scopes(context.tree))
+        if context.module_name() == "nn.plan":
+            scopes.append(("nn.plan", context.tree))
+        for symbol, scope in scopes:
+            body = getattr(scope, "body", scope)
+            body = body if isinstance(body, list) else [body]
+            for stmt in body:
+                yield from self._scan_autograd(context, stmt, symbol)
+
+    def _scan_autograd(self, context, node: ast.AST, symbol: str) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute):
+            if node.attr in _AUTOGRAD_ATTRS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"autograd attribute '.{node.attr}' referenced in a "
+                    "trace/replay scope",
+                    symbol=symbol,
+                )
+            elif node.attr in _AUTOGRAD_CALLS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"autograd call '.{node.attr}()' in a trace/replay scope",
+                    symbol=symbol,
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_autograd(context, child, symbol)

@@ -1,0 +1,184 @@
+"""Rule ``lock-discipline``: guarded attributes only under their lock.
+
+Classes declare their shared mutable state with
+``@guarded_by("_attr", ..., lock="_lock")`` (see
+:mod:`repro.runtime.annotations`).  This rule flags every ``self.<attr>``
+read or write of a guarded attribute that is not inside a recognised
+lock-holding context for the declared lock:
+
+* ``with self.<lock>:`` (plain mutex / RLock),
+* ``with self.<lock>.read():`` or ``with self.<lock>.write():`` (RWLock),
+* a method decorated ``@requires_lock("<lock>")`` — the caller's problem,
+  checked at runtime by ``RWLock.assert_held``.
+
+``__init__`` / ``__new__`` are exempt (the object is not shared yet), as
+are methods decorated ``@unguarded("reason")``.  Closures defined
+lexically inside a holding ``with`` block inherit the held set — an
+approximation (the closure could escape the block), but our fan-out
+closures are invoked synchronously under the lock and the alternative
+flags every one of them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..base import Rule, call_name, decorator_name, register, string_args
+from ..findings import Finding
+
+_EXEMPT_METHODS = {"__init__", "__new__"}
+
+
+def _guarded_attributes(cls: ast.ClassDef) -> Dict[str, str]:
+    """attribute -> lock mapping declared by ``@guarded_by`` decorators."""
+    declared: Dict[str, str] = {}
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        if decorator_name(deco).split(".")[-1] != "guarded_by":
+            continue
+        lock = "_lock"
+        for kw in deco.keywords:
+            if kw.arg == "lock" and isinstance(kw.value, ast.Constant):
+                lock = str(kw.value.value)
+        for attr in string_args(deco):
+            declared[attr] = lock
+    return declared
+
+
+def _required_locks(fn: ast.AST) -> Set[str]:
+    """Locks promised held by ``@requires_lock`` decorators on ``fn``."""
+    held: Set[str] = set()
+    for deco in getattr(fn, "decorator_list", []):
+        name = decorator_name(deco).split(".")[-1]
+        if name != "requires_lock":
+            continue
+        args = string_args(deco) if isinstance(deco, ast.Call) else []
+        held.update(args or ["_lock"])
+    return held
+
+
+def _is_unguarded(fn: ast.AST) -> bool:
+    return any(
+        decorator_name(deco).split(".")[-1] == "unguarded"
+        for deco in getattr(fn, "decorator_list", [])
+    )
+
+
+def _with_locks(item: ast.withitem) -> Optional[str]:
+    """The lock name a ``with`` item holds, if it is a recognised pattern."""
+    expr = item.context_expr
+    # with self.<lock>.read():  /  .write():
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("read", "write")
+    ):
+        expr = expr.func.value
+    # with self.<lock>:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+@register
+class LockDisciplineRule(Rule):
+    ID = "lock-discipline"
+    DESCRIPTION = (
+        "@guarded_by attributes may only be touched while holding their lock"
+    )
+
+    def check(self, context) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                guarded = _guarded_attributes(node)
+                if guarded:
+                    yield from self._check_class(context, node, guarded)
+
+    # ------------------------------------------------------------------ #
+    def _check_class(
+        self, context, cls: ast.ClassDef, guarded: Dict[str, str]
+    ) -> Iterable[Finding]:
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _EXEMPT_METHODS or _is_unguarded(stmt):
+                continue
+            held = _required_locks(stmt)
+            symbol = f"{cls.name}.{stmt.name}"
+            yield from self._scan(context, stmt.body, guarded, held, symbol)
+
+    def _scan(
+        self,
+        context,
+        body: List[ast.stmt],
+        guarded: Dict[str, str],
+        held: Set[str],
+        symbol: str,
+    ) -> Iterable[Finding]:
+        for stmt in body:
+            yield from self._scan_node(context, stmt, guarded, held, symbol)
+
+    def _scan_node(
+        self,
+        context,
+        node: ast.AST,
+        guarded: Dict[str, str],
+        held: Set[str],
+        symbol: str,
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.With):
+            acquired: Set[str] = set()
+            for item in node.items:
+                # The context expressions evaluate *before* the lock is
+                # held — check them against the outer held set.
+                yield from self._scan_node(
+                    context, item.context_expr, guarded, held, symbol
+                )
+                if item.optional_vars is not None:
+                    yield from self._scan_node(
+                        context, item.optional_vars, guarded, held, symbol
+                    )
+                lock = _with_locks(item)
+                if lock is not None:
+                    acquired.add(lock)
+            inner = held | acquired
+            for stmt in node.body:
+                yield from self._scan_node(context, stmt, guarded, inner, symbol)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_unguarded(node):
+                return
+            # Closures inherit the lexically held set plus their own
+            # @requires_lock declarations (see module docstring).
+            inner = held | _required_locks(node)
+            for stmt in node.body:
+                yield from self._scan_node(context, stmt, guarded, inner, symbol)
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._scan_node(context, node.body, guarded, held, symbol)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guarded
+        ):
+            lock = guarded[node.attr]
+            if lock not in held:
+                access = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                yield self.finding(
+                    context,
+                    node,
+                    f"{access} of guarded attribute 'self.{node.attr}' without "
+                    f"holding 'self.{lock}'",
+                    symbol=symbol,
+                )
+            # fall through: subscripts/attributes hanging off it still recurse
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_node(context, child, guarded, held, symbol)

@@ -1,0 +1,166 @@
+"""Rule ``replay-alloc``: plan replay kernels must not allocate.
+
+The compiled inference path (``repro.nn.plan``) promises zero steady-state
+allocation: a replayed plan writes every intermediate into arenas captured
+at trace time.  One ``np.exp(x)`` (instead of ``np.exp(x, out=buf)``)
+inside a replay kernel silently re-introduces a per-call allocation that
+no test catches — outputs stay bit-identical, only the latency/GC profile
+degrades.  This rule checks the kernel scopes mechanically.
+
+Kernel scopes are self-identifying:
+
+* functions named ``*_kernel`` (the ``repro.nn.functional`` family), and
+* the lambda / local function registered as the first argument of
+  ``rec.add(...)`` / ``recorder.add(...)`` (the tensor-op trace sites).
+
+Inside a kernel scope the rule flags ufunc-style NumPy calls without an
+``out=`` argument, constructors that always allocate (``np.stack``,
+``np.empty`` & friends), ``.copy()`` method calls, and ``**`` / ``@``
+operators (which have no out-variant).  View-producing helpers
+(``np.copyto``, ``np.broadcast_to``, ``np.expand_dims``, ``.reshape``)
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..base import Rule, call_name, register
+from ..findings import Finding
+
+# NumPy calls that allocate a fresh array unless told where to write.
+_NEEDS_OUT = {
+    "add", "subtract", "multiply", "divide", "true_divide", "negative",
+    "exp", "log", "sqrt", "abs", "absolute", "tanh", "maximum", "minimum",
+    "clip", "matmul", "dot", "einsum", "power", "square", "sum", "mean",
+    "var", "std", "amax", "amin", "max", "min", "take", "where",
+    "concatenate",
+}
+
+# NumPy calls that always allocate, out= or not.
+_ALWAYS_ALLOCATES = {
+    "stack", "vstack", "hstack", "empty", "zeros", "ones", "full",
+    "empty_like", "zeros_like", "ones_like", "full_like", "array",
+    "asarray", "ascontiguousarray", "copy", "repeat", "tile", "split",
+    "arange", "linspace",
+}
+
+_RECORDERS = {"rec", "recorder"}
+
+
+def _has_out(node: ast.Call) -> bool:
+    return any(kw.arg == "out" for kw in node.keywords)
+
+
+def _is_recorder_add(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and bool(node.args)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "add"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in _RECORDERS
+    )
+
+
+def _collect_kernel_scopes(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """``(symbol, scope_node)`` for every replay-kernel scope in the file.
+
+    Symbols are enclosing qualified names, never line numbers, so the
+    baseline fingerprint survives unrelated edits shifting code around.
+    """
+    scopes: List[Tuple[str, ast.AST]] = []
+    seen: Set[int] = set()
+    local_defs: Dict[str, List[Tuple[str, ast.AST]]] = {}
+    named_registrations: List[Tuple[str, str]] = []  # (function name, site qual)
+
+    def add(symbol: str, node: ast.AST) -> None:
+        if id(node) not in seen:
+            seen.add(id(node))
+            scopes.append((symbol, node))
+
+    def visit(node: ast.AST, qual: str) -> None:
+        if _is_recorder_add(node):
+            first = node.args[0]
+            if isinstance(first, ast.Lambda):
+                add(f"{qual}.<replay>" if qual else "<replay>", first)
+            elif isinstance(first, ast.Name):
+                named_registrations.append((first.id, qual))
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_qual = f"{qual}.{child.name}" if qual else child.name
+                local_defs.setdefault(child.name, []).append((child_qual, child))
+                if child.name.endswith("_kernel"):
+                    add(child_qual, child)
+                visit(child, child_qual)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{qual}.{child.name}" if qual else child.name)
+            else:
+                visit(child, qual)
+
+    visit(tree, "")
+    for name, _site_qual in named_registrations:
+        # Scan every same-named local def: ``run`` helpers are defined per
+        # trace site, and a rare cross-scope over-match only widens the
+        # checked surface (all such helpers are replay closures here).
+        for def_qual, definition in local_defs.get(name, []):
+            add(def_qual, definition)
+    return scopes
+
+
+@register
+class ReplayAllocRule(Rule):
+    ID = "replay-alloc"
+    DESCRIPTION = "replay kernels must write into trace-time buffers, not allocate"
+
+    def check(self, context) -> Iterable[Finding]:
+        emitted: Set[Tuple[int, int, str]] = set()
+        for symbol, scope in _collect_kernel_scopes(context.tree):
+            body = scope.body if isinstance(scope.body, list) else [scope.body]
+            for stmt in body:
+                for finding in self._scan(context, stmt, symbol):
+                    key = (finding.line, finding.col, finding.message)
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield finding
+
+    def _scan(self, context, node: ast.AST, symbol: str) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            leaf = name.split(".")[-1]
+            if name.startswith("np.") or name.startswith("numpy."):
+                if leaf in _NEEDS_OUT and not _has_out(node):
+                    yield self.finding(
+                        context,
+                        node,
+                        f"allocating call '{name}' without out= in replay kernel",
+                        symbol=symbol,
+                    )
+                elif leaf in _ALWAYS_ALLOCATES:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"'{name}' always allocates; precompute at trace time",
+                        symbol=symbol,
+                    )
+            elif leaf == "copy" and isinstance(node.func, ast.Attribute):
+                yield self.finding(
+                    context,
+                    node,
+                    ".copy() allocates; write through np.copyto into a "
+                    "trace-time buffer",
+                    symbol=symbol,
+                )
+        elif isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Pow, ast.MatMult)
+        ):
+            op = "**" if isinstance(node.op, ast.Pow) else "@"
+            yield self.finding(
+                context,
+                node,
+                f"operator '{op}' allocates a temporary in a replay kernel",
+                symbol=symbol,
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(context, child, symbol)

@@ -51,7 +51,6 @@ one trained state dict into each replica).
 from __future__ import annotations
 
 import os
-import threading
 import uuid
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -60,7 +59,8 @@ import numpy as np
 
 from ..config import ModelConfig
 from ..runtime import Executor, SerialExecutor, map_shards
-from ..runtime.locks import RWLock
+from ..runtime.annotations import guarded_by, requires_lock, unguarded
+from ..runtime.locks import RWLock, TrackedRLock
 from ..serving.service import ForecastService, ServiceStats
 from ..streaming.forecaster import StreamingForecast, StreamingForecaster, StreamingStats
 from ..streaming.store import StoreStats
@@ -98,6 +98,13 @@ class FailoverReport:
         return not self.lost and not self.stale
 
 
+@guarded_by(
+    "_shards", "ring", "_shard_locks", "_assign_cache", "_topology_version",
+    "_chain", "_chain_id", "_seq", "_dropped_since_checkpoint",
+    "_retired_service", "_retired_store", "_retired_streaming",
+    "rebalances", "tenants_migrated", "rebalance_failures",
+    lock="_topology",
+)
 class ShardedForecaster:
     """Consistent-hash partitioned multi-replica streaming cluster.
 
@@ -147,18 +154,22 @@ class ShardedForecaster:
             shard_id = f"shard-{index}"
             self.ring.add(shard_id)
             self._shards[shard_id] = self._build_shard(None)
-            self._shard_locks[shard_id] = threading.RLock()
+            self._shard_locks[shard_id] = TrackedRLock(f"shard:{shard_id}")
 
+    @unguarded("constructor phase: the cluster is not visible to other threads yet")
     def _init_runtime(self) -> None:
         """Locks, caches and chain bookkeeping shared by every constructor."""
         # Reader/writer topology lock: routed traffic shares the read side
         # (an arrival can still never land on a shard mid-migration and
         # vanish), topology changes and checkpoints take the write side.
-        self._topology = RWLock()
+        # Named so the debug-mode lock-order monitor can place it in the
+        # global acquisition graph (every cluster shares the one ordering
+        # class: topology before shard locks, never the reverse).
+        self._topology = RWLock(name="cluster-topology")
         # Per-shard locks serialise a shard's compound operations (window
         # read → submit, submit-group → flush) against each other, which is
         # all the old cluster-wide mutex guaranteed *within* one shard.
-        self._shard_locks: Dict[str, threading.RLock] = {}
+        self._shard_locks: Dict[str, TrackedRLock] = {}
         # tenant -> (topology_version, shard_id); entries from older
         # versions are ignored, so a stale write racing a rebalance can
         # never poison routing.
@@ -177,9 +188,16 @@ class ShardedForecaster:
         # topology.  Cleared on each checkpoint (whose tenant lists then
         # record the deletions durably).
         self._dropped_since_checkpoint: set = set()
+        # Rebalances that failed and rolled back (add/remove_shard unwind
+        # paths).  Runtime-only observability — not persisted: a restored
+        # cluster starts with a clean failure ledger, like process restart
+        # clears a crash counter.
+        self.rebalance_failures = 0
 
+    @requires_lock("_topology")
     def _bump_topology_locked(self) -> None:
         """Invalidate memoised ring lookups (held under the write lock)."""
+        self._topology.assert_held("write")
         self._topology_version += 1
         self._assign_cache = {}
 
@@ -187,18 +205,21 @@ class ShardedForecaster:
     # Topology
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._shards)
+        with self._topology.read():
+            return len(self._shards)
 
     def shard_ids(self) -> List[str]:
         """Shard names in creation order."""
-        return list(self._shards)
+        with self._topology.read():
+            return list(self._shards)
 
     def shard(self, shard_id: str) -> StreamingForecaster:
         """The shard's underlying streaming forecaster."""
-        try:
-            return self._shards[shard_id]
-        except KeyError:
-            raise KeyError(f"unknown shard {shard_id!r}") from None
+        with self._topology.read():
+            try:
+                return self._shards[shard_id]
+            except KeyError:
+                raise KeyError(f"unknown shard {shard_id!r}") from None
 
     def shard_for(self, tenant: str) -> str:
         """Which shard serves a tenant (memoised ring lookup).
@@ -207,14 +228,19 @@ class ShardedForecaster:
         is paid once per tenant per topology, not once per call.  Entries
         are tagged with the topology version they were computed under and
         ignored after any ``add_shard`` / ``remove_shard`` / ``failover``.
+
+        Self-acquires the shared topology lock (reentrant for the routed
+        paths that already hold it), so external callers — tests, admin
+        tooling — get a consistent version/ring pair too.
         """
-        version = self._topology_version
-        cached = self._assign_cache.get(tenant)
-        if cached is not None and cached[0] == version:
-            return cached[1]
-        shard_id = self.ring.assign(tenant)
-        self._assign_cache[tenant] = (version, shard_id)
-        return shard_id
+        with self._topology.read():
+            version = self._topology_version
+            cached = self._assign_cache.get(tenant)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            shard_id = self.ring.assign(tenant)
+            self._assign_cache[tenant] = (version, shard_id)
+            return shard_id
 
     def tenants(self) -> List[str]:
         """Every tenant across the cluster (shard order, then first-seen)."""
@@ -261,15 +287,19 @@ class ShardedForecaster:
                         source.drop(tenant)
                         moved.append((tenant, source))
             except Exception:
-                # A half-done rebalance must not leave a phantom ring node
-                # routing ~1/N of tenants to a shard that never registered:
-                # unwind the ring and send migrated tenants home.
+                # Deliberately broad: *whatever* failed mid-migration, a
+                # half-done rebalance must not leave a phantom ring node
+                # routing ~1/N of tenants to a shard that never registered.
+                # Unwind the ring, send migrated tenants home, count the
+                # failure (observable via as_dict / rebalance_failures),
+                # and re-raise the original error unchanged.
+                self.rebalance_failures += 1
                 self.ring.remove(shard_id)
                 for tenant, source in moved:
                     source.import_tenant(tenant, incoming.export_tenant(tenant))
                 raise
             self._shards[shard_id] = incoming
-            self._shard_locks[shard_id] = threading.RLock()
+            self._shard_locks[shard_id] = TrackedRLock(f"shard:{shard_id}")
             self._bump_topology_locked()
             self.rebalances += 1
             self.tenants_migrated += len(moved)
@@ -298,9 +328,11 @@ class ShardedForecaster:
                     destination.import_tenant(tenant, source.export_tenant(tenant))
                     moved.append(tenant)
             except Exception:
-                # Unwind: the source still holds every tenant (export
-                # copies), so drop the partial imports and restore the
-                # topology.
+                # Deliberately broad, same contract as add_shard: unwind —
+                # the source still holds every tenant (export copies), so
+                # drop the partial imports and restore the topology — then
+                # count the failure and re-raise unchanged.
+                self.rebalance_failures += 1
                 for tenant in moved:
                     self._shards[self.ring.assign(tenant)].drop(tenant)
                 self.ring.add(shard_id)
@@ -578,7 +610,9 @@ class ShardedForecaster:
             for forecaster in self._shards.values():
                 forecaster.service.reset_stats()
 
+    @requires_lock("_topology")
     def _fold_retired_stats(self, source: StreamingForecaster) -> None:
+        self._topology.assert_held("write")
         self._retired_service = ServiceStats.merge(
             [self._retired_service, source.service.stats_snapshot()]
         )
@@ -591,16 +625,18 @@ class ShardedForecaster:
 
     def as_dict(self) -> dict:
         """One observability payload: topology, balance and merged stats."""
-        return {
-            "shards": len(self._shards),
-            "tenants": self.tenant_count(),
-            "tenants_per_shard": {
-                shard_id: len(fc.store) for shard_id, fc in self._shards.items()
-            },
-            "rebalances": self.rebalances,
-            "tenants_migrated": self.tenants_migrated,
-            "service": self.service_stats().as_dict(),
-        }
+        with self._topology.read():
+            return {
+                "shards": len(self._shards),
+                "tenants": self.tenant_count(),
+                "tenants_per_shard": {
+                    shard_id: len(fc.store) for shard_id, fc in self._shards.items()
+                },
+                "rebalances": self.rebalances,
+                "tenants_migrated": self.tenants_migrated,
+                "rebalance_failures": self.rebalance_failures,
+                "service": self.service_stats().as_dict(),
+            }
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -617,7 +653,9 @@ class ShardedForecaster:
         with self._topology.write():
             return self._to_state_locked()
 
+    @requires_lock("_topology")
     def _to_state_locked(self) -> dict:
+        self._topology.assert_held("write")
         shard_states = map_shards(
             self.executor,
             lambda shard_id: self._shards[shard_id].to_state(),
@@ -644,6 +682,7 @@ class ShardedForecaster:
             "shards": shard_states,
         }
 
+    @requires_lock("_topology")
     def _delta_state_locked(self, seq: int) -> dict:
         """A delta checkpoint: churned tenants' payloads + each shard's order.
 
@@ -654,6 +693,7 @@ class ShardedForecaster:
         travel wholesale.  Collection fans out per shard through the
         executor, same as a full save.
         """
+        self._topology.assert_held("write")
         first = next(iter(self._shards.values()))
 
         def collect(shard_id: str) -> dict:
@@ -738,7 +778,7 @@ class ShardedForecaster:
             cluster._shards[shard_id] = StreamingForecaster.from_state(
                 service, shard_state
             )
-            cluster._shard_locks[shard_id] = threading.RLock()
+            cluster._shard_locks[shard_id] = TrackedRLock(f"shard:{shard_id}")
         return cluster
 
     def save(self, path: str) -> None:

@@ -104,11 +104,20 @@ def log_softmax_kernel(
     x: np.ndarray,
     axis: int = -1,
     out: Optional[np.ndarray] = None,
+    exp_buf: Optional[np.ndarray] = None,
+    reduce_buf: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Numerically stable log-softmax forward kernel (plain NumPy)."""
-    mx = np.amax(x, axis=axis, keepdims=True)
+    """Numerically stable log-softmax forward kernel (plain NumPy).
+
+    With ``out`` / ``exp_buf`` (shaped like ``x``) and ``reduce_buf``
+    (``axis`` reduced to 1) the computation is allocation-free:
+    ``reduce_buf`` holds the row maximum and is then reused for the
+    normalising sum, exactly as in :func:`softmax_kernel`.
+    """
+    mx = np.amax(x, axis=axis, keepdims=True, out=reduce_buf)
     shifted = np.subtract(x, mx, out=out)
-    total = np.sum(np.exp(shifted), axis=axis, keepdims=True)
+    exp = np.exp(shifted, out=exp_buf)
+    total = np.sum(exp, axis=axis, keepdims=True, out=reduce_buf)
     np.log(total, out=total)
     np.subtract(shifted, total, out=shifted)
     return shifted
@@ -184,7 +193,17 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
         return Tensor._node(out_data, (x,), backward)
     rec = _trace_state.recorder
     if rec is not None:
-        rec.add(lambda a=a, o=out_data, ax=axis: log_softmax_kernel(a, axis=ax, out=o), out_data)
+        reduced = list(a.shape)
+        reduced[axis] = 1
+        exp_buf = np.empty_like(out_data)
+        reduce_buf = np.empty(tuple(reduced), dtype=out_data.dtype)
+        rec.add(
+            lambda a=a, o=out_data, ax=axis, eb=exp_buf, rb=reduce_buf: log_softmax_kernel(
+                a, axis=ax, out=o, exp_buf=eb, reduce_buf=rb
+            ),
+            out_data,
+        )
+        rec.scratch(exp_buf, reduce_buf)
     return Tensor._wrap(out_data)
 
 

@@ -46,6 +46,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..runtime.annotations import guarded_by, requires_lock
 from .tensor import Tensor, _trace_state, no_grad
 
 __all__ = ["PlanUnsupported", "PlanRecorder", "InferencePlan", "CompiledPredictor"]
@@ -236,6 +237,10 @@ class InferencePlan:
         return self.output.copy() if copy else self.output
 
 
+@guarded_by(
+    "_plans", "_unsupported", "hits", "traces", "fallbacks", "invalidations",
+    "capacity", lock="_lock",
+)
 class CompiledPredictor:
     """Per-model cache of :class:`InferencePlan` objects, keyed by signature.
 
@@ -277,7 +282,8 @@ class CompiledPredictor:
         )
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def reserve(self, capacity: int) -> None:
         """Grow (never shrink) the plan cache.
@@ -290,7 +296,8 @@ class CompiledPredictor:
         for shapes that actually occur, so reserved-but-unused slots cost
         nothing.
         """
-        self.capacity = max(self.capacity, int(capacity))
+        with self._lock:
+            self.capacity = max(self.capacity, int(capacity))
 
     def _parameter_version(self) -> int:
         version = getattr(self.model, "parameter_version", None)
@@ -314,7 +321,8 @@ class CompiledPredictor:
         future_categorical: Optional[np.ndarray] = None,
     ) -> Optional[InferencePlan]:
         """The cached plan for this signature, if any (test/debug helper)."""
-        return self._plans.get(self._key(x, future_numerical, future_categorical))
+        with self._lock:
+            return self._plans.get(self._key(x, future_numerical, future_categorical))
 
     def predict(
         self,
@@ -333,42 +341,54 @@ class CompiledPredictor:
             # fallback keeps concurrent callers parallel instead of queued.
             return None
         try:
-            key = self._key(x, future_numerical, future_categorical)
-            marker = self._unsupported.get(key)
-            if marker is not None:
-                if marker == self._parameter_version():
-                    self.fallbacks += 1
-                    return None
-                # Weights changed since the failed trace: retry below.
-                del self._unsupported[key]
-            entry = self._plans.get(key)
-            if entry is not None and entry.is_stale():
-                del self._plans[key]
-                self.invalidations += 1
-                entry = None
-            if entry is None:
-                if getattr(self.model, "training", False):
-                    # Tracing needs eval mode; don't poison the cache —
-                    # the caller may flip the flag and retry.
-                    return None
-                try:
-                    entry = InferencePlan.trace(
-                        self.model, x, future_numerical, future_categorical
-                    )
-                except PlanUnsupported:
-                    self._unsupported[key] = self._parameter_version()
-                    while len(self._unsupported) > 4 * self.capacity:
-                        self._unsupported.popitem(last=False)
-                    self.fallbacks += 1
-                    return None
-                self.traces += 1
-                self._plans[key] = entry
-                while len(self._plans) > self.capacity:
-                    self._plans.popitem(last=False)
-                # The trace itself already computed this call's forecast.
-                return entry.output.copy()
-            self._plans.move_to_end(key)
-            self.hits += 1
-            return entry.run(x, future_numerical, future_categorical, copy=True)
+            return self._predict_locked(x, future_numerical, future_categorical)
         finally:
             self._lock.release()
+
+    @requires_lock("_lock")
+    def _predict_locked(
+        self,
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray],
+        future_categorical: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        # Split out of predict(): the non-blocking acquire/try/finally
+        # above is not a lock shape the analyzer (or a reader) can see
+        # through, and the guarded state is only touched here.
+        key = self._key(x, future_numerical, future_categorical)
+        marker = self._unsupported.get(key)
+        if marker is not None:
+            if marker == self._parameter_version():
+                self.fallbacks += 1
+                return None
+            # Weights changed since the failed trace: retry below.
+            del self._unsupported[key]
+        entry = self._plans.get(key)
+        if entry is not None and entry.is_stale():
+            del self._plans[key]
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            if getattr(self.model, "training", False):
+                # Tracing needs eval mode; don't poison the cache —
+                # the caller may flip the flag and retry.
+                return None
+            try:
+                entry = InferencePlan.trace(
+                    self.model, x, future_numerical, future_categorical
+                )
+            except PlanUnsupported:
+                self._unsupported[key] = self._parameter_version()
+                while len(self._unsupported) > 4 * self.capacity:
+                    self._unsupported.popitem(last=False)
+                self.fallbacks += 1
+                return None
+            self.traces += 1
+            self._plans[key] = entry
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+            # The trace itself already computed this call's forecast.
+            return entry.output.copy()
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return entry.run(x, future_numerical, future_categorical, copy=True)

@@ -7,7 +7,15 @@ the cluster so they stay reusable (and testable) on their own:
 
 * :class:`RWLock` — writer-preferring reentrant reader/writer lock: routed
   traffic shares the topology read-side, rebalances/checkpoints take the
-  exclusive write-side;
+  exclusive write-side — with owner tracking (``assert_held`` /
+  ``assert_not_held``) so lock-sensitive internals fail fast when called
+  without their lock;
+* :class:`TrackedRLock` / :class:`LockOrderMonitor` — named locks feeding
+  a debug-mode acquisition-order graph that raises
+  :class:`PotentialDeadlock` on order inversions (enable with
+  :func:`enable_lock_ordering` or ``REPRO_LOCK_ORDER=1``);
+* :func:`guarded_by` / :func:`requires_lock` / :func:`unguarded` — no-op
+  annotations the static analyzer (``python -m repro.analysis``) enforces;
 * :class:`Executor` / :class:`SerialExecutor` / :class:`PoolExecutor` —
   pluggable fan-out strategies for per-shard work (inline vs thread pool;
   forward passes are NumPy-bound, so threads reach S cores for S shards);
@@ -19,7 +27,33 @@ the cluster layer, and ``benchmarks/test_parallel_scaling.py`` for the
 measured speedup.
 """
 
+from .annotations import guarded_by, requires_lock, unguarded
 from .executor import Executor, PoolExecutor, SerialExecutor, map_shards
-from .locks import RWLock
+from .locks import (
+    LockOrderMonitor,
+    PotentialDeadlock,
+    RWLock,
+    TrackedRLock,
+    disable_lock_ordering,
+    enable_lock_ordering,
+    lock_order_monitor,
+    lock_ordering,
+)
 
-__all__ = ["Executor", "SerialExecutor", "PoolExecutor", "map_shards", "RWLock"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "map_shards",
+    "RWLock",
+    "TrackedRLock",
+    "LockOrderMonitor",
+    "PotentialDeadlock",
+    "lock_order_monitor",
+    "enable_lock_ordering",
+    "disable_lock_ordering",
+    "lock_ordering",
+    "guarded_by",
+    "requires_lock",
+    "unguarded",
+]

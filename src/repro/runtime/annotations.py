@@ -1,0 +1,84 @@
+"""Concurrency annotations checked by the project linter (``repro.analysis``).
+
+The serving/streaming/cluster layers have real lock discipline — per-shard
+locks, a writer-preferring topology :class:`~repro.runtime.locks.RWLock`,
+and per-service mutexes — but Python offers no ``@GuardedBy`` the compiler
+enforces.  These markers close that gap: they are **no-ops at runtime**
+(cheap metadata attached to the class/function), and the static analyzer
+(``python -m repro.analysis``) reads them from the AST to flag any access
+of a guarded attribute outside a declared lock context.
+
+Conventions
+-----------
+``@guarded_by("_pending", "stats", lock="_lock")``
+    class decorator: the listed instance attributes may only be read or
+    written while ``self._lock`` is held (``with self._lock:`` for plain
+    mutexes, ``with self._lock.read():`` / ``.write():`` for an RWLock),
+    or inside a method declared ``@requires_lock("_lock")``.
+
+``@requires_lock("_lock")``
+    method decorator: every caller must already hold the lock — the
+    analyzer treats the whole body as a lock-holding context.  Pair it
+    with a runtime ``assert_held()`` where violations should fail fast.
+
+``@unguarded("reason")``
+    method decorator: the method runs while the object is not yet (or no
+    longer) shared — constructor helpers, single-threaded codecs — and is
+    exempt from guarded-attribute checking.  The reason is mandatory so
+    exemptions stay adjudicated, not habitual.
+
+``__init__`` and ``__new__`` are always exempt: the object under
+construction is not visible to other threads yet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, TypeVar
+
+__all__ = ["guarded_by", "requires_lock", "unguarded"]
+
+C = TypeVar("C")
+F = TypeVar("F", bound=Callable)
+
+
+def guarded_by(*attributes: str, lock: str = "_lock") -> Callable[[C], C]:
+    """Declare that ``attributes`` are protected by ``self.<lock>``.
+
+    Stacks: decorate once per lock when a class partitions its state
+    across several locks.  The merged mapping is stored on the class as
+    ``__guarded_attributes__`` (attribute name -> lock name).
+    """
+    if not attributes:
+        raise ValueError("guarded_by needs at least one attribute name")
+
+    def decorate(cls: C) -> C:
+        declared: Dict[str, str] = dict(getattr(cls, "__guarded_attributes__", {}))
+        for name in attributes:
+            declared[name] = lock
+        cls.__guarded_attributes__ = declared
+        return cls
+
+    return decorate
+
+
+def requires_lock(lock: str = "_lock") -> Callable[[F], F]:
+    """Declare that callers must hold ``self.<lock>`` around this method."""
+
+    def decorate(fn: F) -> F:
+        held: Tuple[str, ...] = getattr(fn, "__requires_locks__", ())
+        fn.__requires_locks__ = held + (lock,)
+        return fn
+
+    return decorate
+
+
+def unguarded(reason: str) -> Callable[[F], F]:
+    """Exempt a method from guarded-attribute checking, with a reason."""
+    if not reason:
+        raise ValueError("unguarded requires a justification string")
+
+    def decorate(fn: F) -> F:
+        fn.__unguarded_reason__ = reason
+        return fn
+
+    return decorate

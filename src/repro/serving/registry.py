@@ -27,6 +27,7 @@ from ..baselines.registry import create_model
 from ..config import ModelConfig
 from ..core.base import ForecastModel
 from ..nn.serialization import load_state, save_state
+from ..runtime.annotations import guarded_by, requires_lock
 
 __all__ = ["config_hash", "RegistryStats", "ModelRegistry"]
 
@@ -62,6 +63,7 @@ class _ModelSpec:
     kwargs: Dict = field(default_factory=dict)
 
 
+@guarded_by("_models", "_specs", "stats", "_cache_dir", lock="_lock")
 class ModelRegistry:
     """LRU cache of live :class:`ForecastModel` instances.
 
@@ -103,20 +105,26 @@ class ModelRegistry:
         return (name, config_hash(config, extra=kwargs))
 
     def __len__(self) -> int:
-        return len(self._models)
+        with self._lock:
+            return len(self._models)
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
-        return key in self._models
+        with self._lock:
+            return key in self._models
 
     def keys(self) -> List[Tuple[str, str]]:
         """Live keys, least recently used first."""
-        return list(self._models)
+        with self._lock:
+            return list(self._models)
 
     @property
     def cache_dir(self) -> str:
-        if self._cache_dir is None:
-            self._cache_dir = tempfile.mkdtemp(prefix="repro-model-registry-")
-        return self._cache_dir
+        # Lazily created under the lock: two concurrent cold spills racing
+        # here would otherwise each mkdtemp and spill to different dirs.
+        with self._lock:
+            if self._cache_dir is None:
+                self._cache_dir = tempfile.mkdtemp(prefix="repro-model-registry-")
+            return self._cache_dir
 
     def _spill_path(self, key: Tuple[str, str]) -> str:
         name, digest = key
@@ -180,6 +188,7 @@ class ModelRegistry:
             return model
 
     # ------------------------------------------------------------------ #
+    @requires_lock("_lock")
     def _evict_over_capacity(self) -> None:
         while len(self._models) > self.capacity:
             self.evict_lru()

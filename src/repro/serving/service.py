@@ -29,6 +29,7 @@ from ..config import ModelConfig
 from ..stats import merge_counters, reset_counters
 from ..core.base import ForecastModel
 from ..data.windows import SlidingWindowDataset
+from ..runtime.annotations import guarded_by, requires_lock
 from .batching import BatchAssembler, Forecast, ForecastRequest, group_requests, pad_history
 from .registry import ModelRegistry
 
@@ -83,6 +84,7 @@ class ServiceStats:
         }
 
 
+@guarded_by("_pending", "stats", "_assembler", lock="_lock")
 class ForecastService:
     """Serve a forecasting model behind a micro-batching request API.
 
@@ -350,6 +352,7 @@ class ForecastService:
             }
         return self.model.predict(batch["x"], compiled=self.compiled, **kwargs)
 
+    @requires_lock("_lock")
     def _flush_locked(self) -> int:
         if not self._pending:
             return 0

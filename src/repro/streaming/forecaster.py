@@ -34,6 +34,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..data.incremental import RollingScaler
+from ..runtime.annotations import guarded_by
 from ..stats import merge_counters
 from ..serving.batching import Forecast
 from ..serving.service import ForecastService
@@ -92,6 +93,7 @@ class StreamingStats:
         return merge_counters(cls, stats)
 
 
+@guarded_by("_scalers", "stats", lock="_lock")
 class StreamingForecaster:
     """Append observations per tenant; serve micro-batched fresh forecasts.
 
@@ -150,7 +152,8 @@ class StreamingForecaster:
     # ------------------------------------------------------------------ #
     def scaler(self, tenant: str) -> Optional[RollingScaler]:
         """The tenant's rolling scaler (``None`` outside ``"rolling"`` mode)."""
-        return self._scalers.get(tenant)
+        with self._lock:
+            return self._scalers.get(tenant)
 
     def ingest(self, tenant: str, values: np.ndarray, timestamp=None) -> int:
         """Append raw observations for a tenant; returns its total observed.

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
+from ..runtime.annotations import guarded_by, requires_lock
 from ..stats import merge_counters
 
 __all__ = ["RingBuffer", "SeriesStore", "StoreStats"]
@@ -151,6 +152,10 @@ class StoreStats:
         return merge_counters(cls, stats)
 
 
+@guarded_by(
+    "_buffers", "_last_timestamp", "stats", "_dirty", "_generations",
+    "_tombstones", lock="_lock",
+)
 class SeriesStore:
     """One bounded :class:`RingBuffer` per tenant/series.
 
@@ -186,14 +191,17 @@ class SeriesStore:
 
     # ------------------------------------------------------------------ #
     def __contains__(self, tenant: str) -> bool:
-        return tenant in self._buffers
+        with self._lock:
+            return tenant in self._buffers
 
     def __len__(self) -> int:
-        return len(self._buffers)
+        with self._lock:
+            return len(self._buffers)
 
     def tenants(self) -> List[str]:
         """Tenant keys in first-seen order."""
-        return list(self._buffers)
+        with self._lock:
+            return list(self._buffers)
 
     @property
     def dtype(self) -> np.dtype:
@@ -201,6 +209,16 @@ class SeriesStore:
         return np.dtype(self._dtype)
 
     def buffer(self, tenant: str) -> RingBuffer:
+        """The tenant's ring (the lookup is locked; the ring itself is
+        not thread-safe — callers mutating it hold no protection)."""
+        with self._lock:
+            return self._buffer_locked(tenant)
+
+    @requires_lock("_lock")
+    def _buffer_locked(self, tenant: str) -> RingBuffer:
+        # The store's internal locked paths (latest, tenant_state) resolve
+        # buffers through this: self._lock is a plain non-reentrant mutex,
+        # so calling the public buffer() from under it would self-deadlock.
         try:
             return self._buffers[tenant]
         except KeyError:
@@ -208,7 +226,8 @@ class SeriesStore:
 
     def observed(self, tenant: str) -> int:
         """Total observations ever ingested for a tenant (0 if unknown)."""
-        buffer = self._buffers.get(tenant)
+        with self._lock:
+            buffer = self._buffers.get(tenant)
         return 0 if buffer is None else buffer.total_appended
 
     # ------------------------------------------------------------------ #
@@ -257,11 +276,12 @@ class SeriesStore:
         otherwise mix old and new rows out of order.
         """
         with self._lock:
-            return self.buffer(tenant).latest(n)
+            return self._buffer_locked(tenant).latest(n)
 
     def last_timestamp(self, tenant: str):
         """The last ingested timestamp for a tenant, or ``None``."""
-        return self._last_timestamp.get(tenant)
+        with self._lock:
+            return self._last_timestamp.get(tenant)
 
     def drop(self, tenant: str) -> None:
         """Forget a tenant entirely (buffer and timestamp watermark)."""
@@ -283,7 +303,8 @@ class SeriesStore:
         incarnation can be told apart from the live one however many rows
         either has.
         """
-        return self._generations.get(tenant, 0)
+        with self._lock:
+            return self._generations.get(tenant, 0)
 
     # ------------------------------------------------------------------ #
     # Checkpoint bookkeeping — incremental snapshots ride on it.
@@ -320,7 +341,7 @@ class SeriesStore:
         """One tenant's full state (ring contents, watermark, incarnation)."""
         with self._lock:
             return {
-                "buffer": self.buffer(tenant).to_state(),
+                "buffer": self._buffer_locked(tenant).to_state(),
                 "last_timestamp": self._last_timestamp.get(tenant),
                 "generation": self._generations.get(tenant, 0),
             }

@@ -1,0 +1,29 @@
+"""Shared helpers for analyzer tests: write a snippet, lint it."""
+
+import textwrap
+from typing import List
+
+import pytest
+
+from repro.analysis import Analyzer, Finding
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint(source, path="repro/mod.py")`` -> findings for that snippet.
+
+    The snippet is written under ``tmp_path`` at the given relative path,
+    so package-scoped rules (pickle-ban) see the same layout they would in
+    the real tree (e.g. ``repro/cluster/bad.py``).
+    """
+
+    def run(source: str, path: str = "repro/snippet.py", rules=None) -> List[Finding]:
+        target = tmp_path / path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        analyzer = Analyzer(rules=rules)
+        # Scan only the file just written (not all of tmp_path) so repeated
+        # calls within one test don't see each other's snippets.
+        return analyzer.run([target], root=tmp_path)
+
+    return run

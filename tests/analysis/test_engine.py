@@ -1,0 +1,185 @@
+"""Engine mechanics: suppressions, baseline round-trip, reporters, CLI."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Analyzer, Baseline
+from repro.analysis.__main__ import main
+from repro.analysis.engine import parse_file, suppressed_rules
+from repro.analysis.rules.bans import PickleBanRule
+
+
+BAD_SOURCE = """\
+import pickle
+
+
+def save(obj, path):
+    with open(path, "wb") as handle:
+        pickle.dump(obj, handle)
+"""
+
+
+def write_bad(tmp_path, name="repro/cluster/bad.py", source=BAD_SOURCE):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return target
+
+
+class TestSuppressions:
+    def run(self, tmp_path, source):
+        target = write_bad(tmp_path, source=source)
+        return Analyzer(rules=[PickleBanRule]).run([target], root=tmp_path)
+
+    def test_same_line_comment_suppresses(self, tmp_path):
+        findings = self.run(
+            tmp_path, "import pickle  # repro: disable=pickle-ban\n"
+        )
+        assert findings == []
+
+    def test_preceding_comment_only_line_suppresses(self, tmp_path):
+        findings = self.run(
+            tmp_path, "# repro: disable=pickle-ban\nimport pickle\n"
+        )
+        assert findings == []
+
+    def test_disable_all_suppresses(self, tmp_path):
+        findings = self.run(tmp_path, "import pickle  # repro: disable=all\n")
+        assert findings == []
+
+    def test_other_rule_in_comment_does_not_suppress(self, tmp_path):
+        findings = self.run(
+            tmp_path, "import pickle  # repro: disable=replay-alloc\n"
+        )
+        assert [f.rule for f in findings] == ["pickle-ban"]
+
+    def test_preceding_code_line_comment_does_not_leak_down(self, tmp_path):
+        # The disable on line 1 is attached to line 1's (clean) code; it
+        # must not silence the violation on line 2.
+        findings = self.run(
+            tmp_path, "x = 1  # repro: disable=pickle-ban\nimport pickle\n"
+        )
+        assert [f.rule for f in findings] == ["pickle-ban"]
+
+    def test_suppressed_rules_helper(self, tmp_path):
+        target = write_bad(
+            tmp_path,
+            source="# repro: disable=pickle-ban, replay-alloc\nimport pickle\n",
+        )
+        context = parse_file(target, tmp_path)
+        assert suppressed_rules(context, 2) == {"pickle-ban", "replay-alloc"}
+        assert suppressed_rules(context, 1) == {"pickle-ban", "replay-alloc"}
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        target = write_bad(tmp_path)
+        findings = Analyzer(rules=[PickleBanRule]).run([target], root=tmp_path)
+        assert findings
+
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings, justification="known").save(path)
+        reloaded = Baseline.load(path)
+        assert len(reloaded) == len(findings)
+
+        new, grandfathered, stale = reloaded.split(findings)
+        assert new == []
+        assert len(grandfathered) == len(findings)
+        assert stale == []
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        target = write_bad(tmp_path)
+        baseline = Baseline.from_findings(
+            Analyzer(rules=[PickleBanRule]).run([target], root=tmp_path),
+            justification="known",
+        )
+        # Prepend lines: same violation, different line number.
+        write_bad(tmp_path, source="#\n#\n#\n" + BAD_SOURCE)
+        shifted = Analyzer(rules=[PickleBanRule]).run([target], root=tmp_path)
+        new, grandfathered, stale = baseline.split(shifted)
+        assert new == [] and len(grandfathered) == len(shifted)
+
+    def test_stale_entries_surface(self, tmp_path):
+        target = write_bad(tmp_path)
+        findings = Analyzer(rules=[PickleBanRule]).run([target], root=tmp_path)
+        baseline = Baseline.from_findings(findings, justification="known")
+        # The code gets fixed: every baseline entry is now stale.
+        write_bad(tmp_path, source="import json\n")
+        new, grandfathered, stale = baseline.split(
+            Analyzer(rules=[PickleBanRule]).run([target], root=tmp_path)
+        )
+        assert new == [] and grandfathered == []
+        assert len(stale) == len(findings)
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_bad(tmp_path, source="import json\n")
+        code = main([str(tmp_path), "--baseline", str(tmp_path / "b.json")])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write_bad(tmp_path)
+        code = main([str(tmp_path), "--baseline", str(tmp_path / "b.json")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "pickle-ban" in out and "repro/cluster/bad.py" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nowhere")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        write_bad(tmp_path)
+        baseline = tmp_path / "b.json"
+        assert main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.exists()
+        # Same tree, baseline applied: clean.
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_no_baseline_overrides_baseline_file(self, tmp_path):
+        write_bad(tmp_path)
+        baseline = tmp_path / "b.json"
+        main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+        code = main(
+            [str(tmp_path), "--baseline", str(baseline), "--no-baseline"]
+        )
+        assert code == 1
+
+    def test_json_reporter_shape(self, tmp_path, capsys):
+        write_bad(tmp_path)
+        code = main(
+            [
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "b.json"),
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == len(payload["findings"]) > 0
+        first = payload["findings"][0]
+        assert first["rule"] == "pickle-ban"
+        assert first["path"] == "repro/cluster/bad.py"
+        assert {"line", "col", "message", "symbol"} <= set(first)
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "lock-discipline",
+            "replay-alloc",
+            "grad-mode",
+            "pickle-ban",
+            "except-hygiene",
+        ):
+            assert rule_id in out

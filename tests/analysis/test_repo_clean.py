@@ -1,0 +1,34 @@
+"""Meta-test: the real source tree lints clean against the checked-in
+baseline.  This is the same invocation CI runs; if it fails here, either
+fix the finding or adjudicate it into analysis-baseline.json with a
+justification."""
+
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_lints_clean(capsys):
+    code = main(
+        [
+            str(REPO_ROOT / "src"),
+            "--baseline",
+            str(REPO_ROOT / "analysis-baseline.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, f"linter found new violations:\n{out}"
+
+
+def test_baseline_has_no_stale_entries(capsys):
+    main(
+        [
+            str(REPO_ROOT / "src"),
+            "--baseline",
+            str(REPO_ROOT / "analysis-baseline.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "stale" not in out.lower() or "0 stale" in out

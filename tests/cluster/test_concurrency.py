@@ -16,12 +16,24 @@ import pytest
 from repro.cluster import ShardedForecaster, compare_cluster_to_unsharded, replay_cluster
 from repro.config import ModelConfig
 from repro.core import LiPFormer
-from repro.runtime import PoolExecutor
+from repro.runtime import PoolExecutor, lock_ordering
 from repro.serving import ForecastService
 from repro.streaming import StreamingForecaster
 
 INPUT_LENGTH = 16
 HORIZON = 4
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_watchdog():
+    """Run every stress test under the lock-order detector.
+
+    Any thread that acquires the topology and shard locks in an order
+    inconsistent with the rest of the suite turns a would-be flaky hang
+    into a deterministic :class:`PotentialDeadlock` failure.
+    """
+    with lock_ordering():
+        yield
 
 
 @pytest.fixture
