@@ -13,9 +13,41 @@ printed so the rows can be compared against the paper.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import QUICK
+
+# Machine-readable perf trajectory, merged section-by-section by the
+# inference/serving benchmarks and asserted present by the CI smoke run.
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Read-merge-write one section of ``BENCH_inference.json``.
+
+    Each benchmark owns a named section so the files can run in any order
+    (or alone) without clobbering each other's numbers; the write goes
+    through a temp file + rename so a crashed run never leaves a torn JSON.
+    """
+    data = {}
+    if BENCH_RESULTS_PATH.exists():
+        try:
+            data = json.loads(BENCH_RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    tmp = BENCH_RESULTS_PATH.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.replace(BENCH_RESULTS_PATH)
+
+
+@pytest.fixture
+def bench_record():
+    """Fixture: record one named section into ``BENCH_inference.json``."""
+    return record_bench
 
 
 @pytest.fixture(scope="session")

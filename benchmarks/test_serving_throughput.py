@@ -60,7 +60,7 @@ def _measure_service_speedup(n_channels: int, hidden_dim: int):
     return t_sequential, t_batched
 
 
-def test_microbatched_service_beats_sequential_predict():
+def test_microbatched_service_beats_sequential_predict(bench_record):
     """Micro-batching must give >= 3x throughput at batch size 32."""
     t_sequential, t_batched = _measure_service_speedup(n_channels=1, hidden_dim=64)
     speedup = t_sequential / t_batched
@@ -68,12 +68,18 @@ def test_microbatched_service_beats_sequential_predict():
         f"\nunivariate serving: sequential {BATCH_SIZE / t_sequential:,.0f} req/s, "
         f"micro-batched {BATCH_SIZE / t_batched:,.0f} req/s, speedup {speedup:.1f}x"
     )
+    bench_record("serving_throughput_univariate", {
+        "batch_size": BATCH_SIZE,
+        "sequential_req_per_s": round(BATCH_SIZE / t_sequential),
+        "microbatched_req_per_s": round(BATCH_SIZE / t_batched),
+        "speedup": round(speedup, 2),
+    })
     assert speedup >= 3.0, (
         f"micro-batched service only {speedup:.2f}x faster than sequential predict"
     )
 
 
-def test_multivariate_service_speedup_recorded():
+def test_multivariate_service_speedup_recorded(bench_record):
     """Multivariate (7-channel) serving amortises less but must still win."""
     t_sequential, t_batched = _measure_service_speedup(n_channels=7, hidden_dim=64)
     speedup = t_sequential / t_batched
@@ -81,6 +87,13 @@ def test_multivariate_service_speedup_recorded():
         f"\nmultivariate serving: sequential {BATCH_SIZE / t_sequential:,.0f} req/s, "
         f"micro-batched {BATCH_SIZE / t_batched:,.0f} req/s, speedup {speedup:.1f}x"
     )
+    bench_record("serving_throughput_multivariate", {
+        "batch_size": BATCH_SIZE,
+        "n_channels": 7,
+        "sequential_req_per_s": round(BATCH_SIZE / t_sequential),
+        "microbatched_req_per_s": round(BATCH_SIZE / t_batched),
+        "speedup": round(speedup, 2),
+    })
     assert speedup >= 1.5
 
 

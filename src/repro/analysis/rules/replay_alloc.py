@@ -9,16 +9,27 @@ degrades.  This rule checks the kernel scopes mechanically.
 
 Kernel scopes are self-identifying:
 
-* functions named ``*_kernel`` (the ``repro.nn.functional`` family), and
+* functions named ``*_kernel`` (the ``repro.nn.functional`` family),
 * the lambda / local function registered as the first argument of
-  ``rec.add(...)`` / ``recorder.add(...)`` (the tensor-op trace sites).
+  ``rec.add(...)`` / ``recorder.add(...)`` (the tensor-op trace sites), and
+* the polymorphic replay paths of the plan itself (``nn/plan.py`` only):
+  methods named ``_replay*`` / ``_run_*`` plus the slot ``bind`` — the
+  slice-replay dispatch that runs on every serve, not just the kernels
+  it invokes.
 
 Inside a kernel scope the rule flags ufunc-style NumPy calls without an
 ``out=`` argument, constructors that always allocate (``np.stack``,
 ``np.empty`` & friends), ``.copy()`` method calls, and ``**`` / ``@``
 operators (which have no out-variant).  View-producing helpers
 (``np.copyto``, ``np.broadcast_to``, ``np.expand_dims``, ``.reshape``)
-are exempt.
+are exempt, and so — by construction — is the slice-replay idiom:
+leading-dim subscripts like ``buf[:batch * rows]`` are views, never
+calls, so binding a plan to a smaller batch allocates nothing the rule
+would need to whitelist.  One learned exception: the caller-requested
+copy-out ``x.copy() if copy else x`` — the ``copy=True`` branch hands
+the caller an owned array by contract, so a ``.copy()`` conditioned on
+a plain ``copy`` flag is exempt; an *unconditional* allocation in a
+replay path is still flagged.
 """
 
 from __future__ import annotations
@@ -47,6 +58,40 @@ _ALWAYS_ALLOCATES = {
 }
 
 _RECORDERS = {"rec", "recorder"}
+
+
+def _is_replay_path(name: str) -> bool:
+    """Plan methods that execute on every replay dispatch (``nn/plan.py``)."""
+    return name.startswith("_replay") or name.startswith("_run_") or name == "bind"
+
+
+def _collect_replay_paths(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """``(symbol, scope_node)`` for the plan's polymorphic replay methods."""
+    scopes: List[Tuple[str, ast.AST]] = []
+
+    def visit(node: ast.AST, qual: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_qual = f"{qual}.{child.name}" if qual else child.name
+                if _is_replay_path(child.name):
+                    scopes.append((child_qual, child))
+                visit(child, child_qual)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{qual}.{child.name}" if qual else child.name)
+            else:
+                visit(child, qual)
+
+    visit(tree, "")
+    return scopes
+
+
+def _is_copy_out(node: ast.AST) -> bool:
+    """``x.copy() if copy else x`` — the documented caller-owned copy-out."""
+    return (
+        isinstance(node, ast.IfExp)
+        and isinstance(node.test, ast.Name)
+        and node.test.id == "copy"
+    )
 
 
 def _has_out(node: ast.Call) -> bool:
@@ -116,7 +161,15 @@ class ReplayAllocRule(Rule):
 
     def check(self, context) -> Iterable[Finding]:
         emitted: Set[Tuple[int, int, str]] = set()
-        for symbol, scope in _collect_kernel_scopes(context.tree):
+        scopes = _collect_kernel_scopes(context.tree)
+        if context.relpath.replace("\\", "/").endswith("nn/plan.py"):
+            known = {id(scope) for _, scope in scopes}
+            scopes += [
+                (symbol, scope)
+                for symbol, scope in _collect_replay_paths(context.tree)
+                if id(scope) not in known
+            ]
+        for symbol, scope in scopes:
             body = scope.body if isinstance(scope.body, list) else [scope.body]
             for stmt in body:
                 for finding in self._scan(context, stmt, symbol):
@@ -163,4 +216,9 @@ class ReplayAllocRule(Rule):
                 symbol=symbol,
             )
         for child in ast.iter_child_nodes(node):
+            if _is_copy_out(child):
+                # The copy=True branch is the caller-owned copy-out; the
+                # copy=False branch must still be allocation-free.
+                yield from self._scan(context, child.orelse, symbol)
+                continue
             yield from self._scan(context, child, symbol)

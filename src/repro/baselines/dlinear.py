@@ -25,6 +25,10 @@ __all__ = ["DLinear", "NLinear"]
 class DLinear(ForecastModel):
     """Decomposition + per-component linear forecasting."""
 
+    # forward is shape-determined: decomposition is a fixed matrix product,
+    # so the compiled-plan trace replays exactly for any input values.
+    supports_compiled_plan = True
+
     def __init__(
         self,
         config: ModelConfig,
@@ -53,6 +57,10 @@ class DLinear(ForecastModel):
 
 class NLinear(ForecastModel):
     """Last-value normalised single linear layer."""
+
+    # Shape-determined like DLinear: last-value normalisation is a slice
+    # plus elementwise ops, nothing value-dependent in the trace structure.
+    supports_compiled_plan = True
 
     def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(config)

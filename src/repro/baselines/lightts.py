@@ -26,6 +26,10 @@ __all__ = ["LightTS"]
 class LightTS(ForecastModel):
     """Continuous + interval down-sampling MLP forecaster."""
 
+    # Both down-sampling views are fixed reshape/stride patterns over the
+    # input — shape-determined, so the compiled-plan trace is exact.
+    supports_compiled_plan = True
+
     def __init__(
         self,
         config: ModelConfig,

@@ -63,6 +63,10 @@ class TransformerEncoderLayer(Module):
 class PatchTST(ForecastModel):
     """Patch-wise Transformer with channel independence."""
 
+    # forward is shape-determined (patching, attention, reshapes all depend
+    # on trace-time shapes only), so compiled plans replay it exactly.
+    supports_compiled_plan = True
+
     def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(config)
         generator = rng if rng is not None else np.random.default_rng(config.seed)

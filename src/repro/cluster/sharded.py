@@ -424,6 +424,13 @@ class ShardedForecaster:
             self._fold_retired_stats(dead)
             self.rebalances += 1
             self.tenants_migrated += len(report.restored)
+            # Auto-warm every shard that adopted tenants: the first
+            # post-failover forecast must replay a compiled plan, not pay
+            # an eager fallback (or a trace) on the request path.  Shard
+            # warmup touches only the shard's own service lock, so it is
+            # safe under the topology write lock held here.
+            for target in sorted(set(report.restored.values())):
+                self._shards[target].warmup()
             return report
 
     @staticmethod
@@ -540,11 +547,12 @@ class ShardedForecaster:
             return sum(map_shards(self.executor, run_shard, self.shard_ids()).values())
 
     def warmup(self, batch_sizes: Optional[Sequence[int]] = None) -> int:
-        """Pre-trace compiled inference plans on every shard (in parallel
-        under a pool executor); returns the total batch sizes warmed.
+        """Pre-trace one polymorphic compiled plan per shard (in parallel
+        under a pool executor); returns the total plans traced.
 
-        Run after building, restoring or failing over a cluster so the
-        first fan-out doesn't pay per-shard plan-tracing latency.
+        Run after building a cluster so the first fan-out doesn't pay
+        per-shard plan-tracing latency; :meth:`load`, :meth:`load_chain`
+        and :meth:`failover` already warm their restored shards.
         """
         with self._topology.read():
 
@@ -858,12 +866,18 @@ class ShardedForecaster:
         path: str,
         executor: Optional[Executor] = None,
     ) -> "ShardedForecaster":
-        """Restore a :meth:`save` archive around fresh service replicas."""
+        """Restore a :meth:`save` archive around fresh service replicas.
+
+        Replicas come back pre-warmed: every restored shard traces its
+        polymorphic compiled plan before the cluster is returned, so the
+        first post-restore forecasts replay instead of falling back eager.
+        """
         cluster = cls.from_state(service_factory, read_snapshot(path), executor=executor)
         if cluster._chain_id is not None:
             # The revived cluster can keep extending the chain (and fail
             # over) without re-writing a full base first.
             cluster._chain = [path]
+        cluster.warmup()
         return cluster
 
     @classmethod
@@ -879,12 +893,13 @@ class ShardedForecaster:
         :func:`~repro.cluster.snapshot.resolve_chain` (validating chain id
         and sequence linkage) and revives the resulting state; the cluster
         continues the same chain on subsequent :meth:`save_incremental`
-        calls.
+        calls.  Restored replicas are auto-warmed, like :meth:`load`.
         """
         paths = list(paths)
         cluster = cls.from_state(service_factory, resolve_chain(paths), executor=executor)
         if cluster._chain_id is not None:
             cluster._chain = paths
+        cluster.warmup()
         return cluster
 
     # ------------------------------------------------------------------ #

@@ -22,6 +22,7 @@ __all__ = [
     "softmax_kernel",
     "log_softmax_kernel",
     "layer_norm_kernel",
+    "gelu_kernel",
     "dropout",
     "manual_seed",
     "default_generator",
@@ -61,11 +62,61 @@ def relu(x: Tensor) -> Tensor:
     return as_tensor(x).relu()
 
 
+_GELU_C = 0.7978845608028654  # sqrt(2 / pi)
+_GELU_A = 0.044715
+
+
+def gelu_kernel(
+    x: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    inner_buf: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fused GELU (tanh approximation) forward kernel (plain NumPy).
+
+    The single source of truth shared by the eager autograd op below and by
+    traced inference plans.  With ``out`` and ``inner_buf`` (both shaped
+    like ``x``) the computation is allocation-free: ``inner_buf`` holds the
+    tanh argument, ``out`` accumulates ``0.5 * x * (1 + tanh(...))``.  The
+    operation order reproduces the former composite expression
+    ``x * 0.5 * (((x + x^3 * a) * c).tanh() + 1)`` bit-for-bit.
+    """
+    inner = np.multiply(x, x, out=inner_buf)
+    np.multiply(inner, x, out=inner)
+    np.multiply(inner, _GELU_A, out=inner)
+    np.add(x, inner, out=inner)
+    np.multiply(inner, _GELU_C, out=inner)
+    np.tanh(inner, out=inner)
+    np.add(inner, 1.0, out=inner)
+    result = np.multiply(x, 0.5, out=out)
+    np.multiply(result, inner, out=result)
+    return result
+
+
 def gelu(x: Tensor) -> Tensor:
-    """Gaussian error linear unit (tanh approximation)."""
+    """Gaussian error linear unit (tanh approximation, primitive op)."""
     x = as_tensor(x)
-    inner = (x + x * x * x * 0.044715) * 0.7978845608028654
-    return x * 0.5 * (inner.tanh() + 1.0)
+    a = x.data
+    if is_grad_enabled() and x.requires_grad:
+        u = (a + a * a * a * _GELU_A) * _GELU_C
+        t = np.tanh(u)
+        out_data = a * 0.5 * (t + 1.0)
+
+        def backward(grad: np.ndarray) -> None:
+            du = _GELU_C * (1.0 + 3.0 * _GELU_A * a * a)
+            x._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * a * (1.0 - t * t) * du))
+
+        return Tensor._node(out_data, (x,), backward)
+    out_data = gelu_kernel(a)
+    rec = _trace_state.recorder
+    if rec is not None:
+        inner_buf = np.empty_like(out_data)
+        rec.add(
+            lambda a, ib, o: gelu_kernel(a, out=o, inner_buf=ib),
+            (a, inner_buf, out_data),
+            out_data,
+            scratch=(inner_buf,),
+        )
+    return Tensor._wrap(out_data)
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -172,10 +223,11 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         reduced[axis] = 1
         reduce_buf = np.empty(tuple(reduced), dtype=out_data.dtype)
         rec.add(
-            lambda a=a, o=out_data, ax=axis, rb=reduce_buf: softmax_kernel(a, axis=ax, out=o, reduce_buf=rb),
+            lambda a, rb, o, ax=axis: softmax_kernel(a, axis=ax, out=o, reduce_buf=rb),
+            (a, reduce_buf, out_data),
             out_data,
+            scratch=(reduce_buf,),
         )
-        rec.scratch(reduce_buf)
     return Tensor._wrap(out_data)
 
 
@@ -198,12 +250,13 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
         exp_buf = np.empty_like(out_data)
         reduce_buf = np.empty(tuple(reduced), dtype=out_data.dtype)
         rec.add(
-            lambda a=a, o=out_data, ax=axis, eb=exp_buf, rb=reduce_buf: log_softmax_kernel(
+            lambda a, eb, rb, o, ax=axis: log_softmax_kernel(
                 a, axis=ax, out=o, exp_buf=eb, reduce_buf=rb
             ),
+            (a, exp_buf, reduce_buf, out_data),
             out_data,
+            scratch=(exp_buf, reduce_buf),
         )
-        rec.scratch(exp_buf, reduce_buf)
     return Tensor._wrap(out_data)
 
 
@@ -268,12 +321,13 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
         square_buf = np.empty_like(out_data)
         reduce_buf = np.empty(a.shape[:-1] + (1,), dtype=out_data.dtype)
         rec.add(
-            lambda a=a, w=w, b=b, o=out_data, sq=square_buf, rb=reduce_buf: layer_norm_kernel(
-                a, w, b, eps=eps, out=o, square_buf=sq, reduce_buf=rb
+            lambda a, w, b, sq, rb, o, e=eps: layer_norm_kernel(
+                a, w, b, eps=e, out=o, square_buf=sq, reduce_buf=rb
             ),
+            (a, w, b, square_buf, reduce_buf, out_data),
             out_data,
+            scratch=(square_buf, reduce_buf),
         )
-        rec.scratch(square_buf, reduce_buf)
     return Tensor._wrap(out_data)
 
 

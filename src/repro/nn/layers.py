@@ -115,7 +115,10 @@ class Embedding(Module):
             # Replayed plans re-read the index buffer live; without this
             # step a compiled forecast would silently gather wrapped rows
             # for indices the eager path rejects (e.g. -1 sentinels).
-            rec.add(lambda idx=indices, n=self.num_embeddings: self._validate_indices(idx, n))
+            rec.add(
+                lambda idx, n=self.num_embeddings: Embedding._validate_indices(idx, n),
+                (indices,),
+            )
         return self.weight[indices]
 
 

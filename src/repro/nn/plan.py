@@ -3,37 +3,45 @@
 LiPFormer's pitch is *lightweight* inference, yet an eager forward pass
 still pays per-op Python overhead on every call: ``Tensor`` wrapping,
 grad-mode checks, and a fresh ndarray allocation for every intermediate.
-This module removes all of it for the steady-state serving hot path:
+This module removes all of it for the steady-state serving hot path with a
+**two-stage compile pipeline**:
 
 * :class:`PlanRecorder` — installed thread-locally while a model's
   ``forward`` runs once under ``no_grad``.  Every tensor operation on the
-  no-grad fast path registers a *replay kernel*: a closure that recomputes
-  the op's output **into the very array produced at trace time** (via
-  ``out=``-style NumPy calls).  View-producing ops (transpose, slicing,
-  contiguous reshape) register nothing at all — once the plan refreshes a
-  source buffer, every view derived from it reads the new data for free.
+  no-grad fast path registers a *replay step*: a kernel function plus the
+  explicit tuple of arrays it reads and writes (``kernel(*arrays)``
+  recomputes the op's output in place).  View-producing ops (transpose,
+  slicing, contiguous reshape) register nothing at all — once the plan
+  refreshes a source buffer, every view derived from it reads the new data
+  for free.
 
-* :class:`InferencePlan` — the flat, ordered list of replay kernels plus
-  the preallocated buffer arena (the trace-time intermediates themselves).
-  ``run`` copies fresh inputs into the input buffers, executes the kernels
-  in order, and returns the output buffer — no ``Tensor`` objects, no graph
-  bookkeeping, and zero new arena allocations per call.  Parameters are
-  captured as live array references, so a plan is only valid while no
-  parameter has been rebound; staleness is detected through the per-
-  :class:`~repro.nn.module.Parameter` version counter (bumped on every
-  ``.data`` assignment — optimizer steps, ``load_state_dict``, restores).
+* **Stage one — liveness.**  The flat step list is analysed for first/last
+  use of every recorded buffer (uses through views are attributed to the
+  owning base), then an offline greedy-by-size pass packs the buffers into
+  one shared byte arena: a dead intermediate's storage is reused by later
+  buffers, so plan memory tracks *peak liveness*, not trace depth.  Scratch
+  buffers of composite kernels participate.  The replay self-check stays
+  bit-for-bit — if relocation ever perturbs a kernel, the plan falls back
+  to standalone buffers before it may serve traffic.
 
-* :class:`CompiledPredictor` — a per-model plan cache keyed by input
-  signature (shapes/covariate presence), with LRU eviction, transparent
-  re-tracing on staleness, and a non-blocking lock so concurrent callers
-  sharing one model fall back to eager instead of serialising (eager and
-  compiled outputs are bit-identical, so the fallback is invisible).
+* **Stage two — batch polymorphism.**  A plan is traced once at a bucket
+  batch size ``B`` and replayed on *leading-dim slices* of the arena: every
+  batch-scaled buffer (taint-propagated from the inputs) is bound to its
+  ``[: b * rows_per_batch]`` prefix, so any ``batch <= B`` hits the same
+  plan with zero re-tracing.  Slice replay is validated bit-exactly against
+  eager at trace time; kernels that bake the batch dimension into a
+  reduction demote the plan to *padded* replay (rows are edge-replicated up
+  to the bucket and the output truncated), and genuinely batch-coupled
+  models demote further to exact-shape plans.  :class:`CompiledPredictor`
+  keys its cache on the **batch-free signature** and grows power-of-two
+  buckets on demand, so a workload cycling batch sizes ``1..B`` traces at
+  most ``ceil(log2(B)) + 1`` plans instead of one per size.
 
 Correctness model: tracing assumes the forward's *structure* depends only
 on input shapes, never on input values.  All ``repro.nn`` tensor ops and
-the ``softmax`` / ``layer_norm`` / ``log_softmax`` primitives satisfy this;
-models computing raw-NumPy, value-dependent constants inside ``forward``
-must not enable ``supports_compiled_plan``.  Every freshly traced plan is
+the ``softmax`` / ``layer_norm`` / ``gelu`` primitives satisfy this; models
+computing raw-NumPy, value-dependent constants inside ``forward`` must not
+enable ``supports_compiled_plan``.  Every freshly traced plan is
 self-checked by replaying it on the traced inputs and requiring the output
 to match the eager result exactly before it may serve traffic.
 """
@@ -42,14 +50,32 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..runtime.annotations import guarded_by, requires_lock
 from .tensor import Tensor, _trace_state, no_grad
 
-__all__ = ["PlanUnsupported", "PlanRecorder", "InferencePlan", "CompiledPredictor"]
+__all__ = [
+    "PlanUnsupported",
+    "PlanRecorder",
+    "InferencePlan",
+    "CompiledPredictor",
+    "bucket_for",
+]
+
+# Arena offsets are aligned so relocated buffers keep whatever SIMD/BLAS
+# alignment the original heap allocations had; misalignment is a bit-
+# exactness risk, not just a speed one.
+_ARENA_ALIGN = 64
+
+
+def bucket_for(batch: int) -> int:
+    """Smallest power of two >= ``batch`` — the plan bucket that serves it."""
+    if batch < 1:
+        raise ValueError(f"batch must be positive, got {batch}")
+    return 1 << (batch - 1).bit_length()
 
 
 class PlanUnsupported(RuntimeError):
@@ -59,24 +85,60 @@ class PlanUnsupported(RuntimeError):
     """
 
 
+class _Step:
+    """One replay step: ``kernel(*arrays)`` recomputes ``out`` in place.
+
+    ``arrays`` is the full positional binding — inputs, scratch and the
+    output buffer — which is what lets the compile stage relocate buffers
+    into the arena and rebind leading-dim slices without touching the
+    kernel: nothing shape- or address-like is closed over.
+    """
+
+    __slots__ = ("kernel", "arrays", "out", "scratch")
+
+    def __init__(
+        self,
+        kernel: Callable[..., object],
+        arrays: Tuple[np.ndarray, ...],
+        out: Optional[np.ndarray],
+        scratch: Tuple[np.ndarray, ...],
+    ) -> None:
+        self.kernel = kernel
+        self.arrays = arrays
+        self.out = out
+        self.scratch = scratch
+
+
 class PlanRecorder:
-    """Collects replay kernels while a forward pass is being traced."""
+    """Collects replay steps while a forward pass is being traced."""
 
     __slots__ = ("steps", "arena_nbytes")
 
     def __init__(self) -> None:
-        self.steps: List[Callable[[], object]] = []
+        self.steps: List[_Step] = []
+        # Sum of every recorded buffer's bytes — what a plan would cost
+        # *without* the liveness pass.  Kept as the baseline the arena
+        # reduction is measured against.
         self.arena_nbytes = 0
 
-    def add(self, run: Callable[[], object], out: Optional[np.ndarray] = None) -> None:
-        """Register one replay kernel; ``out`` is its arena buffer."""
-        self.steps.append(run)
+    def add(
+        self,
+        kernel: Callable[..., object],
+        arrays: Tuple[np.ndarray, ...] = (),
+        out: Optional[np.ndarray] = None,
+        scratch: Tuple[np.ndarray, ...] = (),
+    ) -> None:
+        """Register one replay step.
+
+        ``kernel`` is invoked as ``kernel(*arrays)`` at replay; ``out`` is
+        the buffer it (re)computes, ``scratch`` any same-step temporaries a
+        composite kernel owns.  Both must appear in ``arrays`` so the
+        compile stage can rebind them.
+        """
+        self.steps.append(_Step(kernel, tuple(arrays), out, tuple(scratch)))
         if out is not None:
             self.arena_nbytes += out.nbytes
-
-    def scratch(self, *arrays: np.ndarray) -> None:
-        """Account scratch buffers owned by composite kernels."""
-        for array in arrays:
+        for array in scratch:
             self.arena_nbytes += array.nbytes
 
     def unsupported(self, reason: str) -> None:
@@ -100,36 +162,305 @@ class _recording:
         _trace_state.recorder = None
 
 
+def _addr(array: np.ndarray) -> int:
+    return array.__array_interface__["data"][0]
+
+
+class _Slot:
+    """One array position in one step after compilation.
+
+    ``array`` is the (possibly arena-relocated) full-batch array; ``axis``
+    is the leading-dim slice axis for batch-polymorphic replay (``None``
+    for batch-independent arrays) and ``rows`` the row count per unit of
+    batch along that axis.
+    """
+
+    __slots__ = ("array", "axis", "rows")
+
+    def __init__(self, array: np.ndarray, axis: Optional[int], rows: int) -> None:
+        self.array = array
+        self.axis = axis
+        self.rows = rows
+
+    def bind(self, batch: int) -> np.ndarray:
+        if self.axis is None:
+            return self.array
+        n = batch * self.rows
+        if self.axis == 0:
+            return self.array[:n]
+        slicer = [slice(None)] * self.array.ndim
+        slicer[self.axis] = slice(0, n)
+        return self.array[tuple(slicer)]
+
+
+class _CompileResult:
+    __slots__ = (
+        "kernels",
+        "step_slots",
+        "out_slot",
+        "arena",
+        "arena_nbytes",
+        "sliceable",
+    )
+
+    def __init__(self, kernels, step_slots, out_slot, arena, arena_nbytes, sliceable):
+        self.kernels = kernels
+        self.step_slots = step_slots
+        self.out_slot = out_slot
+        self.arena = arena
+        self.arena_nbytes = arena_nbytes
+        self.sliceable = sliceable
+
+
+def _compile_steps(
+    steps: List[_Step],
+    inputs: List[np.ndarray],
+    output: np.ndarray,
+    max_batch: int,
+    use_arena: bool = True,
+) -> _CompileResult:
+    """Liveness + arena packing + batch-slice metadata over a raw trace.
+
+    Returns the rebindable step table.  ``use_arena=False`` keeps every
+    buffer in its original storage (the fallback when relocation perturbs
+    a kernel's bit pattern).
+    """
+    owned: "OrderedDict[int, np.ndarray]" = OrderedDict()
+    def_step: Dict[int, int] = {}
+    for i, step in enumerate(steps):
+        buffers = step.scratch if step.out is None else (step.out,) + step.scratch
+        for buf in buffers:
+            if id(buf) not in owned:
+                owned[id(buf)] = buf
+                def_step[id(buf)] = i
+    input_ids = {id(buf) for buf in inputs}
+    # NumPy collapses view chains to the *ultimate* base, which for a
+    # buffer that was itself built as a view of a private temp (e.g. a
+    # copying reshape) skips the owned array entirely.  The address-range
+    # index catches those: any array whose memory falls inside an owned
+    # buffer's range belongs to it.
+    ranges = [
+        (_addr(buf), _addr(buf) + buf.nbytes, buf)
+        for buf in list(owned.values()) + inputs
+        if buf.nbytes
+    ]
+    memo: Dict[int, Optional[np.ndarray]] = {}
+
+    def resolve(array: np.ndarray) -> Optional[np.ndarray]:
+        found = memo.get(id(array), False)
+        if found is not False:
+            return found
+        root: Optional[np.ndarray] = None
+        node = array
+        while node is not None:
+            if id(node) in owned or id(node) in input_ids:
+                root = node
+                break
+            node = node.base
+        if root is None and array.nbytes:
+            addr = _addr(array)
+            for start, end, buf in ranges:
+                if start <= addr < end:
+                    root = buf
+                    break
+        memo[id(array)] = root
+        return root
+
+    # ---- liveness: last use per owned buffer, views attributed to base --
+    last_use = dict(def_step)
+    for i, step in enumerate(steps):
+        for array in step.arrays:
+            root = resolve(array)
+            if root is not None and id(root) in owned:
+                last_use[id(root)] = i
+    out_root = resolve(output)
+    if out_root is not None and id(out_root) in owned:
+        # The caller reads the output after the final step: pin it.
+        last_use[id(out_root)] = len(steps)
+
+    # ---- batch taint: which buffers scale with the leading batch dim ----
+    tainted = set(input_ids)
+    factor: Dict[int, int] = {ident: 1 for ident in input_ids}
+    sliceable = True
+    for i, step in enumerate(steps):
+        own_here = {id(step.out)} | {id(s) for s in step.scratch}
+        reads_tainted = False
+        for array in step.arrays:
+            root = resolve(array)
+            if root is not None and id(root) in tainted and id(root) not in own_here:
+                reads_tainted = True
+                break
+        if not reads_tainted:
+            continue
+        buffers = step.scratch if step.out is None else (step.out,) + step.scratch
+        for buf in buffers:
+            tainted.add(id(buf))
+            if buf.ndim >= 1 and buf.shape[0] > 0 and buf.shape[0] % max_batch == 0:
+                factor[id(buf)] = buf.shape[0] // max_batch
+            else:
+                sliceable = False
+    if out_root is None or id(out_root) not in tainted or id(out_root) not in factor:
+        # A forecast that does not scale with the batch cannot be sliced.
+        sliceable = False
+
+    # ---- arena allocation over owned, C-contiguous buffers --------------
+    # Offline greedy-by-size placement (the planner used by TFLite/XLA):
+    # every lifetime interval is known before placement, so the largest
+    # buffers are placed first at the lowest offset that avoids every
+    # already-placed buffer with an overlapping lifetime.  Online first-fit
+    # fragments around long-lived small buffers; this ordering reaches the
+    # peak-liveness lower bound on the LiPFormer trace.
+    arena = None
+    offsets: Dict[int, int] = {}
+    arena_total = 0
+    if use_arena:
+        intervals: List[Tuple[int, int, int, int]] = []  # (size, born, last, id)
+        for ident, buf in owned.items():
+            if not buf.flags.c_contiguous or buf.nbytes == 0:
+                continue
+            size = -(-buf.nbytes // _ARENA_ALIGN) * _ARENA_ALIGN
+            # A buffer read at step i stays allocated through i: storage is
+            # reusable only by buffers *defined strictly later*, which rules
+            # out same-step aliasing (e.g. matmul out overlapping an input).
+            intervals.append((size, def_step[ident], last_use[ident], ident))
+        placed: List[Tuple[int, int, int, int]] = []  # (offset, size, born, last)
+        for size, born, last, ident in sorted(
+            intervals, key=lambda iv: (-iv[0], iv[1], iv[3])
+        ):
+            gaps = sorted(
+                (off, used)
+                for off, used, p_born, p_last in placed
+                if born <= p_last and last >= p_born
+            )
+            cursor = 0
+            offset = None
+            for off, used in gaps:
+                if off - cursor >= size:
+                    offset = cursor
+                    break
+                cursor = max(cursor, off + used)
+            if offset is None:
+                offset = cursor
+            offsets[ident] = offset
+            placed.append((offset, size, born, last))
+            arena_total = max(arena_total, offset + size)
+        if arena_total:
+            arena = np.empty(arena_total, dtype=np.uint8)
+
+    mapping: Dict[int, np.ndarray] = {}
+    for ident, buf in owned.items():
+        if arena is not None and ident in offsets:
+            mapping[ident] = np.ndarray(
+                buf.shape, dtype=buf.dtype, buffer=arena, offset=offsets[ident]
+            )
+        else:
+            mapping[ident] = buf
+            arena_total += buf.nbytes
+
+    # ---- slot construction: relocation + slice metadata per array -------
+    slot_failed = False
+
+    def make_slot(array: np.ndarray) -> _Slot:
+        nonlocal slot_failed
+        root = resolve(array)
+        if root is None:
+            return _Slot(array, None, 0)
+        new_root = mapping.get(id(root), root)
+        if array is root:
+            new_array = new_root
+        elif new_root is root:
+            new_array = array  # root not relocated: the old view still reads it
+        else:
+            new_array = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=new_root,
+                offset=_addr(array) - _addr(root),
+                strides=array.strides,
+            )
+        if id(root) not in tainted or id(root) not in factor:
+            return _Slot(new_array, None, 0)
+        if array is root:
+            return _Slot(new_array, 0, factor[id(root)])
+        # A view axis j is the batch axis when its entries tile the root's
+        # whole batch extent in order and everything else (other axes plus
+        # the view's starting offset) stays inside a single j-step.  Then
+        # slicing j to ``batch * shape[j] / max_batch`` entries confines the
+        # view to exactly the first ``batch`` samples' bytes.
+        root_extent = new_root.strides[0] * new_root.shape[0]
+        start = _addr(array) - _addr(root)
+        for j in range(new_array.ndim):
+            step_bytes, n = new_array.strides[j], new_array.shape[j]
+            if n <= 0 or n % max_batch or step_bytes <= 0:
+                continue
+            if step_bytes * n != root_extent:
+                continue
+            sub = sum(
+                new_array.strides[k] * (new_array.shape[k] - 1)
+                for k in range(new_array.ndim)
+                if k != j and new_array.shape[k] > 1
+            )
+            if any(
+                new_array.strides[k] < 0
+                for k in range(new_array.ndim)
+                if new_array.shape[k] > 1
+            ):
+                continue
+            if start + sub + new_array.itemsize <= step_bytes:
+                return _Slot(new_array, j, n // max_batch)
+        # View collapses or reorders the batch dim: no prefix slice exists.
+        slot_failed = True
+        return _Slot(new_array, None, 0)
+
+    kernels = []
+    step_slots = []
+    for step in steps:
+        kernels.append(step.kernel)
+        step_slots.append(tuple(make_slot(array) for array in step.arrays))
+    out_slot = make_slot(output)
+    if slot_failed:
+        sliceable = False
+    return _CompileResult(
+        tuple(kernels), tuple(step_slots), out_slot, arena, arena_total, sliceable
+    )
+
+
 class InferencePlan:
-    """A traced forward pass: flat replay kernels over a fixed buffer arena."""
+    """A traced forward pass: rebindable replay steps over a packed arena.
+
+    One plan serves every batch size up to its trace-time ``max_batch``:
+    *sliced* replay binds each batch-scaled buffer to a leading-dim prefix,
+    *padded* replay (the fallback for plans whose kernels bake the batch
+    dim into reductions) edge-replicates rows up to the bucket and
+    truncates the output.  Plans that fail even the padded validation serve
+    only their exact traced shape.
+    """
 
     __slots__ = (
-        "_steps",
+        "_kernels",
+        "_step_slots",
+        "_out_slot",
+        "_x_slot",
+        "_fn_slot",
+        "_fc_slot",
         "_x_buf",
         "_fn_buf",
         "_fc_buf",
+        "_arena",
+        "_bound",
         "output",
         "_param_state",
+        "max_batch",
+        "sliceable",
+        "pad_safe",
+        "naive_nbytes",
         "arena_nbytes",
+        "_out_rows",
+        "demotions",
     )
 
-    def __init__(
-        self,
-        steps: Tuple[Callable[[], object], ...],
-        x_buf: np.ndarray,
-        fn_buf: Optional[np.ndarray],
-        fc_buf: Optional[np.ndarray],
-        output: np.ndarray,
-        param_state: Tuple[Tuple[Tensor, int], ...],
-        arena_nbytes: int,
-    ) -> None:
-        self._steps = steps
-        self._x_buf = x_buf
-        self._fn_buf = fn_buf
-        self._fc_buf = fc_buf
-        self.output = output
-        self._param_state = param_state
-        self.arena_nbytes = arena_nbytes
+    def __init__(self) -> None:
+        raise TypeError("use InferencePlan.trace() to build a plan")
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -164,26 +495,146 @@ class InferencePlan:
                 )
         if not isinstance(out, Tensor):
             raise PlanUnsupported(f"forward returned {type(out).__name__}, not a Tensor")
+        if out.data.ndim < 1:
+            raise PlanUnsupported("forward returned a scalar; plans need a batch dim")
 
         param_state = tuple(
             (param, getattr(param, "_version", 0)) for param in model.parameters()
         )
-        plan = cls(
-            steps=tuple(recorder.steps),
-            x_buf=x_buf,
-            fn_buf=fn_buf,
-            fc_buf=fc_buf,
-            output=out.data,
-            param_state=param_state,
-            arena_nbytes=recorder.arena_nbytes,
+        expected = out.data.copy()
+        max_batch = x_buf.shape[0]
+        inputs = [buf for buf in (x_buf, fn_buf, fc_buf) if buf is not None]
+
+        plan = cls._build(
+            recorder, inputs, x_buf, fn_buf, fc_buf, out.data, param_state,
+            max_batch, use_arena=True,
         )
         # Self-check: replaying over the traced inputs must reproduce the
-        # eager output exactly, or the plan never serves a single request.
-        expected = plan.output.copy()
-        plan._replay()
+        # eager output exactly.  If arena relocation perturbed a kernel
+        # (alignment-sensitive BLAS paths), retry with standalone buffers
+        # before giving up on the plan entirely.
+        plan._replay_full()
         if not np.array_equal(plan.output, expected):
-            raise PlanUnsupported("replay self-check diverged from the eager forward")
+            plan = cls._build(
+                recorder, inputs, x_buf, fn_buf, fc_buf, out.data, param_state,
+                max_batch, use_arena=False,
+            )
+            plan._replay_full()
+            if not np.array_equal(plan.output, expected):
+                raise PlanUnsupported("replay self-check diverged from the eager forward")
+
+        plan._validate_polymorphism(model, x_buf, fn_buf, fc_buf)
         return plan
+
+    @classmethod
+    def _build(
+        cls,
+        recorder: PlanRecorder,
+        inputs: List[np.ndarray],
+        x_buf: np.ndarray,
+        fn_buf: Optional[np.ndarray],
+        fc_buf: Optional[np.ndarray],
+        output: np.ndarray,
+        param_state,
+        max_batch: int,
+        use_arena: bool,
+    ) -> "InferencePlan":
+        compiled = _compile_steps(recorder.steps, inputs, output, max_batch, use_arena)
+        plan = object.__new__(cls)
+        plan._kernels = compiled.kernels
+        plan._step_slots = compiled.step_slots
+        plan._out_slot = compiled.out_slot
+        plan._x_slot = _Slot(x_buf, 0, x_buf.shape[0] // max_batch)
+        plan._fn_slot = None if fn_buf is None else _Slot(fn_buf, 0, fn_buf.shape[0] // max_batch)
+        plan._fc_slot = None if fc_buf is None else _Slot(fc_buf, 0, fc_buf.shape[0] // max_batch)
+        plan._x_buf = x_buf
+        plan._fn_buf = fn_buf
+        plan._fc_buf = fc_buf
+        plan._arena = compiled.arena
+        plan._bound = {}
+        plan.output = compiled.out_slot.array
+        plan._param_state = param_state
+        plan.max_batch = max_batch
+        plan.sliceable = compiled.sliceable
+        plan.pad_safe = False
+        plan.naive_nbytes = recorder.arena_nbytes
+        plan.arena_nbytes = compiled.arena_nbytes
+        # (tier, reason) pairs explaining why a replay tier was demoted.
+        plan.demotions = []
+        plan._out_rows = (
+            plan.output.shape[0] // max_batch
+            if plan.output.ndim >= 1 and plan.output.shape[0] % max_batch == 0
+            else 0
+        )
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def _validate_polymorphism(self, model, x_buf, fn_buf, fc_buf) -> None:
+        """Cross-check sliced and padded replay against eager at small batches.
+
+        Sliced replay must be bit-identical to eager on a strict prefix of
+        the traced inputs; any divergence (baked batch constants, batch-dim
+        reductions) demotes the plan to padded replay, which in turn must
+        reproduce eager on the *real* rows of a padded batch.  Plans
+        failing both serve only their exact traced shape.
+        """
+        B = self.max_batch
+        if B <= 1:
+            self.pad_safe = self._out_rows > 0
+            return
+        probes = sorted({1, B // 2, B - 1})
+
+        def eager(b: int) -> np.ndarray:
+            with no_grad():
+                result = model.forward(
+                    Tensor(x_buf[:b].copy()),
+                    future_numerical=None if fn_buf is None else fn_buf[:b].copy(),
+                    future_categorical=None if fc_buf is None else fc_buf[:b].copy(),
+                )
+            return result.data
+
+        if self.sliceable:
+            for b in probes:
+                try:
+                    got = self._run_sliced(
+                        x_buf[:b],
+                        None if fn_buf is None else fn_buf[:b],
+                        None if fc_buf is None else fc_buf[:b],
+                        copy=True,
+                    )
+                except Exception as exc:
+                    self.demotions.append(("sliced", repr(exc)))
+                    self.sliceable = False
+                    break
+                if not np.array_equal(got, eager(b)):
+                    self.demotions.append(("sliced", f"diverged from eager at batch {b}"))
+                    self.sliceable = False
+                    break
+        if not self.sliceable and self._out_rows > 0:
+            b = probes[0]
+            try:
+                got = self._run_padded(
+                    x_buf[:b],
+                    None if fn_buf is None else fn_buf[:b],
+                    None if fc_buf is None else fc_buf[:b],
+                    copy=True,
+                )
+                self.pad_safe = np.array_equal(got, eager(b))
+                if not self.pad_safe:
+                    self.demotions.append(("padded", f"diverged from eager at batch {b}"))
+            except Exception as exc:
+                self.demotions.append(("padded", repr(exc)))
+                self.pad_safe = False
+        # Leave the arena in the full-batch state the self-check verified.
+        self._replay_inputs_full(x_buf, fn_buf, fc_buf)
+
+    def _replay_inputs_full(self, x, fn, fc) -> None:
+        np.copyto(self._x_buf, x)
+        if self._fn_buf is not None:
+            np.copyto(self._fn_buf, fn)
+        if self._fc_buf is not None:
+            np.copyto(self._fc_buf, fc)
+        self._replay_full()
 
     # ------------------------------------------------------------------ #
     def is_stale(self) -> bool:
@@ -192,26 +643,32 @@ class InferencePlan:
 
     @property
     def n_steps(self) -> int:
-        return len(self._steps)
+        return len(self._kernels)
 
-    def _replay(self) -> None:
-        for step in self._steps:
-            step()
+    def serves(self, batch: int) -> bool:
+        """Whether this plan can serve ``batch`` rows."""
+        if batch == self.max_batch:
+            return True
+        return batch < self.max_batch and (self.sliceable or self.pad_safe)
 
-    def run(
-        self,
-        x: np.ndarray,
-        future_numerical: Optional[np.ndarray] = None,
-        future_categorical: Optional[np.ndarray] = None,
-        copy: bool = True,
-    ) -> np.ndarray:
-        """Execute the plan on fresh inputs.
+    def _replay_full(self) -> None:
+        bound = self._bound.get(self.max_batch)
+        if bound is None:
+            bound = tuple(tuple(slot.array for slot in slots) for slots in self._step_slots)
+            self._bound[self.max_batch] = bound
+        for kernel, arrays in zip(self._kernels, bound):
+            kernel(*arrays)
 
-        With ``copy=False`` the internal output buffer is returned: valid
-        only until the next ``run`` — callers that retain results (the
-        serving layer resolving request handles) must take the copy.
-        """
-        if x.shape != self._x_buf.shape:
+    def _bind(self, batch: int):
+        bound = tuple(
+            tuple(slot.bind(batch) for slot in slots) for slots in self._step_slots
+        )
+        self._bound[batch] = bound
+        return bound
+
+    def _check_shapes(self, x, future_numerical, future_categorical) -> int:
+        batch = x.shape[0] if x.ndim else 0
+        if x.shape[1:] != self._x_buf.shape[1:] or batch > self.max_batch or batch < 1:
             raise ValueError(f"plan expects input shape {self._x_buf.shape}, got {x.shape}")
         if (future_numerical is None) != (self._fn_buf is None) or (
             future_categorical is None
@@ -224,25 +681,88 @@ class InferencePlan:
             # Exact-shape check: np.copyto would happily broadcast a
             # narrower covariate block into the buffer and serve a wrong
             # forecast silently.
-            if buffer is not None and np.shape(value) != buffer.shape:
+            if buffer is not None and np.shape(value) != (batch,) + buffer.shape[1:]:
                 raise ValueError(
-                    f"plan expects {name} shape {buffer.shape}, got {np.shape(value)}"
+                    f"plan expects {name} shape {(batch,) + buffer.shape[1:]}, "
+                    f"got {np.shape(value)}"
                 )
-        np.copyto(self._x_buf, x)
+        return batch
+
+    def run(
+        self,
+        x: np.ndarray,
+        future_numerical: Optional[np.ndarray] = None,
+        future_categorical: Optional[np.ndarray] = None,
+        copy: bool = True,
+    ) -> np.ndarray:
+        """Execute the plan on fresh inputs of any batch size it serves.
+
+        With ``copy=False`` the internal output buffer is returned: valid
+        only until the next ``run`` — callers that retain results (the
+        serving layer resolving request handles) must take the copy.
+        """
+        batch = self._check_shapes(x, future_numerical, future_categorical)
+        if batch == self.max_batch:
+            np.copyto(self._x_buf, x)
+            if self._fn_buf is not None:
+                np.copyto(self._fn_buf, future_numerical)
+            if self._fc_buf is not None:
+                np.copyto(self._fc_buf, future_categorical)
+            self._replay_full()
+            return self.output.copy() if copy else self.output
+        if self.sliceable:
+            return self._run_sliced(x, future_numerical, future_categorical, copy)
+        if self.pad_safe:
+            return self._run_padded(x, future_numerical, future_categorical, copy)
+        raise ValueError(
+            f"plan expects input shape {self._x_buf.shape}, got {x.shape}"
+        )
+
+    def _run_sliced(self, x, future_numerical, future_categorical, copy) -> np.ndarray:
+        batch = x.shape[0]
+        bound = self._bound.get(batch)
+        if bound is None:
+            bound = self._bind(batch)
+        np.copyto(self._x_slot.bind(batch), x)
+        if self._fn_slot is not None:
+            np.copyto(self._fn_slot.bind(batch), future_numerical)
+        if self._fc_slot is not None:
+            np.copyto(self._fc_slot.bind(batch), future_categorical)
+        for kernel, arrays in zip(self._kernels, bound):
+            kernel(*arrays)
+        out = self._out_slot.bind(batch)
+        return out.copy() if copy else out
+
+    def _run_padded(self, x, future_numerical, future_categorical, copy) -> np.ndarray:
+        batch = x.shape[0]
+        # Edge-replicate the last real row: always valid model input (and
+        # in-range for categorical embeddings), recomputed rows beyond
+        # ``batch`` are sliced off below.
+        np.copyto(self._x_buf[:batch], x)
+        np.copyto(self._x_buf[batch:], x[-1:])
         if self._fn_buf is not None:
-            np.copyto(self._fn_buf, future_numerical)
+            np.copyto(self._fn_buf[:batch], future_numerical)
+            np.copyto(self._fn_buf[batch:], future_numerical[-1:])
         if self._fc_buf is not None:
-            np.copyto(self._fc_buf, future_categorical)
-        self._replay()
-        return self.output.copy() if copy else self.output
+            np.copyto(self._fc_buf[:batch], future_categorical)
+            np.copyto(self._fc_buf[batch:], future_categorical[-1:])
+        self._replay_full()
+        out = self.output[: batch * self._out_rows]
+        return out.copy() if copy else out
 
 
 @guarded_by(
     "_plans", "_unsupported", "hits", "traces", "fallbacks", "invalidations",
-    "capacity", lock="_lock",
+    "capacity", "max_batch", lock="_lock",
 )
 class CompiledPredictor:
     """Per-model cache of :class:`InferencePlan` objects, keyed by signature.
+
+    The key is **batch-free**: one cache entry per (trailing input shape,
+    covariate signature), holding power-of-two bucket plans grown on
+    demand.  A sliceable bucket plan serves every smaller batch directly,
+    so the steady state is one plan per signature; non-sliceable models
+    keep at most ``ceil(log2(max_batch)) + 1`` bucket plans.
 
     ``predict`` returns the forecast array, or ``None`` when the caller
     should run eager inference instead (unsupported model, lock contention
@@ -251,12 +771,16 @@ class CompiledPredictor:
     interleaving the two paths is invisible to callers.
     """
 
-    def __init__(self, model, capacity: int = 16) -> None:
+    def __init__(self, model, capacity: int = 16, max_batch: int = 32) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
         self.model = model
         self.capacity = capacity
-        self._plans: "OrderedDict[Tuple, InferencePlan]" = OrderedDict()
+        self.max_batch = max_batch
+        # signature -> OrderedDict[bucket batch -> plan]
+        self._plans: "OrderedDict[Tuple, OrderedDict[int, InferencePlan]]" = OrderedDict()
         # Signatures whose trace failed, tagged with the model's parameter
         # version at failure time: a weight change retires the marker, so a
         # transient failure (bad weights, mid-swap state) never disables
@@ -275,29 +799,40 @@ class CompiledPredictor:
         future_numerical: Optional[np.ndarray],
         future_categorical: Optional[np.ndarray],
     ) -> Tuple:
+        # Batch-free: the leading dim is served polymorphically by bucket
+        # plans, so it must not fragment the cache.
         return (
-            x.shape,
-            None if future_numerical is None else np.shape(future_numerical),
-            None if future_categorical is None else np.shape(future_categorical),
+            x.shape[1:],
+            None if future_numerical is None else np.shape(future_numerical)[1:],
+            None if future_categorical is None else np.shape(future_categorical)[1:],
         )
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._plans)
+            return sum(len(buckets) for buckets in self._plans.values())
 
     def reserve(self, capacity: int) -> None:
-        """Grow (never shrink) the plan cache.
+        """Grow (never shrink) the signature-entry budget.
 
-        The serving layer calls this with its batch-shape budget: a flush
-        loop produces tail batches of any size up to ``max_batch_size``,
-        and an LRU smaller than the live shape population would thrash —
-        every miss re-traces (several eager forwards' worth of work) under
-        the predictor lock.  Capped by the caller; plans are only traced
-        for shapes that actually occur, so reserved-but-unused slots cost
-        nothing.
+        The serving layer calls this with its covariate-signature budget:
+        since the key dropped the batch dim, entries track distinct tenant
+        *signatures* only, and an LRU smaller than the live signature
+        population would thrash — every miss re-traces (several eager
+        forwards' worth of work) under the predictor lock.
         """
         with self._lock:
             self.capacity = max(self.capacity, int(capacity))
+
+    def grow_max_batch(self, max_batch: int) -> None:
+        """Raise (never shrink) the configured polymorphic trace width.
+
+        ``max_batch`` is the batch size ``warmup`` paths trace at — one
+        sliceable plan at that width serves every smaller batch.  Growing
+        it never invalidates existing plans; they keep serving their own
+        buckets.
+        """
+        with self._lock:
+            self.max_batch = max(self.max_batch, int(max_batch))
 
     def _parameter_version(self) -> int:
         version = getattr(self.model, "parameter_version", None)
@@ -320,9 +855,29 @@ class CompiledPredictor:
         future_numerical: Optional[np.ndarray] = None,
         future_categorical: Optional[np.ndarray] = None,
     ) -> Optional[InferencePlan]:
-        """The cached plan for this signature, if any (test/debug helper)."""
+        """The cached plan that would serve this input, if any (test helper)."""
         with self._lock:
-            return self._plans.get(self._key(x, future_numerical, future_categorical))
+            buckets = self._plans.get(self._key(x, future_numerical, future_categorical))
+            if not buckets:
+                return None
+            batch = x.shape[0]
+            for size in sorted(buckets):
+                if size >= batch and buckets[size].serves(batch):
+                    return buckets[size]
+            return None
+
+    @staticmethod
+    def _padded(buf: Optional[np.ndarray], target: int) -> Optional[np.ndarray]:
+        """Edge-replicate ``buf`` rows up to ``target`` (trace-time only)."""
+        if buf is None:
+            return None
+        buf = np.asarray(buf)
+        if buf.shape[0] == target:
+            return buf
+        out = np.empty((target,) + buf.shape[1:], dtype=buf.dtype)
+        out[: buf.shape[0]] = buf
+        out[buf.shape[0]:] = buf[-1:]
+        return out
 
     def predict(
         self,
@@ -330,7 +885,7 @@ class CompiledPredictor:
         future_numerical: Optional[np.ndarray] = None,
         future_categorical: Optional[np.ndarray] = None,
     ) -> Optional[np.ndarray]:
-        """Run (tracing on demand) the plan for this input signature.
+        """Run (tracing on demand) the bucket plan serving this input.
 
         Returns ``None`` when the caller must fall back to eager inference.
         Exceptions raised by the model's own ``forward`` (validation
@@ -363,32 +918,66 @@ class CompiledPredictor:
                 return None
             # Weights changed since the failed trace: retry below.
             del self._unsupported[key]
-        entry = self._plans.get(key)
-        if entry is not None and entry.is_stale():
-            del self._plans[key]
-            self.invalidations += 1
-            entry = None
-        if entry is None:
-            if getattr(self.model, "training", False):
-                # Tracing needs eval mode; don't poison the cache —
-                # the caller may flip the flag and retry.
-                return None
-            try:
-                entry = InferencePlan.trace(
-                    self.model, x, future_numerical, future_categorical
-                )
-            except PlanUnsupported:
-                self._unsupported[key] = self._parameter_version()
-                while len(self._unsupported) > 4 * self.capacity:
-                    self._unsupported.popitem(last=False)
-                self.fallbacks += 1
-                return None
-            self.traces += 1
-            self._plans[key] = entry
-            while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
-            # The trace itself already computed this call's forecast.
-            return entry.output.copy()
+        batch = x.shape[0]
+        buckets = self._plans.get(key)
+        if buckets is not None:
+            for size in sorted(buckets):
+                plan = buckets[size]
+                if plan.is_stale():
+                    del buckets[size]
+                    self.invalidations += 1
+                    continue
+                if size >= batch and plan.serves(batch):
+                    self._plans.move_to_end(key)
+                    self.hits += 1
+                    return plan.run(x, future_numerical, future_categorical, copy=True)
+        if getattr(self.model, "training", False):
+            # Tracing needs eval mode; don't poison the cache —
+            # the caller may flip the flag and retry.
+            return None
+        # Trace a new bucket plan.  Exact-only models (both polymorphic
+        # validations failed) get an exact-shape plan for this batch
+        # instead — the pre-refactor behavior, kept as the safety floor.
+        exact_only = buckets is not None and any(
+            not (plan.sliceable or plan.pad_safe) for plan in buckets.values()
+        )
+        target = batch if exact_only else bucket_for(batch)
+        try:
+            plan = InferencePlan.trace(
+                self.model,
+                self._padded(x, target),
+                self._padded(future_numerical, target),
+                self._padded(future_categorical, target),
+            )
+        except PlanUnsupported:
+            self._unsupported[key] = self._parameter_version()
+            while len(self._unsupported) > 4 * self.capacity:
+                self._unsupported.popitem(last=False)
+            self.fallbacks += 1
+            return None
+        self.traces += 1
+        if buckets is None:
+            buckets = self._plans.setdefault(key, OrderedDict())
+        if plan.sliceable:
+            # One polymorphic plan covers every smaller bucket: drop them.
+            for size in [s for s in buckets if s < target]:
+                del buckets[size]
+        buckets[target] = plan
         self._plans.move_to_end(key)
-        self.hits += 1
-        return entry.run(x, future_numerical, future_categorical, copy=True)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+        if target == batch:
+            # The trace itself already computed this call's forecast.
+            return plan.output.copy()
+        if plan.serves(batch):
+            return plan.run(x, future_numerical, future_categorical, copy=True)
+        # Padded trace of an exact-only model: its output rows are not
+        # trustworthy for this batch — retrace at the exact shape.
+        try:
+            exact = InferencePlan.trace(self.model, x, future_numerical, future_categorical)
+        except PlanUnsupported:
+            self.fallbacks += 1
+            return None
+        self.traces += 1
+        buckets[batch] = exact
+        return exact.output.copy()

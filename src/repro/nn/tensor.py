@@ -348,7 +348,7 @@ class Tensor:
             return Tensor._node(out_data, (self, other), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, b=b, o=out_data: np.add(a, b, out=o), out_data)
+            rec.add(lambda a, b, o: np.add(a, b, out=o), (a, b, out_data), out_data)
         return Tensor._wrap(out_data)
 
     __radd__ = __add__
@@ -364,7 +364,7 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, o=out_data: np.negative(a, out=o), out_data)
+            rec.add(lambda a, o: np.negative(a, out=o), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
@@ -388,7 +388,7 @@ class Tensor:
             return Tensor._node(out_data, (self, other), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, b=b, o=out_data: np.multiply(a, b, out=o), out_data)
+            rec.add(lambda a, b, o: np.multiply(a, b, out=o), (a, b, out_data), out_data)
         return Tensor._wrap(out_data)
 
     __rmul__ = __mul__
@@ -408,7 +408,7 @@ class Tensor:
             return Tensor._node(out_data, (self, other), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, b=b, o=out_data: np.divide(a, b, out=o), out_data)
+            rec.add(lambda a, b, o: np.divide(a, b, out=o), (a, b, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
@@ -429,7 +429,7 @@ class Tensor:
         if rec is not None:
             # ``ndarray.__pow__`` has value-specific fast paths, so replay
             # re-runs the operator itself (small temp) to stay bit-exact.
-            rec.add(lambda a=a, e=exponent, o=out_data: np.copyto(o, a**e), out_data)
+            rec.add(lambda a, o, e=exponent: np.copyto(o, a**e), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
@@ -451,7 +451,7 @@ class Tensor:
             return Tensor._node(out_data, (self, other), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, b=b, o=out_data: np.matmul(a, b, out=o), out_data)
+            rec.add(lambda a, b, o: np.matmul(a, b, out=o), (a, b, out_data), out_data)
         return Tensor._wrap(out_data)
 
     # ------------------------------------------------------------------ #
@@ -472,7 +472,8 @@ class Tensor:
         rec = _trace_state.recorder
         if rec is not None:
             rec.add(
-                lambda a=a, o=out_data, ax=axis, kd=keepdims: np.sum(a, axis=ax, keepdims=kd, out=o),
+                lambda a, o, ax=axis, kd=keepdims: np.sum(a, axis=ax, keepdims=kd, out=o),
+                (a, out_data),
                 out_data,
             )
         return Tensor._wrap(out_data)
@@ -516,7 +517,8 @@ class Tensor:
         rec = _trace_state.recorder
         if rec is not None:
             rec.add(
-                lambda a=a, o=out_data, ax=axis, kd=keepdims: np.amax(a, axis=ax, keepdims=kd, out=o),
+                lambda a, o, ax=axis, kd=keepdims: np.amax(a, axis=ax, keepdims=kd, out=o),
+                (a, out_data),
                 out_data,
             )
         return Tensor._wrap(out_data)
@@ -535,7 +537,7 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, o=out_data: np.exp(a, out=o), out_data)
+            rec.add(lambda a, o: np.exp(a, out=o), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def log(self) -> "Tensor":
@@ -549,7 +551,7 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, o=out_data: np.log(a, out=o), out_data)
+            rec.add(lambda a, o: np.log(a, out=o), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def sqrt(self) -> "Tensor":
@@ -563,7 +565,7 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, o=out_data: np.sqrt(a, out=o), out_data)
+            rec.add(lambda a, o: np.sqrt(a, out=o), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def abs(self) -> "Tensor":
@@ -577,7 +579,7 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, o=out_data: np.abs(a, out=o), out_data)
+            rec.add(lambda a, o: np.abs(a, out=o), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def tanh(self) -> "Tensor":
@@ -591,7 +593,7 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, o=out_data: np.tanh(a, out=o), out_data)
+            rec.add(lambda a, o: np.tanh(a, out=o), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def sigmoid(self) -> "Tensor":
@@ -606,13 +608,13 @@ class Tensor:
         rec = _trace_state.recorder
         if rec is not None:
 
-            def run(a=a, o=out_data):
+            def run(a, o):
                 np.negative(a, out=o)
                 np.exp(o, out=o)
                 np.add(1.0, o, out=o)
                 np.divide(1.0, o, out=o)
 
-            rec.add(run, out_data)
+            rec.add(run, (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def relu(self) -> "Tensor":
@@ -628,7 +630,7 @@ class Tensor:
         out_data = np.maximum(a, 0.0)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, o=out_data: np.maximum(a, 0.0, out=o), out_data)
+            rec.add(lambda a, o: np.maximum(a, 0.0, out=o), (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def clip(self, minimum: Optional[float] = None, maximum: Optional[float] = None) -> "Tensor":
@@ -648,7 +650,11 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
-            rec.add(lambda a=a, mn=minimum, mx=maximum, o=out_data: np.clip(a, mn, mx, out=o), out_data)
+            rec.add(
+                lambda a, o, mn=minimum, mx=maximum: np.clip(a, mn, mx, out=o),
+                (a, out_data),
+                out_data,
+            )
         return Tensor._wrap(out_data)
 
     # ------------------------------------------------------------------ #
@@ -669,11 +675,13 @@ class Tensor:
         rec = _trace_state.recorder
         if rec is not None and not _is_view_of(out_data, a):
             # Non-contiguous source: numpy reshape copied.  Replay refills
-            # the traced copy through a flat view — no temporaries.
-            def run(a=a, o=out_data):
+            # the traced copy through a flat view — no temporaries.  The
+            # source shape is read off the bound array so sliced replay
+            # regroups the right number of rows.
+            def run(a, o):
                 o.reshape(a.shape)[...] = a
 
-            rec.add(run, out_data)
+            rec.add(run, (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def transpose(self, *axes: int) -> "Tensor":
@@ -733,8 +741,11 @@ class Tensor:
             return Tensor._node(out_data, (self,), backward)
         rec = _trace_state.recorder
         if rec is not None:
+            # The target shape is read off the bound output, not baked in,
+            # so sliced replay broadcasts into the prefix slice.
             rec.add(
-                lambda a=a, o=out_data, shp=tuple(shape): np.copyto(o, np.broadcast_to(a, shp)),
+                lambda a, o: np.copyto(o, np.broadcast_to(a, o.shape)),
+                (a, out_data),
                 out_data,
             )
         return Tensor._wrap(out_data)
@@ -760,11 +771,11 @@ class Tensor:
         rec = _trace_state.recorder
         if rec is not None:
 
-            def run(a=a, o=out_data, ax=axis, r=repeats):
+            def run(a, o, ax=axis, r=repeats):
                 expanded = a.shape[: ax + 1] + (r,) + a.shape[ax + 1 :]
                 o.reshape(expanded)[...] = np.expand_dims(a, ax + 1)
 
-            rec.add(run, out_data)
+            rec.add(run, (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     def __getitem__(self, index) -> "Tensor":
@@ -784,13 +795,17 @@ class Tensor:
             if isinstance(index, np.ndarray) and index.dtype.kind in "iu":
                 # Integer-array gather (Embedding lookup): the index array is
                 # read live at replay, so plans follow fresh covariate inputs.
-                rec.add(lambda a=a, idx=index, o=out_data: np.take(a, idx, axis=0, out=o), out_data)
+                rec.add(
+                    lambda a, idx, o: np.take(a, idx, axis=0, out=o),
+                    (a, index, out_data),
+                    out_data,
+                )
             else:
 
-                def run(a=a, idx=index, o=out_data):
+                def run(a, o, idx=index):
                     o[...] = a[idx]
 
-                rec.add(run, out_data)
+                rec.add(run, (a, out_data), out_data)
         return Tensor._wrap(out_data)
 
     # ------------------------------------------------------------------ #
@@ -849,7 +864,11 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
         return Tensor._node(out_data, tuple(tensors), backward)
     rec = _trace_state.recorder
     if rec is not None:
-        rec.add(lambda arrs=arrays, ax=axis, o=out_data: np.concatenate(arrs, axis=ax, out=o), out_data)
+        rec.add(
+            lambda *args, ax=axis: np.concatenate(args[:-1], axis=ax, out=args[-1]),
+            (*arrays, out_data),
+            out_data,
+        )
     return Tensor._wrap(out_data)
 
 
@@ -871,13 +890,14 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if rec is not None:
         ax = axis % out_data.ndim
 
-        def run(arrs=arrays, ax=ax, o=out_data):
+        def run(*args, ax=ax):
+            o = args[-1]
             slicer = [slice(None)] * o.ndim
-            for position, arr in enumerate(arrs):
+            for position, arr in enumerate(args[:-1]):
                 slicer[ax] = position
                 o[tuple(slicer)] = arr
 
-        rec.add(run, out_data)
+        rec.add(run, (*arrays, out_data), out_data)
     return Tensor._wrap(out_data)
 
 

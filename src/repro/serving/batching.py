@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.plan import bucket_for
+
 __all__ = [
     "Forecast",
     "ForecastRequest",
@@ -173,7 +175,11 @@ class BatchAssembler:
         n = len(rows)
         row_shape = rows[0].shape
         if buffer is None or buffer.shape[0] < n or buffer.shape[1:] != row_shape:
-            buffer = np.empty((n,) + row_shape, dtype=dtype)
+            # Clamp scratch capacity to the active power-of-two bucket —
+            # the same bucketing the compiled-plan cache uses — so
+            # fluctuating group sizes reallocate O(log max_batch) times
+            # and then stabilise, instead of growing row by row.
+            buffer = np.empty((bucket_for(n),) + row_shape, dtype=dtype)
         view = buffer[:n]
         for index, row in enumerate(rows):
             view[index] = row

@@ -122,11 +122,13 @@ class ForecastService:
         #: ``supports_compiled_plan`` silently stay eager).
         self.compiled = bool(compiled)
         if self.compiled and getattr(model, "supports_compiled_plan", False):
-            # The flush loop produces tail batches of any size up to
-            # max_batch_size (x2 signatures: with / without covariates);
-            # size the model's plan cache to that shape population so
-            # fluctuating load doesn't LRU-thrash into per-flush re-traces.
-            model.compiled_predictor().reserve(min(2 * max_batch_size + 2, 64))
+            # Plans are batch-polymorphic: the cache key tracks covariate
+            # *signatures* only (with / without covariates), not batch
+            # sizes, so a handful of entries covers the flush loop's whole
+            # shape population — tail batches of any size replay the same
+            # bucket plan.  Align the predictor's polymorphic trace width
+            # with the service's micro-batch ceiling.
+            model.compiled_predictor(max_batch=max_batch_size).reserve(4)
         self.stats = ServiceStats()
         self._pending: List[ForecastRequest] = []
         self._assembler = BatchAssembler()
@@ -314,28 +316,32 @@ class ForecastService:
         return tuple(normalised)
 
     def warmup(self, batch_sizes: Optional[Sequence[int]] = None) -> int:
-        """Pre-trace compiled plans for the given batch sizes.
+        """Pre-trace the polymorphic compiled plan off the request path.
 
         First-request latency on a fresh service (cold start, failover
-        replacement, restored snapshot) includes one trace per batch shape;
-        ``warmup`` moves that cost off the request path by tracing
-        history-only plans up front.  Defaults to sizes 1 and
-        ``max_batch_size`` — the single-caller and full-batch shapes.
-        Returns the number of batch sizes warmed (0 when the model or the
-        service runs eager).
+        replacement, restored snapshot) includes the plan trace; ``warmup``
+        moves that cost up front.  Plans are batch-polymorphic, so one
+        trace at ``max_batch_size`` (the default) serves *every* smaller
+        batch — warming is one trace, not a shape sweep.  Explicit
+        ``batch_sizes`` are probed largest-first: for a sliceable plan the
+        smaller sizes are cache hits; a model demoted to exact-shape plans
+        warms each size individually.  Returns the number of plans
+        actually traced (0 when the model or the service runs eager).
         """
         if not self.compiled or not getattr(self.model, "supports_compiled_plan", False):
             return 0
-        sizes = sorted({int(n) for n in (batch_sizes or (1, self.max_batch_size))})
+        sizes = sorted({int(n) for n in (batch_sizes or (self.max_batch_size,))})
         if any(n < 1 for n in sizes):
             raise ValueError(f"batch sizes must be positive, got {sizes}")
+        predictor = self.model.compiled_predictor()
         template = np.zeros(
             (sizes[-1], self.config.input_length, self.config.n_channels), dtype=np.float32
         )
         with self._lock:
-            for n in sizes:
+            before = predictor.traces
+            for n in reversed(sizes):
                 self.model.predict(template[:n], compiled=True)
-        return len(sizes)
+            return predictor.traces - before
 
     def _run_batch(self, batch) -> np.ndarray:
         """One padded forward pass (eval + ``no_grad`` via ``predict``).

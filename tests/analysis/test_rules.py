@@ -166,6 +166,54 @@ class TestReplayAlloc:
         assert any("'**'" in m for m in messages)
         assert any("'@'" in m for m in messages)
 
+    # The polymorphic replay dispatch (_replay*/_run_*/bind in nn/plan.py)
+    # is a kernel scope too: it runs on every serve.
+    BAD_REPLAY_PATH = """
+        import numpy as np
+
+        class Plan:
+            def _run_sliced(self, x, copy):
+                np.copyto(self._x_buf[: x.shape[0]], x)
+                out = np.concatenate([self._out, x])     # allocates: flagged
+                padded = self._x_buf.copy()              # unconditional: flagged
+                return out
+    """
+
+    GOOD_REPLAY_PATH = """
+        import numpy as np
+
+        class Plan:
+            def _run_sliced(self, x, copy):
+                np.copyto(self._x_slot.bind(x.shape[0]), x)
+                for kernel, arrays in self._bound:
+                    kernel(*arrays)
+                out = self._out_slot.bind(x.shape[0])
+                return out.copy() if copy else out       # copy-out: exempt
+
+            def _bind(self, batch):
+                return tuple(slot.bind(batch) for slot in self._slots)
+
+        class _Slot:
+            def bind(self, batch):
+                return self.array[: batch * self.rows]   # leading-dim view
+    """
+
+    def test_replay_paths_scanned_in_plan_module(self, lint):
+        findings = lint(
+            self.BAD_REPLAY_PATH, path="repro/nn/plan.py", rules=[ReplayAllocRule]
+        )
+        assert len(findings) == 2
+        assert all(f.symbol == "Plan._run_sliced" for f in findings)
+
+    def test_slice_replay_idiom_and_copy_out_exempt(self, lint):
+        assert (
+            lint(self.GOOD_REPLAY_PATH, path="repro/nn/plan.py", rules=[ReplayAllocRule])
+            == []
+        )
+
+    def test_replay_path_names_only_special_in_plan_module(self, lint):
+        assert lint(self.BAD_REPLAY_PATH, rules=[ReplayAllocRule]) == []
+
 
 class TestGradMode:
     def test_no_grad_outside_with_flagged(self, lint):

@@ -85,7 +85,10 @@ class TestCompiledClusterParity:
         cluster.save(path)
 
         revived = ShardedForecaster.load(factory, path)
-        revived.warmup()
+        # load() auto-warms every restored replica: the first forecasts
+        # below replay compiled plans without tracing on the request path.
+        for shard_id in revived.shard_ids():
+            assert revived.shard(shard_id).service.model.compiled_predictor().traces >= 1
         original = {t: h.result() for t, h in cluster.forecast_all().items()}
         restored = {t: h.result() for t, h in revived.forecast_all().items()}
         for tenant in streams:

@@ -89,6 +89,31 @@ class TestFailover:
         owner = cluster.shard(cluster.shard_for(tenant))
         assert owner.store.observed(tenant) == 40
 
+    def test_failover_auto_warms_adopting_shards(self, cluster, rng, tmp_path):
+        """The first post-failover forecast must replay a compiled plan —
+        no eager fallback, no on-request trace: failover() warms every
+        shard that adopted tenants before returning."""
+        cluster.save(str(tmp_path / "ckpt"))
+        report = cluster.failover("shard-1")
+        targets = sorted(set(report.restored.values()))
+        assert targets, "need adopting shards for a meaningful warmup check"
+        predictors = {
+            sid: cluster.shard(sid).service.model.compiled_predictor() for sid in targets
+        }
+        for predictor in predictors.values():
+            assert predictor.traces >= 1          # warmed inside failover()
+        before = {
+            sid: (p.traces, p.fallbacks, p.hits) for sid, p in predictors.items()
+        }
+        for tenant in report.restored:
+            cluster.forecast(tenant)
+        cluster.flush()
+        for sid, predictor in predictors.items():
+            traces, fallbacks, hits = before[sid]
+            assert predictor.traces == traces, f"{sid} traced on the request path"
+            assert predictor.fallbacks == fallbacks, f"{sid} fell back to eager"
+            assert predictor.hits > hits, f"{sid} never replayed its warm plan"
+
     def test_dropped_then_recreated_tenant_is_not_resurrected(
         self, cluster, rng, tmp_path
     ):

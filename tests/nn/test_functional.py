@@ -23,6 +23,29 @@ class TestActivations:
     def test_gelu_gradcheck(self, rng):
         check_gradients(lambda t: F.gelu(t[0]).sum(), [rng.standard_normal((5,))])
 
+    def test_gelu_kernel_buffered_is_bit_identical(self, rng):
+        """The plan path (preallocated out + scratch) and the eager path
+        (fresh arrays) must share one fused GELU — equal bit for bit."""
+        x = rng.standard_normal((6, 8)).astype(np.float32)
+        plain = F.gelu_kernel(x)
+        out = np.empty_like(x)
+        inner_buf = np.empty_like(x)
+        buffered = F.gelu_kernel(x, out=out, inner_buf=inner_buf)
+        assert buffered is out
+        assert np.array_equal(plain, buffered)
+        assert np.array_equal(plain, F.gelu(Tensor(x)).data)
+
+    def test_gelu_grad_and_nograd_paths_bit_identical(self, rng):
+        """The autograd forward and the fused kernel must agree exactly —
+        compiled plans interleave with eager calls on the same model."""
+        from repro.nn import no_grad
+
+        x = rng.standard_normal((4, 7)).astype(np.float32)
+        grad_path = F.gelu(Tensor(x, requires_grad=True)).data
+        with no_grad():
+            fast_path = F.gelu(Tensor(x)).data
+        assert np.array_equal(grad_path, fast_path)
+
     def test_sigmoid_matches_formula(self, rng):
         x = rng.standard_normal(10)
         np.testing.assert_allclose(F.sigmoid(Tensor(x)).data, 1 / (1 + np.exp(-x)), rtol=1e-5)

@@ -152,23 +152,43 @@ class TestParameterVersion:
 
 
 class TestCompiledPredictor:
-    def test_predict_matches_eager_and_caches_per_shape(self, plain_config, rng):
+    def test_predict_matches_eager_across_bucketed_batches(self, plain_config, rng):
         model = LiPFormer(plain_config).eval()
-        predictor = CompiledPredictor(model)
+        predictor = CompiledPredictor(model, max_batch=8)
         for batch in (1, 2, 4):
             x = rng.normal(size=(batch, 48, 3)).astype(np.float32)
             assert np.array_equal(predictor.predict(x), model.predict(x))   # trace
             assert np.array_equal(predictor.predict(x), model.predict(x))   # replay
-        assert len(predictor) == 3
+        # Each ascending power-of-two batch traced its bucket, but a
+        # sliceable bucket plan subsumes every smaller one: one plan left.
+        assert len(predictor) == 1
         assert predictor.traces == 3 and predictor.hits == 3
+        # A batch strictly inside the warm bucket needs no new trace.
+        x = rng.normal(size=(3, 48, 3)).astype(np.float32)
+        assert np.array_equal(predictor.predict(x), model.predict(x))
+        assert predictor.traces == 3 and predictor.hits == 4
 
-    def test_lru_eviction_bounds_the_cache(self, plain_config, rng):
+    def test_warm_at_max_batch_serves_all_batches_from_one_plan(self, plain_config, rng):
         model = LiPFormer(plain_config).eval()
-        predictor = CompiledPredictor(model, capacity=2)
-        for batch in (1, 2, 3):
-            predictor.predict(rng.normal(size=(batch, 48, 3)).astype(np.float32))
-        assert len(predictor) == 2
-        assert predictor.plan_for(np.zeros((1, 48, 3), dtype=np.float32)) is None  # evicted
+        predictor = CompiledPredictor(model, max_batch=8)
+        predictor.predict(rng.normal(size=(8, 48, 3)).astype(np.float32))
+        for batch in range(1, 9):
+            x = rng.normal(size=(batch, 48, 3)).astype(np.float32)
+            assert np.array_equal(predictor.predict(x), model.predict(x))
+        assert predictor.traces == 1 and len(predictor) == 1
+
+    def test_lru_eviction_bounds_the_cache(self, covariate_config, rng):
+        # The cache key is batch-free, so eviction is exercised through two
+        # distinct covariate *signatures* on the same model.
+        model = LiPFormer(covariate_config).eval()
+        predictor = CompiledPredictor(model, capacity=1)
+        x = rng.normal(size=(2, 48, 3)).astype(np.float32)
+        fn, fc = _covariates(rng, 2, covariate_config)
+        predictor.predict(x, fn, fc)
+        predictor.predict(x)                       # plain signature evicts it
+        assert len(predictor) == 1
+        assert predictor.plan_for(x, fn, fc) is None
+        assert predictor.plan_for(x) is not None
 
     def test_stale_plan_retraced_after_load_state(self, plain_config, rng):
         model = LiPFormer(plain_config).eval()
@@ -220,7 +240,9 @@ class TestCompiledPredictor:
         for n in (3, 4, 5):
             assert predictor.predict(rng.normal(size=(n, 48, 3)).astype(np.float32)) is None
         model.forward = original_forward
-        assert len(predictor) == 2                # markers consumed no plan slots
+        # The bucket-2 plan subsumed bucket 1, so one live plan remains —
+        # and the markers consumed no plan slots.
+        assert len(predictor) == 1
         for x in good:
             assert predictor.plan_for(x) is not None
 

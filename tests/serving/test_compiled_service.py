@@ -91,16 +91,17 @@ class TestCompiledServiceParity:
         service.flush()
         assert np.array_equal(first.result(), snapshot)
 
-    def test_warmup_pretraces_plans(self, model, config):
+    def test_warmup_pretraces_one_polymorphic_plan(self, model, config):
         service = ForecastService(model, max_batch_size=8)
-        assert service.warmup() == 2          # batch sizes 1 and max_batch_size
+        assert service.warmup() == 1          # one plan serves every batch size
         predictor = model.compiled_predictor()
         traces_after_warmup = predictor.traces
-        assert traces_after_warmup == 2
-        histories = _histories(np.random.default_rng(0), 8, config)
-        service.predict_many(histories)
-        assert predictor.traces == traces_after_warmup  # full batch was warm
-        assert predictor.hits >= 1
+        assert traces_after_warmup == 1
+        rng = np.random.default_rng(0)
+        for n in (8, 3, 1, 5):                # full batch and arbitrary tails
+            service.predict_many(_histories(rng, n, config))
+        assert predictor.traces == traces_after_warmup  # every size was warm
+        assert predictor.hits >= 4
 
     def test_warmup_is_a_noop_for_eager_services(self, model):
         service = ForecastService(model, max_batch_size=8, compiled=False)
