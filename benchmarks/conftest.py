@@ -20,34 +20,54 @@ import pytest
 
 from repro.experiments import QUICK
 
-# Machine-readable perf trajectory, merged section-by-section by the
-# inference/serving benchmarks and asserted present by the CI smoke run.
-BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+# Machine-readable perf trajectories, merged section-by-section and
+# asserted present by the CI smoke run.  ``BENCH_inference.json`` tracks
+# model/plan latency; ``BENCH_serving.json`` tracks end-to-end serving
+# percentiles, throughput and queue depth under load.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_RESULTS_PATH = _REPO_ROOT / "BENCH_inference.json"
+BENCH_SERVING_PATH = _REPO_ROOT / "BENCH_serving.json"
 
 
-def record_bench(section: str, payload: dict) -> None:
-    """Read-merge-write one section of ``BENCH_inference.json``.
+def _record(path: Path, section: str, payload: dict) -> None:
+    """Read-merge-write one section of a benchmark results file.
 
     Each benchmark owns a named section so the files can run in any order
     (or alone) without clobbering each other's numbers; the write goes
     through a temp file + rename so a crashed run never leaves a torn JSON.
     """
     data = {}
-    if BENCH_RESULTS_PATH.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_RESULTS_PATH.read_text())
+            data = json.loads(path.read_text())
         except ValueError:
             data = {}
     data[section] = payload
-    tmp = BENCH_RESULTS_PATH.with_suffix(".json.tmp")
+    tmp = path.with_suffix(".json.tmp")
     tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    tmp.replace(BENCH_RESULTS_PATH)
+    tmp.replace(path)
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Record one named section into ``BENCH_inference.json``."""
+    _record(BENCH_RESULTS_PATH, section, payload)
+
+
+def record_bench_serving(section: str, payload: dict) -> None:
+    """Record one named section into ``BENCH_serving.json``."""
+    _record(BENCH_SERVING_PATH, section, payload)
 
 
 @pytest.fixture
 def bench_record():
     """Fixture: record one named section into ``BENCH_inference.json``."""
     return record_bench
+
+
+@pytest.fixture
+def bench_record_serving():
+    """Fixture: record one named section into ``BENCH_serving.json``."""
+    return record_bench_serving
 
 
 @pytest.fixture(scope="session")

@@ -4,6 +4,6 @@ Importing this package registers every rule with the registry in
 :mod:`repro.analysis.base`; the engine then instantiates them per run.
 """
 
-from . import bans, exceptions, grad_mode, lock_discipline, replay_alloc  # noqa: F401
+from . import bans, exceptions, grad_mode, lock_discipline, replay_alloc, timing  # noqa: F401
 
-__all__ = ["lock_discipline", "replay_alloc", "grad_mode", "bans", "exceptions"]
+__all__ = ["lock_discipline", "replay_alloc", "grad_mode", "bans", "exceptions", "timing"]

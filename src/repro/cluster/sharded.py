@@ -57,6 +57,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..config import ModelConfig
 from ..runtime import Executor, SerialExecutor, map_shards
 from ..runtime.annotations import guarded_by, requires_lock, unguarded
@@ -74,6 +75,19 @@ from .snapshot import (
 )
 
 __all__ = ["ShardedForecaster", "FailoverReport"]
+
+# Module-level instruments shared by every cluster in the process; the
+# per-shard histogram fans out by label instead of per-instance state.
+_REBALANCE_SECONDS = obs.histogram(
+    "repro_cluster_rebalance_seconds",
+    "wall time of a successful topology change or failover",
+    labels=("op",),
+)
+_SHARD_FORECAST_SECONDS = obs.histogram(
+    "repro_cluster_shard_forecast_seconds",
+    "per-shard submit+flush time inside one forecast_all fan-out",
+    labels=("shard",),
+)
 
 
 @dataclass
@@ -268,6 +282,9 @@ class ShardedForecaster:
         are ``1/N`` of the cluster, not a full reshuffle.
         """
         with self._topology.write():
+            # Timed from inside the write lock: lock *wait* is reported
+            # separately by the RWLock's repro_lock_wait_seconds metric.
+            started = obs.now() if obs.metrics_enabled() else 0.0
             if shard_id is None:
                 index = len(self._shards)
                 while f"shard-{index}" in self._shards:
@@ -303,6 +320,8 @@ class ShardedForecaster:
             self._bump_topology_locked()
             self.rebalances += 1
             self.tenants_migrated += len(moved)
+            if started:
+                _REBALANCE_SECONDS.labels(op="add_shard").observe(obs.now() - started)
             return [tenant for tenant, _ in moved]
 
     def remove_shard(self, shard_id: str) -> List[str]:
@@ -313,6 +332,7 @@ class ShardedForecaster:
         assembled from.  Returns the migrated tenant keys.
         """
         with self._topology.write():
+            started = obs.now() if obs.metrics_enabled() else 0.0
             if shard_id not in self._shards:
                 raise KeyError(f"unknown shard {shard_id!r}")
             if len(self._shards) == 1:
@@ -345,6 +365,8 @@ class ShardedForecaster:
             self._bump_topology_locked()
             self.rebalances += 1
             self.tenants_migrated += len(moved)
+            if started:
+                _REBALANCE_SECONDS.labels(op="remove_shard").observe(obs.now() - started)
             return moved
 
     # ------------------------------------------------------------------ #
@@ -375,6 +397,7 @@ class ShardedForecaster:
         and stays counted.
         """
         with self._topology.write():
+            started = obs.now() if obs.metrics_enabled() else 0.0
             if shard_id not in self._shards:
                 raise KeyError(f"unknown shard {shard_id!r}")
             if len(self._shards) == 1:
@@ -431,6 +454,8 @@ class ShardedForecaster:
             # safe under the topology write lock held here.
             for target in sorted(set(report.restored.values())):
                 self._shards[target].warmup()
+            if started:
+                _REBALANCE_SECONDS.labels(op="failover").observe(obs.now() - started)
             return report
 
     @staticmethod
@@ -505,21 +530,31 @@ class ShardedForecaster:
 
             def run_shard(shard_id: str) -> Dict[str, StreamingForecast]:
                 forecaster = self._shards[shard_id]
-                with self._shard_locks[shard_id]:
-                    shard_handles = {}
-                    for tenant in by_shard[shard_id]:
-                        if implicit and tenant not in forecaster.store:
-                            continue
-                        shard_handles[tenant] = forecaster.forecast(
-                            tenant,
-                            future_numerical=future_numerical.get(tenant),
-                            future_categorical=future_categorical.get(tenant),
+                # map_shards carried the cluster.forecast_all span onto this
+                # (possibly pool-worker) thread, so the shard span nests
+                # under it even when the fan-out crosses threads.
+                with obs.span("shard.forecast", shard=shard_id, tenants=len(by_shard[shard_id])):
+                    shard_started = obs.now() if obs.metrics_enabled() else 0.0
+                    with self._shard_locks[shard_id]:
+                        shard_handles = {}
+                        for tenant in by_shard[shard_id]:
+                            if implicit and tenant not in forecaster.store:
+                                continue
+                            shard_handles[tenant] = forecaster.forecast(
+                                tenant,
+                                future_numerical=future_numerical.get(tenant),
+                                future_categorical=future_categorical.get(tenant),
+                            )
+                        if flush:
+                            forecaster.flush()
+                    if shard_started:
+                        _SHARD_FORECAST_SECONDS.labels(shard=shard_id).observe(
+                            obs.now() - shard_started
                         )
-                    if flush:
-                        forecaster.flush()
                 return shard_handles
 
-            collected = map_shards(self.executor, run_shard, list(by_shard))
+            with obs.span("cluster.forecast_all", tenants=len(keys), shards=len(by_shard)):
+                collected = map_shards(self.executor, run_shard, list(by_shard))
         merged: Dict[str, StreamingForecast] = {}
         for shard_handles in collected.values():
             merged.update(shard_handles)

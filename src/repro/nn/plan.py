@@ -54,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..runtime.annotations import guarded_by, requires_lock
 from .tensor import Tensor, _trace_state, no_grad
 
@@ -792,6 +793,21 @@ class CompiledPredictor:
         self.traces = 0
         self.fallbacks = 0
         self.invalidations = 0
+        # Weakly bound metrics-registry view over the cache counters, so
+        # hit/trace/fallback/demotion rates show up next to the serving
+        # latency histograms without a second bookkeeping path.
+        obs.register_stats("repro_plan_cache", self._stats_snapshot)
+
+    def _stats_snapshot(self) -> Dict[str, int]:
+        """Cache counters plus the live plan count, under the lock."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "traces": self.traces,
+                "fallbacks": self.fallbacks,
+                "invalidations": self.invalidations,
+                "plans": sum(len(buckets) for buckets in self._plans.values()),
+            }
 
     @staticmethod
     def _key(
@@ -930,7 +946,8 @@ class CompiledPredictor:
                 if size >= batch and plan.serves(batch):
                     self._plans.move_to_end(key)
                     self.hits += 1
-                    return plan.run(x, future_numerical, future_categorical, copy=True)
+                    with obs.span("plan.replay", batch=batch, bucket=size):
+                        return plan.run(x, future_numerical, future_categorical, copy=True)
         if getattr(self.model, "training", False):
             # Tracing needs eval mode; don't poison the cache —
             # the caller may flip the flag and retry.
@@ -970,7 +987,8 @@ class CompiledPredictor:
             # The trace itself already computed this call's forecast.
             return plan.output.copy()
         if plan.serves(batch):
-            return plan.run(x, future_numerical, future_categorical, copy=True)
+            with obs.span("plan.replay", batch=batch, bucket=target):
+                return plan.run(x, future_numerical, future_categorical, copy=True)
         # Padded trace of an exact-only model: its output rows are not
         # trustworthy for this batch — retrace at the exact shape.
         try:

@@ -1,0 +1,76 @@
+"""``repro.obs`` — metrics, tracing, and timing for the serving stack.
+
+Three small modules, importable from anywhere in ``repro`` (this package
+depends only on the standard library, so every layer — ``runtime.locks``
+included — can instrument itself without import cycles):
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` with
+  labeled ``Counter``/``Gauge``/``Histogram`` (log-spaced buckets,
+  interpolated p50/p95/p99, O(1) memory), JSON + Prometheus export, and
+  registry-backed views over the legacy ``*Stats`` dataclasses.
+* :mod:`repro.obs.trace` — ``span()`` contexts with thread-local
+  propagation across executor fan-out, a bounded ``TraceRecorder``, and
+  Chrome trace-event export.
+* :mod:`repro.obs.timing` — the sanctioned clock (``now()``/``timed()``)
+  enforced by the ``timing-discipline`` lint rule.
+
+Metrics are on by default (env ``REPRO_OBS_METRICS=0`` to disable);
+tracing is off by default (env ``REPRO_OBS_TRACE=1`` or
+``configure(tracing=True)`` to enable).  Both switches reduce every
+instrument to an attribute-read-and-return when off.
+"""
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+    log_buckets,
+    metrics_enabled,
+    observability,
+    register_stats,
+    tracing_enabled,
+)
+from .timing import now, timed
+from .trace import (
+    Span,
+    TraceRecorder,
+    carry_current_span,
+    chrome_trace,
+    current_span,
+    default_recorder,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+    "carry_current_span",
+    "chrome_trace",
+    "configure",
+    "counter",
+    "current_span",
+    "default_recorder",
+    "default_registry",
+    "gauge",
+    "histogram",
+    "log_buckets",
+    "metrics_enabled",
+    "now",
+    "observability",
+    "register_stats",
+    "span",
+    "timed",
+    "tracing_enabled",
+]

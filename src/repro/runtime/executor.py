@@ -28,6 +28,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor as _ThreadPoolExecutor
 from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
 
+from ..obs.trace import carry_current_span
+
 __all__ = ["Executor", "SerialExecutor", "PoolExecutor", "map_shards"]
 
 T = TypeVar("T")
@@ -157,6 +159,11 @@ def map_shards(
     The returned dict preserves ``shard_ids`` order, so downstream
     aggregation (stat merges, handle collection) stays deterministic
     whatever the executor's scheduling did.
+
+    When request tracing is active, the caller's innermost span rides
+    along with ``fn`` (:func:`repro.obs.carry_current_span`), so per-shard
+    spans opened inside pool workers still nest under the fan-out's span;
+    with tracing off the wrapper is the identity function.
     """
     ids = list(shard_ids)
-    return dict(zip(ids, executor.map(fn, ids)))
+    return dict(zip(ids, executor.map(carry_current_span(fn), ids)))

@@ -45,6 +45,10 @@ import threading
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Set
 
+from ..obs import histogram as _obs_histogram
+from ..obs import metrics_enabled as _obs_metrics_enabled
+from ..obs import now as _obs_now
+
 __all__ = [
     "RWLock",
     "TrackedRLock",
@@ -55,6 +59,16 @@ __all__ = [
     "disable_lock_ordering",
     "lock_ordering",
 ]
+
+
+# Wait time blocked on a named lock, labeled by lock name and mode
+# (read / write / mutex).  Observed only on the *contended* path: an
+# uncontended acquisition never reads the clock.
+_LOCK_WAIT_SECONDS = _obs_histogram(
+    "repro_lock_wait_seconds",
+    "time spent blocked acquiring a named lock",
+    labels=("lock", "mode"),
+)
 
 
 class PotentialDeadlock(RuntimeError):
@@ -216,7 +230,18 @@ class TrackedRLock:
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         if _monitor.enabled:
             _monitor.acquiring(self.name)
-        acquired = self._inner.acquire(blocking, timeout)
+        if blocking and timeout == -1 and _obs_metrics_enabled():
+            # Try without blocking first so the uncontended path never
+            # reads the clock; only an actual wait is timed.
+            acquired = self._inner.acquire(False)
+            if not acquired:
+                waited_from = _obs_now()
+                acquired = self._inner.acquire()
+                _LOCK_WAIT_SECONDS.labels(lock=self.name, mode="mutex").observe(
+                    _obs_now() - waited_from
+                )
+        else:
+            acquired = self._inner.acquire(blocking, timeout)
         if not acquired and _monitor.enabled:
             _monitor.released(self.name)
         return acquired
@@ -332,9 +357,19 @@ class RWLock:
                         # New readers queue behind waiting writers
                         # (preference), but re-entrant readers pass — they
                         # already hold the lock, and parking them behind the
-                        # writer they block would deadlock both.
+                        # writer they block would deadlock both.  The clock
+                        # is read only when this reader will actually wait.
+                        waited_from = 0.0
+                        if (
+                            self._writer is not None or self._waiting_writers
+                        ) and _obs_metrics_enabled():
+                            waited_from = _obs_now()
                         while self._writer is not None or self._waiting_writers:
                             self._cond.wait()
+                        if waited_from:
+                            _LOCK_WAIT_SECONDS.labels(lock=self.name, mode="read").observe(
+                                _obs_now() - waited_from
+                            )
                         self._active_readers += 1
                     self._local.depth = depth + 1
         except BaseException:
@@ -374,11 +409,20 @@ class RWLock:
                             "(release the read section first)"
                         )
                     self._waiting_writers += 1
+                    waited_from = 0.0
+                    if (
+                        self._writer is not None or self._active_readers
+                    ) and _obs_metrics_enabled():
+                        waited_from = _obs_now()
                     try:
                         while self._writer is not None or self._active_readers:
                             self._cond.wait()
                     finally:
                         self._waiting_writers -= 1
+                    if waited_from:
+                        _LOCK_WAIT_SECONDS.labels(lock=self.name, mode="write").observe(
+                            _obs_now() - waited_from
+                        )
                     self._writer = me
                     self._writer_depth = 1
         except BaseException:

@@ -80,6 +80,7 @@ class ForecastRequest:
     future_numerical: Optional[np.ndarray]     # [horizon, cn] or None
     future_categorical: Optional[np.ndarray]   # [horizon, ct] or None
     forecast: Forecast
+    submitted_at: float = 0.0                  # obs clock at submit; 0 = metrics off
 
     @property
     def has_covariates(self) -> bool:

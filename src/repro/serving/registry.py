@@ -23,11 +23,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..baselines.registry import create_model
 from ..config import ModelConfig
 from ..core.base import ForecastModel
 from ..nn.serialization import load_state, save_state
 from ..runtime.annotations import guarded_by, requires_lock
+from ..stats import CounterStats
 
 __all__ = ["config_hash", "RegistryStats", "ModelRegistry"]
 
@@ -45,8 +47,12 @@ def config_hash(config: ModelConfig, extra: Optional[Dict] = None) -> str:
 
 
 @dataclass
-class RegistryStats:
-    """Cache-effectiveness counters."""
+class RegistryStats(CounterStats):
+    """Cache-effectiveness counters.
+
+    ``reset``/``merge``/``as_dict`` come from
+    :class:`repro.stats.CounterStats` (all fields sum on merge).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -98,6 +104,8 @@ class ModelRegistry:
         # Serialises LRU mutation: services support concurrent submitters,
         # so two threads may resolve different scenarios simultaneously.
         self._lock = threading.RLock()
+        # Weakly bound metrics-registry view over the cache counters.
+        obs.register_stats("repro_registry", self.stats_snapshot)
 
     # ------------------------------------------------------------------ #
     def key(self, name: str, config: ModelConfig, **kwargs) -> Tuple[str, str]:
@@ -116,6 +124,11 @@ class ModelRegistry:
         """Live keys, least recently used first."""
         with self._lock:
             return list(self._models)
+
+    def stats_snapshot(self) -> RegistryStats:
+        """A consistent copy of the cache counters, taken under the lock."""
+        with self._lock:
+            return RegistryStats(**self.stats.as_dict())
 
     @property
     def cache_dir(self) -> str:

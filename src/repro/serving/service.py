@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import asdict, dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import ClassVar, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..config import ModelConfig
-from ..stats import merge_counters, reset_counters
+from ..stats import CounterStats, counters_dict
 from ..core.base import ForecastModel
 from ..data.windows import SlidingWindowDataset
 from ..runtime.annotations import guarded_by, requires_lock
@@ -35,15 +36,36 @@ from .registry import ModelRegistry
 
 __all__ = ["ServiceStats", "ForecastService"]
 
+# Module-level instruments, shared by every service instance in the process
+# (per-instance counters live in ServiceStats and export as registry views).
+_FLUSH_SECONDS = obs.histogram(
+    "repro_serving_flush_seconds", "wall time of one ForecastService flush"
+)
+_REQUEST_LATENCY_SECONDS = obs.histogram(
+    "repro_serving_request_latency_seconds", "submit-to-resolve latency per request"
+)
+_QUEUE_DEPTH = obs.gauge(
+    "repro_serving_queue_depth", "pending requests at the moment a flush started"
+)
+_FLUSH_OCCUPANCY = obs.histogram(
+    "repro_serving_flush_occupancy",
+    "fraction of max_batch_size filled per forward pass",
+    buckets=tuple((i + 1) / 16 for i in range(16)),
+)
+
 
 @dataclass
-class ServiceStats:
+class ServiceStats(CounterStats):
     """Counters for observing batching behaviour.
 
     Submit-path and backfill counters are kept separate so that
     ``mean_batch_size`` — the micro-batching efficiency of the request API —
-    is not diluted by bulk backfill passes.
+    is not diluted by bulk backfill passes.  ``reset``/``merge`` come from
+    :class:`repro.stats.CounterStats`; ``largest_batch`` aggregates by max
+    cluster-wide, so the fleet-level ``mean_batch_size`` stays meaningful.
     """
+
+    MAXED: ClassVar[Tuple[str, ...]] = ("largest_batch",)
 
     requests: int = 0
     forward_passes: int = 0          # submit-path passes only
@@ -57,31 +79,9 @@ class ServiceStats:
     def mean_batch_size(self) -> float:
         return self.requests / self.forward_passes if self.forward_passes else 0.0
 
-    def reset(self) -> None:
-        """Zero every counter (e.g. between benchmark phases)."""
-        reset_counters(self)
-
-    @classmethod
-    def merge(cls, stats: Iterable["ServiceStats"]) -> "ServiceStats":
-        """Aggregate per-service stats cluster-wide.
-
-        Counters add; ``largest_batch`` is the max across services; the
-        derived ``mean_batch_size`` then reflects the whole fleet.
-        """
-        return merge_counters(cls, stats, maxed=("largest_batch",))
-
     def as_dict(self) -> dict:
         """Counters plus derived ratios, for reports and benchmarks."""
-        return {
-            "requests": self.requests,
-            "forward_passes": self.forward_passes,
-            "flushes": self.flushes,
-            "padded_requests": self.padded_requests,
-            "largest_batch": self.largest_batch,
-            "backfill_batches": self.backfill_batches,
-            "backfill_windows": self.backfill_windows,
-            "mean_batch_size": self.mean_batch_size,
-        }
+        return {**counters_dict(self), "mean_batch_size": self.mean_batch_size}
 
 
 @guarded_by("_pending", "stats", "_assembler", lock="_lock")
@@ -133,6 +133,9 @@ class ForecastService:
         self._pending: List[ForecastRequest] = []
         self._assembler = BatchAssembler()
         self._lock = threading.RLock()
+        # Export the per-instance counters through the metrics registry;
+        # the view holds the service weakly and dies with it.
+        obs.register_stats("repro_serving", self.stats_snapshot, maxed=ServiceStats.MAXED)
 
     @classmethod
     def from_registry(
@@ -181,6 +184,7 @@ class ForecastService:
             future_numerical=future_numerical,
             future_categorical=future_categorical,
             forecast=Forecast(self),
+            submitted_at=obs.now() if obs.metrics_enabled() else 0.0,
         )
         with self._lock:
             self._pending.append(request)
@@ -362,26 +366,39 @@ class ForecastService:
     def _flush_locked(self) -> int:
         if not self._pending:
             return 0
+        started = obs.now() if obs.metrics_enabled() else 0.0
         pending, self._pending = self._pending, []
+        if started:
+            _QUEUE_DEPTH.set(len(pending))
         self.stats.flushes += 1
-        for start in range(0, len(pending), self.max_batch_size):
-            chunk = pending[start : start + self.max_batch_size]
-            for members in group_requests(chunk):
-                # A failing forward must not take unrelated requests down
-                # with it: the error is attached to the failing group's
-                # handles (raised from their result()), and the remaining
-                # groups still run.
-                self.stats.forward_passes += 1
-                self.stats.largest_batch = max(self.stats.largest_batch, len(members))
-                try:
-                    # The assembled batch aliases the service's scratch
-                    # buffers — consumed by the forward pass below before
-                    # the next group is assembled.
-                    output = self._run_batch(self._assembler.assemble(members))
-                except Exception as error:  # noqa: BLE001 - routed to handles
-                    for request in members:
-                        request.forecast._fail(error)
-                    continue
-                for row, request in zip(output, members):
-                    request.forecast._resolve(row)
+        with obs.span("service.flush", requests=len(pending)):
+            for start in range(0, len(pending), self.max_batch_size):
+                chunk = pending[start : start + self.max_batch_size]
+                for members in group_requests(chunk):
+                    # A failing forward must not take unrelated requests down
+                    # with it: the error is attached to the failing group's
+                    # handles (raised from their result()), and the remaining
+                    # groups still run.
+                    self.stats.forward_passes += 1
+                    self.stats.largest_batch = max(self.stats.largest_batch, len(members))
+                    if started:
+                        _FLUSH_OCCUPANCY.observe(len(members) / self.max_batch_size)
+                    try:
+                        with obs.span("batch.assemble", requests=len(members)):
+                            # The assembled batch aliases the service's
+                            # scratch buffers — consumed by the forward pass
+                            # below before the next group is assembled.
+                            batch = self._assembler.assemble(members)
+                        output = self._run_batch(batch)
+                    except Exception as error:  # noqa: BLE001 - routed to handles
+                        for request in members:
+                            request.forecast._fail(error)
+                        continue
+                    resolved_at = obs.now() if started else 0.0
+                    for row, request in zip(output, members):
+                        request.forecast._resolve(row)
+                        if resolved_at and request.submitted_at:
+                            _REQUEST_LATENCY_SECONDS.observe(resolved_at - request.submitted_at)
+        if started:
+            _FLUSH_SECONDS.observe(obs.now() - started)
         return len(pending)

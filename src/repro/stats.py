@@ -1,20 +1,26 @@
 """Shared helpers for counter dataclasses (the ``*Stats`` objects).
 
 The serving, streaming and cluster layers each expose a small dataclass of
-monotonic counters that must support the same two operations: zeroing
-between benchmark phases and summing across shards/replicas.  Keeping the
-field loop in one place means a newly added counter field participates in
-``reset``/``merge`` everywhere automatically — the only per-class decision
-is which fields aggregate by ``max`` instead of ``+`` (gauges like
-``largest_batch``), passed declaratively.
+monotonic counters that must support the same three operations: zeroing
+between benchmark phases, summing across shards/replicas, and exporting as
+a plain dict.  Keeping the field loops in one place means a newly added
+counter field participates in ``reset``/``merge``/``as_dict`` everywhere
+automatically — the only per-class decision is which fields aggregate by
+``max`` instead of ``+`` (gauges like ``largest_batch``), declared via
+:attr:`CounterStats.MAXED`.
+
+These same field loops back the ``repro.obs`` metrics-registry views
+(:func:`repro.obs.register_stats`): the registry reads each component's
+``stats_snapshot()`` through :func:`counters_dict`, so a Prometheus export
+and a direct ``stats_snapshot()`` can never disagree on a field.
 """
 
 from __future__ import annotations
 
 from dataclasses import fields
-from typing import Iterable, Sequence, Type, TypeVar
+from typing import ClassVar, Dict, Iterable, Sequence, Tuple, Type, TypeVar
 
-__all__ = ["merge_counters", "reset_counters"]
+__all__ = ["merge_counters", "reset_counters", "counters_dict", "CounterStats"]
 
 T = TypeVar("T")
 
@@ -42,3 +48,33 @@ def reset_counters(stats) -> None:
     """Zero a counter dataclass in place (back to each field's default)."""
     for field_ in fields(stats):
         setattr(stats, field_.name, field_.default)
+
+
+def counters_dict(stats) -> Dict[str, object]:
+    """Field ``name -> value`` for a counter dataclass."""
+    return {field_.name: getattr(stats, field_.name) for field_ in fields(stats)}
+
+
+class CounterStats:
+    """Mixin giving a counter dataclass uniform ``reset``/``merge``/``as_dict``.
+
+    Subclasses are regular ``@dataclass``-decorated classes; fields that
+    aggregate by ``max`` instead of ``+`` (high-watermark gauges) are named
+    in the ``MAXED`` class variable.  Subclasses may extend ``as_dict`` to
+    append derived ratios on top of the raw counters.
+    """
+
+    MAXED: ClassVar[Tuple[str, ...]] = ()
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between benchmark phases)."""
+        reset_counters(self)
+
+    @classmethod
+    def merge(cls: Type[T], stats: Iterable[T]) -> T:
+        """Aggregate many instances: counters add, ``MAXED`` fields max."""
+        return merge_counters(cls, stats, maxed=cls.MAXED)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Raw counters as a plain dict (see :func:`counters_dict`)."""
+        return counters_dict(self)

@@ -29,13 +29,14 @@ from __future__ import annotations
 
 import threading
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..data.incremental import RollingScaler
 from ..runtime.annotations import guarded_by
-from ..stats import merge_counters
+from ..stats import CounterStats
 from ..serving.batching import Forecast
 from ..serving.service import ForecastService
 from .store import SeriesStore
@@ -76,21 +77,18 @@ class StreamingForecast:
 
 
 @dataclass
-class StreamingStats:
+class StreamingStats(CounterStats):
     """Forecast-side counters.
 
     Ingest-side counters (tenants, observations, evictions) live on the
     store's :class:`~repro.streaming.store.StoreStats`, and batching
     efficiency on the service's stats — no duplicate bookkeeping.
+    ``reset``/``merge``/``as_dict`` come from
+    :class:`repro.stats.CounterStats` (all fields sum on merge).
     """
 
     forecasts: int = 0
     cold_start_forecasts: int = 0    # windows shorter than input_length
-
-    @classmethod
-    def merge(cls, stats: Iterable["StreamingStats"]) -> "StreamingStats":
-        """Sum counters across forecasters (field-driven)."""
-        return merge_counters(cls, stats)
 
 
 @guarded_by("_scalers", "stats", lock="_lock")
@@ -148,6 +146,8 @@ class StreamingForecaster:
         self.stats = StreamingStats()
         self._scalers: Dict[str, RollingScaler] = {}
         self._lock = threading.Lock()
+        # Weakly bound metrics-registry view over the forecast counters.
+        obs.register_stats("repro_streaming", self.stats_snapshot)
 
     # ------------------------------------------------------------------ #
     def scaler(self, tenant: str) -> Optional[RollingScaler]:

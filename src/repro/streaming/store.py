@@ -14,12 +14,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from .. import obs
 from ..runtime.annotations import guarded_by, requires_lock
-from ..stats import merge_counters
+from ..stats import CounterStats
 
 __all__ = ["RingBuffer", "SeriesStore", "StoreStats"]
 
@@ -138,18 +139,17 @@ class RingBuffer:
 
 
 @dataclass
-class StoreStats:
-    """Ingest-side counters for the whole store."""
+class StoreStats(CounterStats):
+    """Ingest-side counters for the whole store.
+
+    ``reset``/``merge``/``as_dict`` come from
+    :class:`repro.stats.CounterStats` (all fields sum on merge).
+    """
 
     tenants: int = 0
     ingests: int = 0            # ingest() calls
     observations: int = 0       # rows appended across all tenants
     evicted: int = 0            # rows that have fallen off a ring
-
-    @classmethod
-    def merge(cls, stats: Iterable["StoreStats"]) -> "StoreStats":
-        """Sum counters across stores (field-driven, so new counters join)."""
-        return merge_counters(cls, stats)
 
 
 @guarded_by(
@@ -188,6 +188,8 @@ class SeriesStore:
         self._dirty: Set[str] = set()
         self._generations: Dict[str, int] = {}
         self._tombstones: Dict[str, int] = {}
+        # Weakly bound metrics-registry view over the ingest counters.
+        obs.register_stats("repro_store", self.stats_snapshot)
 
     # ------------------------------------------------------------------ #
     def __contains__(self, tenant: str) -> bool:

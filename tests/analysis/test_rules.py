@@ -6,6 +6,7 @@ from repro.analysis.rules.exceptions import ExceptHygieneRule
 from repro.analysis.rules.grad_mode import GradModeRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.replay_alloc import ReplayAllocRule
+from repro.analysis.rules.timing import TimingDisciplineRule
 
 
 def rule_ids(findings, rule=None):
@@ -359,3 +360,85 @@ class TestExceptHygiene:
                     pass
         """
         assert lint(source, rules=[ExceptHygieneRule]) == []
+
+
+class TestTimingDiscipline:
+    def test_module_clock_call_flagged_in_serving(self, lint):
+        source = """
+            import time
+
+            def flush(service):
+                start = time.perf_counter()
+                service.flush()
+                return time.perf_counter() - start
+        """
+        findings = lint(source, path="repro/serving/mod.py", rules=[TimingDisciplineRule])
+        assert rule_ids(findings) == ["timing-discipline"] * 2
+        assert findings[0].symbol == "flush"
+
+    def test_wall_clock_and_aliased_import_flagged(self, lint):
+        source = """
+            import time as t
+
+            def stamp():
+                return t.time()
+        """
+        findings = lint(source, path="repro/cluster/mod.py", rules=[TimingDisciplineRule])
+        assert rule_ids(findings) == ["timing-discipline"]
+        assert "time.time()" in findings[0].message
+
+    def test_from_import_alias_flagged(self, lint):
+        source = """
+            from time import perf_counter as clock
+
+            def wait_time(lock):
+                started = clock()
+                with lock:
+                    return clock() - started
+        """
+        findings = lint(source, path="repro/runtime/mod.py", rules=[TimingDisciplineRule])
+        assert rule_ids(findings) == ["timing-discipline"] * 2
+        assert all("time.perf_counter()" in f.message for f in findings)
+
+    def test_obs_helpers_are_clean(self, lint):
+        source = """
+            from repro import obs
+
+            def flush(service):
+                started = obs.now() if obs.metrics_enabled() else 0.0
+                service.flush()
+                if started:
+                    return obs.now() - started
+        """
+        assert lint(source, path="repro/serving/mod.py", rules=[TimingDisciplineRule]) == []
+
+    def test_sleep_is_not_a_clock(self, lint):
+        source = """
+            import time
+
+            def backoff():
+                time.sleep(0.01)
+        """
+        assert lint(source, path="repro/cluster/mod.py", rules=[TimingDisciplineRule]) == []
+
+    def test_out_of_scope_packages_unflagged(self, lint):
+        source = """
+            import time
+
+            def train_epoch(model):
+                start = time.perf_counter()
+                model.step()
+                return time.perf_counter() - start
+        """
+        assert lint(source, path="repro/training/mod.py", rules=[TimingDisciplineRule]) == []
+
+    def test_inline_disable_suppresses(self, lint):
+        source = """
+            import time
+
+            def measure(fn):
+                start = time.perf_counter()  # repro: disable=timing-discipline
+                fn()
+                return time.perf_counter() - start  # repro: disable=timing-discipline
+        """
+        assert lint(source, path="repro/profiling/mod.py", rules=[TimingDisciplineRule]) == []

@@ -1,0 +1,157 @@
+"""Tests for span tracing: nesting, propagation, ring buffer, Chrome export."""
+
+import json
+import threading
+
+from repro.obs import (
+    TraceRecorder,
+    carry_current_span,
+    chrome_trace,
+    current_span,
+    observability,
+    span,
+    tracing_enabled,
+)
+
+
+def _by_name(spans):
+    index = {}
+    for item in spans:
+        index.setdefault(item.name, []).append(item)
+    return index
+
+
+class TestSpanNesting:
+    def test_disabled_tracing_records_nothing(self):
+        recorder = TraceRecorder()
+        assert not tracing_enabled()
+        with span("outer", recorder=recorder):
+            assert current_span() is None
+            with span("inner", recorder=recorder):
+                pass
+        assert len(recorder) == 0
+
+    def test_parent_child_ids(self):
+        recorder = TraceRecorder()
+        with observability(tracing=True):
+            with span("outer", recorder=recorder) as outer:
+                assert current_span() is outer
+                with span("inner", recorder=recorder) as inner:
+                    assert inner.parent_id == outer.span_id
+            assert current_span() is None
+        spans = _by_name(recorder.spans())
+        assert spans["outer"][0].parent_id is None
+        assert spans["inner"][0].parent_id == spans["outer"][0].span_id
+        # Children finish (and therefore record) before their parents.
+        assert recorder.spans()[0].name == "inner"
+
+    def test_durations_and_containment(self):
+        recorder = TraceRecorder()
+        with observability(tracing=True):
+            with span("outer", recorder=recorder):
+                with span("inner", recorder=recorder):
+                    pass
+        spans = _by_name(recorder.spans())
+        outer, inner = spans["outer"][0], spans["inner"][0]
+        assert outer.duration >= 0 and inner.duration >= 0
+        assert outer.start <= inner.start
+        assert inner.start + inner.duration <= outer.start + outer.duration + 1e-9
+
+    def test_exception_still_records_and_pops(self):
+        recorder = TraceRecorder()
+        with observability(tracing=True):
+            try:
+                with span("failing", recorder=recorder):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert current_span() is None
+        assert len(recorder) == 1
+
+
+class TestRecorder:
+    def test_ring_buffer_is_bounded(self):
+        recorder = TraceRecorder(capacity=8)
+        with observability(tracing=True):
+            for i in range(20):
+                with span(f"s{i}", recorder=recorder):
+                    pass
+        assert len(recorder) == 8
+        assert recorder.capacity == 8
+        # Oldest spans are evicted first.
+        assert [item.name for item in recorder.spans()] == [f"s{i}" for i in range(12, 20)]
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        with observability(tracing=True):
+            with span("s", recorder=recorder):
+                pass
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestChromeExport:
+    def test_event_fields(self):
+        recorder = TraceRecorder()
+        with observability(tracing=True):
+            with span("outer", recorder=recorder, tenants=3):
+                with span("inner", recorder=recorder):
+                    pass
+        events = recorder.chrome_events()
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert outer["args"]["tenants"] == 3
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        document = chrome_trace(events)
+        assert document["displayTimeUnit"] == "ms"
+        json.dumps(document)  # must be serialisable as-is
+
+    def test_export_chrome_writes_file(self, tmp_path):
+        recorder = TraceRecorder()
+        with observability(tracing=True):
+            with span("s", recorder=recorder):
+                pass
+        path = tmp_path / "trace.json"
+        recorder.export_chrome(path)
+        document = json.loads(path.read_text())
+        assert document["traceEvents"][0]["name"] == "s"
+
+
+class TestCrossThreadPropagation:
+    def test_carry_current_span_reparents_worker_spans(self):
+        recorder = TraceRecorder()
+        with observability(tracing=True):
+            with span("parent", recorder=recorder) as parent:
+                def work(i):
+                    assert current_span() is parent
+                    with span("child", recorder=recorder, shard=i):
+                        pass
+                    return i
+
+                carried = carry_current_span(work)
+                thread = threading.Thread(target=carried, args=(0,))
+                thread.start()
+                thread.join()
+                # The worker's stack manipulation must not leak into it.
+                assert current_span() is parent
+        spans = _by_name(recorder.spans())
+        child = spans["child"][0]
+        assert child.parent_id == spans["parent"][0].span_id
+        assert child.thread_id != spans["parent"][0].thread_id
+
+    def test_carry_is_identity_when_disabled_or_rootless(self):
+        def fn(x):
+            return x + 1
+
+        assert carry_current_span(fn) is fn  # tracing off
+        with observability(tracing=True):
+            assert carry_current_span(fn) is fn  # no active span
+            with span("root", recorder=TraceRecorder()):
+                assert carry_current_span(fn) is not fn
+                assert carry_current_span(fn)(1) == 2
