@@ -27,6 +27,7 @@ from repro.experiments import QUICK
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_RESULTS_PATH = _REPO_ROOT / "BENCH_inference.json"
 BENCH_SERVING_PATH = _REPO_ROOT / "BENCH_serving.json"
+BENCH_CLUSTER_PATH = _REPO_ROOT / "BENCH_cluster.json"
 
 
 def _record(path: Path, section: str, payload: dict) -> None:
@@ -58,6 +59,11 @@ def record_bench_serving(section: str, payload: dict) -> None:
     _record(BENCH_SERVING_PATH, section, payload)
 
 
+def record_bench_cluster(section: str, payload: dict) -> None:
+    """Record one named section into ``BENCH_cluster.json``."""
+    _record(BENCH_CLUSTER_PATH, section, payload)
+
+
 @pytest.fixture
 def bench_record():
     """Fixture: record one named section into ``BENCH_inference.json``."""
@@ -68,6 +74,12 @@ def bench_record():
 def bench_record_serving():
     """Fixture: record one named section into ``BENCH_serving.json``."""
     return record_bench_serving
+
+
+@pytest.fixture
+def bench_record_cluster():
+    """Fixture: record one named section into ``BENCH_cluster.json``."""
+    return record_bench_cluster
 
 
 @pytest.fixture(scope="session")

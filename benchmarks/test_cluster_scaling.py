@@ -1,22 +1,34 @@
-"""Benchmark S3 — sharded cluster scaling and rebalance cost.
+"""Benchmark S3 — sharded cluster scaling, process backend, rebalance cost.
 
-Quantifies the two claims the cluster subsystem makes:
+Quantifies the claims the cluster subsystem makes:
 
 * the sharded façade is a routing layer, not a bottleneck: serving the
   same tenant fleet through 2 or 4 shards (ring lookup + per-shard
   micro-batches) stays within a small factor of the single-shard path in
   one process, while per-shard batch sizes shrink by exactly the shard
   count (the win materialises when shards get their own cores/processes);
+* the process backend *is* that materialisation: ``forecast_all`` through
+  :class:`~repro.cluster.ProcessCoordinator` workers escapes the GIL, so
+  on a multi-core host with single-threaded BLAS it must outrun the
+  thread backend outright (≥2× at 4 shards on ≥4 cores); single-core CI
+  boxes can only verify the wire/codec overhead stays bounded;
 * consistent hashing keeps rebalancing *cheap*: growing an N-shard ring
   by one moves ≈ ``1/(N+1)`` of the tenants — never a full reshuffle —
-  and every moved tenant lands on the new shard.
+  and every moved tenant lands on the new shard;
+* a ``kill -9`` crash drill (detect + failover from the checkpoint chain)
+  completes in interactive time, not restart-the-world time.
+
+Process/thread and crash-drill measurements are merged into
+``BENCH_cluster.json`` so re-anchors can see the trajectory.
 """
 
+import os
+import signal
 import time
 
 import numpy as np
 
-from repro.cluster import ShardedForecaster
+from repro.cluster import ProcessCoordinator, ServiceSpec, ShardedForecaster, build_cluster
 from repro.config import ModelConfig
 from repro.core import LiPFormer
 from repro.serving import ForecastService
@@ -86,6 +98,141 @@ def test_sharded_routing_overhead_is_bounded():
         f"4-shard fan-out overhead too high: {throughput[4]:,.0f} vs "
         f"{throughput[1]:,.0f} forecasts/s unsharded"
     )
+
+
+def _backend_spec():
+    # Wide enough that each worker's padded forward pass is BLAS-dominated
+    # — the regime where separate processes (separate GILs, separate BLAS
+    # contexts) actually buy wall-clock over one process's threads.
+    return ServiceSpec(
+        config=ModelConfig(
+            input_length=96, horizon=24, n_channels=4,
+            patch_length=24, hidden_dim=96, dropout=0.0, n_heads=4, n_layers=2,
+        ),
+        max_batch_size=64,
+    )
+
+
+def _required_process_speedup():
+    """The bar the host can actually clear (see test_parallel_scaling).
+
+    With one core, worker processes can't run concurrently and the wire
+    codec is pure overhead — the assert only bounds that overhead.  Real
+    GIL-escape speedup is demanded only when cores exist *and* BLAS is
+    pinned to one thread (multithreaded BLAS already eats every core in
+    the thread baseline, turning the comparison into scheduler noise).
+    """
+    cores = os.cpu_count() or 1
+    single_threaded_blas = "1" in (
+        os.environ.get("OMP_NUM_THREADS"),
+        os.environ.get("OPENBLAS_NUM_THREADS"),
+    )
+    if cores >= 4 and single_threaded_blas:
+        return 2.0
+    if cores >= 2 and single_threaded_blas:
+        return 1.2
+    return 0.3
+
+
+def test_process_backend_escapes_the_gil(bench_record_cluster):
+    """forecast_all throughput: 4 process workers vs 4 thread shards."""
+    n_shards, n_tenants, ticks = 4, 32, 4
+    spec = _backend_spec()
+    rng = np.random.default_rng(21)
+    fleet = {
+        f"tenant-{i}": rng.normal(size=(96, 4)).astype(np.float32)
+        for i in range(n_tenants)
+    }
+
+    def drive(cluster, n_ticks):
+        for _ in range(n_ticks):
+            for handle in cluster.forecast_all().values():
+                handle.result()
+
+    elapsed = {}
+    for backend in ("thread", "process"):
+        cluster = build_cluster(spec, n_shards=n_shards, backend=backend)
+        try:
+            for tenant, values in fleet.items():
+                cluster.ingest(tenant, values)
+            drive(cluster, 1)                      # warm plans on every shard
+            start = time.perf_counter()
+            drive(cluster, ticks)
+            elapsed[backend] = time.perf_counter() - start
+            stats = cluster.service_stats()
+            assert stats.requests >= n_tenants * ticks
+        finally:
+            if backend == "process":
+                cluster.close()
+
+    speedup = elapsed["thread"] / elapsed["process"]
+    required = _required_process_speedup()
+    cores = os.cpu_count() or 1
+    throughput = {b: n_tenants * ticks / t for b, t in elapsed.items()}
+    print(
+        f"\nprocess backend ({cores} cores, {n_shards} shards): thread "
+        f"{throughput['thread']:,.0f} forecasts/s, process "
+        f"{throughput['process']:,.0f} forecasts/s "
+        f"(speedup {speedup:.2f}x, required {required:.2f}x)"
+    )
+    bench_record_cluster(
+        "process_vs_thread",
+        {
+            "cores": cores,
+            "n_shards": n_shards,
+            "n_tenants": n_tenants,
+            "thread_forecasts_per_s": round(throughput["thread"], 1),
+            "process_forecasts_per_s": round(throughput["process"], 1),
+            "speedup": round(speedup, 3),
+            "required": required,
+        },
+    )
+    assert speedup >= required, (
+        f"process backend gave {speedup:.2f}x over threads on {cores} "
+        f"cores; expected at least {required:.2f}x"
+    )
+
+
+def test_crash_drill_recovery_time(bench_record_cluster, tmp_path):
+    """kill -9 → detect → failover wall-clock, from a real checkpoint."""
+    spec = _backend_spec()
+    rng = np.random.default_rng(23)
+    with ProcessCoordinator(spec, n_shards=3) as cluster:
+        for i in range(18):
+            cluster.ingest(f"tenant-{i}", rng.normal(size=(96, 4)).astype(np.float32))
+        cluster.save(str(tmp_path / "ckpt"))
+        victim = cluster.shard_for("tenant-0")
+        os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+
+        start = time.perf_counter()
+        dead = cluster.detect_failures(timeout=5.0)
+        detect_seconds = time.perf_counter() - start
+        assert dead == [victim]
+
+        start = time.perf_counter()
+        report = cluster.failover(victim)
+        failover_seconds = time.perf_counter() - start
+        assert report.complete and report.restored
+
+        # Post-recovery the cluster still serves its whole fleet.
+        assert len(cluster.forecast_all()) == 18
+
+    recovery = detect_seconds + failover_seconds
+    print(
+        f"\ncrash drill: detect {detect_seconds * 1e3:.0f} ms + failover "
+        f"{failover_seconds * 1e3:.0f} ms = {recovery * 1e3:.0f} ms for "
+        f"{len(report.restored)} tenants restored"
+    )
+    bench_record_cluster(
+        "crash_drill",
+        {
+            "detect_seconds": round(detect_seconds, 4),
+            "failover_seconds": round(failover_seconds, 4),
+            "recovery_seconds": round(recovery, 4),
+            "tenants_restored": len(report.restored),
+        },
+    )
+    assert recovery < 30.0, f"crash recovery took {recovery:.1f}s"
 
 
 def test_rebalance_moves_at_most_one_over_n_plus_slack():

@@ -7,9 +7,12 @@ hash through :func:`repro.cluster.ring.stable_hash` — raw ``hash()`` is
 salted per process (``PYTHONHASHSEED``) and ``hashlib`` sprinkled ad hoc
 invites layout drift between ring implementations.
 
-Scope: ``repro/cluster/``, ``repro/streaming/`` and
-``repro/nn/serialization.py``.  ``cluster/ring.py`` is the one module
-allowed to touch ``hashlib`` — it *implements* ``stable_hash``.
+Scope: ``repro/cluster/``, ``repro/streaming/``,
+``repro/nn/serialization.py``, and the process-boundary transport —
+``repro/wire.py`` plus ``repro/runtime/procpool.py`` — where pickle would
+otherwise be the path of least resistance (every byte a worker sends or
+receives must go through the codec).  ``cluster/ring.py`` is the one
+module allowed to touch ``hashlib`` — it *implements* ``stable_hash``.
 """
 
 from __future__ import annotations
@@ -24,9 +27,14 @@ _BANNED_MODULES = {"pickle", "cPickle", "_pickle", "marshal", "dill", "shelve", 
 _HASH_EXEMPT_MODULE = "cluster.ring"
 
 
+#: single modules (dotted, under ``repro/``) the ban covers beyond the
+#: blanket packages: the weight codec and the process-boundary transport.
+_SCOPED_MODULES = {"nn.serialization", "wire", "runtime.procpool"}
+
+
 def _in_scope(context) -> bool:
     return context.in_package("cluster", "streaming") or (
-        context.module_name() == "nn.serialization"
+        context.module_name() in _SCOPED_MODULES
     )
 
 

@@ -33,15 +33,31 @@ delta checkpoints chained under :func:`resolve_chain`, and
 the survivors, restoring its tenants from the last checkpoint chain with
 an honest :class:`FailoverReport` of any data loss.
 
-See ``examples/cluster_quickstart.py`` for a tour and
-``benchmarks/test_cluster_scaling.py`` for throughput-vs-shards and
-rebalance-cost measurements.
+PR 9 takes shards out of the coordinator's process entirely:
+:class:`ProcessCoordinator` (via :func:`build_cluster` with
+``backend="process"``) runs each shard as a :class:`ProcessShard` — a
+worker OS process speaking the length-prefixed pickle-free wire codec
+(:mod:`repro.wire`) over a socketpair — so S shards use S cores with no
+GIL in the way, worker death is a detectable event (``kill -9`` drills
+in ``tests/cluster/test_crash_drill.py``), and
+:meth:`ProcessCoordinator.failover` restores from the same checkpoint
+chains bit-identically.  :class:`~repro.cluster.spec.ServiceSpec` is the
+replica recipe both backends share, and
+:func:`~repro.cluster.snapshot.compact_chain` folds a long checkpoint
+chain back into one full snapshot.
+
+See ``examples/cluster_quickstart.py`` and
+``examples/cluster_process_quickstart.py`` for tours and
+``benchmarks/test_cluster_scaling.py`` for throughput-vs-shards,
+backend-vs-backend and rebalance-cost measurements.
 """
 
 from .parity import compare_cluster_to_unsharded, replay_cluster
+from .process import PendingForecast, ProcessCoordinator, ProcessShard, WorkerDied, build_cluster
 from .ring import HashRing, stable_hash
 from .sharded import FailoverReport, ShardedForecaster
 from .snapshot import (
+    compact_chain,
     decode_state,
     encode_state,
     load_forecaster,
@@ -50,17 +66,25 @@ from .snapshot import (
     save_forecaster,
     write_snapshot,
 )
+from .spec import ServiceSpec
 
 __all__ = [
     "HashRing",
     "stable_hash",
     "ShardedForecaster",
     "FailoverReport",
+    "ServiceSpec",
+    "ProcessCoordinator",
+    "ProcessShard",
+    "PendingForecast",
+    "WorkerDied",
+    "build_cluster",
     "encode_state",
     "decode_state",
     "write_snapshot",
     "read_snapshot",
     "resolve_chain",
+    "compact_chain",
     "save_forecaster",
     "load_forecaster",
     "replay_cluster",

@@ -68,6 +68,7 @@ from ..streaming.store import StoreStats
 from .ring import HashRing
 from .snapshot import (
     _npz_path,
+    compact_chain,
     read_snapshot,
     resolve_chain,
     resolve_tenant_payloads,
@@ -888,6 +889,25 @@ class ShardedForecaster:
     def _resolve_snapshot_file(path: str) -> str:
         """The actual archive file a snapshot path maps to (npz suffixing)."""
         return os.path.abspath(_npz_path(path))
+
+    def compact(self, path: Optional[str] = None) -> str:
+        """Fold the recorded checkpoint chain into one full snapshot.
+
+        Delegates to :func:`~repro.cluster.snapshot.compact_chain` (which
+        garbage-collects the superseded links) and re-points the live
+        chain at the compacted base, so the next :meth:`save_incremental`
+        chains onto it and the next :meth:`failover` replays one file
+        instead of the whole history.  ``path`` defaults to overwriting
+        the chain base in place.  Returns the compacted snapshot path.
+        """
+        with self._topology.write():
+            if not self._chain:
+                raise RuntimeError(
+                    "no checkpoint chain to compact: call save() first"
+                )
+            output = compact_chain(self._chain, output=path)
+            self._chain = [output]
+            return output
 
     def checkpoint_chain(self) -> List[str]:
         """The snapshot paths a restore (or :meth:`failover`) would replay."""

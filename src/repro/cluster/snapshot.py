@@ -10,7 +10,9 @@ module provides the lossless bridge:
   (dicts, lists, arrays, scalars, ``datetime64`` timestamps, ``None``)
   into numbered array entries plus one JSON manifest describing the
   structure, and back.  Tenant keys live inside the JSON manifest, so any
-  string key round-trips; nothing is pickled.
+  string key round-trips; nothing is pickled.  The codec itself lives in
+  :mod:`repro.wire` (it doubles as the process-shard message transport)
+  and is re-exported here, where the ``.npz`` archive format wraps it.
 * :func:`write_snapshot` / :func:`read_snapshot` — the same, through a
   compressed archive on disk via :mod:`repro.nn.serialization`.  Writes
   are **crash-atomic**: the archive lands in a temp file in the target
@@ -32,17 +34,17 @@ module provides the lossless bridge:
 
 from __future__ import annotations
 
-import datetime
 import json
 import os
 import tempfile
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 
 from ..nn.serialization import load_state, save_state
 from ..serving.service import ForecastService
 from ..streaming.forecaster import StreamingForecaster
+from ..wire import decode_state, encode_state
 
 __all__ = [
     "encode_state",
@@ -51,13 +53,12 @@ __all__ = [
     "read_snapshot",
     "resolve_chain",
     "resolve_tenant_payloads",
+    "compact_chain",
     "save_forecaster",
     "load_forecaster",
 ]
 
 _MANIFEST_KEY = "__manifest__"
-#: formats understood by the codec; bumped on incompatible layout changes
-_FORMAT_VERSION = 1
 
 # The process umask, probed once at import (os.umask is the only portable
 # read, and it is a process-wide mutation — doing the probe per write would
@@ -74,29 +75,6 @@ def _npz_path(path: str) -> str:
     produces, or the guard stops protecting the file actually written.
     """
     return path if path.endswith(".npz") else path + ".npz"
-
-
-def encode_state(state) -> Tuple[dict, Dict[str, np.ndarray]]:
-    """Flatten a nested state tree into (JSON manifest, flat array map).
-
-    Arrays (and array-like scalars such as ``np.datetime64`` timestamps)
-    are pulled out into numbered entries; structure, strings, numbers,
-    booleans and ``None`` live in the manifest.  Only npz-native dtypes
-    are accepted — an object array would silently require pickling, so it
-    raises instead.
-    """
-    arrays: Dict[str, np.ndarray] = {}
-    tree = _encode(state, arrays)
-    manifest = {"version": _FORMAT_VERSION, "tree": tree}
-    return manifest, arrays
-
-
-def decode_state(manifest: dict, arrays: Dict[str, np.ndarray]):
-    """Invert :func:`encode_state`."""
-    version = manifest.get("version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported snapshot format version {version!r}")
-    return _decode(manifest["tree"], arrays)
 
 
 def write_snapshot(state, path: str) -> None:
@@ -228,6 +206,40 @@ def resolve_tenant_payloads(state: dict) -> Dict[str, dict]:
     return payloads
 
 
+def compact_chain(paths: Sequence[str], output: str = None, remove: bool = True) -> str:
+    """Fold ``[full, d1 … dn]`` into a fresh full snapshot and GC the links.
+
+    Crash drills and long-running deployments grow chains one delta per
+    checkpoint, and every restore/failover replays the whole chain —
+    compaction bounds that replay cost.  The chain is resolved through
+    :func:`resolve_chain` (so all identity/sequence validation applies),
+    the resolved state is written as a single full snapshot, and the
+    superseded links are deleted.
+
+    ``output`` defaults to the chain base, which is overwritten in place
+    (crash-atomically — :func:`write_snapshot` goes through a temp file,
+    so a crash mid-compaction leaves the original chain intact and fully
+    replayable).  The compacted snapshot keeps the chain's ``chain_id``
+    and tip ``seq``, so a live cluster can keep appending deltas to it:
+    ``save_incremental`` after ``compact`` chains onto the compacted base
+    exactly as it would have onto the full original.
+
+    Returns the output path (the new single-link chain).
+    """
+    paths = list(paths)
+    state = resolve_chain(paths)
+    if output is None:
+        output = paths[0]
+    write_snapshot(state, output)
+    if remove:
+        kept = os.path.abspath(_npz_path(output))
+        for link in paths:
+            file = os.path.abspath(_npz_path(link))
+            if file != kept:
+                os.remove(file)
+    return output
+
+
 def _apply_delta(state: dict, delta: dict) -> dict:
     """One chain step: rebuild every shard's state from base + churn.
 
@@ -308,59 +320,3 @@ def load_forecaster(service: ForecastService, path: str) -> StreamingForecaster:
     return StreamingForecaster.from_state(service, read_snapshot(path))
 
 
-# ---------------------------------------------------------------------- #
-def _encode(value, arrays: Dict[str, np.ndarray]):
-    if value is None:
-        return {"t": "none"}
-    if isinstance(value, bool):
-        return {"t": "bool", "v": value}
-    if isinstance(value, (int, float, str)):
-        return {"t": type(value).__name__, "v": value}
-    # Timestamp watermarks: ingest accepts any orderable timestamp, so the
-    # codec must at least cover the stdlib datetime types alongside
-    # np.datetime64 (handled below as a numpy scalar).
-    if isinstance(value, datetime.datetime):
-        return {"t": "datetime", "v": value.isoformat()}
-    if isinstance(value, datetime.date):
-        return {"t": "date", "v": value.isoformat()}
-    if isinstance(value, dict):
-        for key in value:
-            if not isinstance(key, str):
-                raise TypeError(f"state dict keys must be strings, got {key!r}")
-        return {"t": "dict", "v": {k: _encode(v, arrays) for k, v in value.items()}}
-    if isinstance(value, (list, tuple)):
-        return {"t": "list", "v": [_encode(item, arrays) for item in value]}
-    if isinstance(value, np.generic) or isinstance(value, np.ndarray):
-        array = np.asarray(value)
-        if array.dtype == object:
-            raise TypeError(
-                f"cannot snapshot object-dtype value {value!r} without pickling"
-            )
-        name = f"a{len(arrays)}"
-        arrays[name] = array
-        return {"t": "scalar" if isinstance(value, np.generic) else "array", "v": name}
-    raise TypeError(
-        f"cannot snapshot value of type {type(value).__name__}: {value!r} "
-        "(supported: dict/list/str/int/float/bool/None and numpy arrays/scalars)"
-    )
-
-
-def _decode(node, arrays: Dict[str, np.ndarray]):
-    kind = node["t"]
-    if kind == "none":
-        return None
-    if kind in ("bool", "int", "float", "str"):
-        return node["v"]
-    if kind == "datetime":
-        return datetime.datetime.fromisoformat(node["v"])
-    if kind == "date":
-        return datetime.date.fromisoformat(node["v"])
-    if kind == "dict":
-        return {key: _decode(child, arrays) for key, child in node["v"].items()}
-    if kind == "list":
-        return [_decode(child, arrays) for child in node["v"]]
-    if kind == "array":
-        return arrays[node["v"]]
-    if kind == "scalar":
-        return arrays[node["v"]][()]
-    raise ValueError(f"unknown snapshot node type {kind!r}")

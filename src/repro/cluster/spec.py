@@ -1,0 +1,92 @@
+"""Declarative replica recipes: build identical model replicas anywhere.
+
+Thread-backed shards take an arbitrary ``service_factory`` closure — fine
+inside one process, but a closure cannot cross a process boundary without
+pickling it, which the transport layer bans.  :class:`ServiceSpec` is the
+declarative replacement: *data* describing how to build a replica (model
+name, :class:`~repro.config.ModelConfig`, batching knobs, optional weights
+path), codec-serialisable, with one :meth:`build` that produces the
+:class:`~repro.serving.service.ForecastService`.
+
+Replica parity across processes falls out of the registry's determinism:
+``create_model`` seeds its RNG from ``config.seed`` when none is given, so
+every process building the same spec holds bit-identical weights — the
+property the cluster's bit-parity oracle rests on.  Training pipelines
+pass ``weights_path`` to serve checkpointed weights instead.
+
+A spec is also a valid ``service_factory`` for the thread backend (it is
+callable), so one recipe drives both deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from ..baselines.registry import create_model
+from ..config import ModelConfig
+from ..nn.serialization import load_module
+from ..serving.service import ForecastService
+
+__all__ = ["ServiceSpec"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Everything needed to construct one model replica, as plain data."""
+
+    model: str = "LiPFormer"
+    config: ModelConfig = field(default_factory=ModelConfig)
+    max_batch_size: int = 32
+    pad_mode: str = "edge"
+    compiled: bool = True
+    weights_path: Optional[str] = None
+
+    def build(self) -> ForecastService:
+        """Construct the replica this spec describes.
+
+        Weights are deterministic in ``config.seed`` unless a
+        ``weights_path`` overrides them, so two processes building the
+        same spec serve bit-identical forecasts.
+        """
+        model = create_model(self.model, self.config)
+        if self.weights_path is not None:
+            load_module(model, self.weights_path)
+        return ForecastService(
+            model,
+            max_batch_size=self.max_batch_size,
+            pad_mode=self.pad_mode,
+            compiled=self.compiled,
+        )
+
+    # Thread-backed shards accept any zero-arg service factory; a spec is
+    # one, so ``ShardedForecaster(spec, ...)`` works unchanged.
+    __call__ = build
+
+    def to_state(self) -> dict:
+        """Codec-compatible description (for the wire / snapshots)."""
+        return {
+            "model": self.model,
+            "config": asdict(self.config),
+            "max_batch_size": int(self.max_batch_size),
+            "pad_mode": self.pad_mode,
+            "compiled": bool(self.compiled),
+            "weights_path": self.weights_path,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ServiceSpec":
+        """Invert :meth:`to_state`."""
+        config = dict(state["config"])
+        # The codec renders tuples as lists; the config field is a tuple.
+        config["covariate_categorical_cardinalities"] = tuple(
+            int(c) for c in config.get("covariate_categorical_cardinalities", ())
+        )
+        return cls(
+            model=str(state["model"]),
+            config=ModelConfig(**{k: v for k, v in config.items()}),
+            max_batch_size=int(state["max_batch_size"]),
+            pad_mode=str(state["pad_mode"]),
+            compiled=bool(state["compiled"]),
+            weights_path=state.get("weights_path"),
+        )

@@ -1,0 +1,294 @@
+"""Process-shard worker: one full streaming stack behind a socket.
+
+``python -m repro.cluster.worker <fd>`` is the child half of
+:class:`~repro.cluster.process.ProcessShard`: it adopts the inherited
+socketpair fd, builds a complete streaming stack (model replica →
+:class:`~repro.serving.service.ForecastService` micro-batching →
+:class:`~repro.streaming.forecaster.StreamingForecaster` store) from the
+:class:`~repro.cluster.spec.ServiceSpec` in the ``init`` message, and
+then serves a strict request/reply command loop over the pickle-free
+wire codec until the stream closes.
+
+The command set mirrors the :class:`StreamingForecaster` surface plus
+the persistence hooks the coordinator needs (full state, delta state,
+census, tenant export/import), so the coordinator can drive checkpoint
+chains and failover with exactly the thread-backend semantics.  Every
+command runs under a broad handler that ships the error back as a typed
+payload — a bad request must never kill the worker, only that request.
+
+Tracing crosses the boundary explicitly: a request carrying
+``"trace": true`` runs under a ``worker.<cmd>`` span with tracing forced
+on, and the reply carries the exported span subtree for the coordinator
+to graft under its own span (:func:`repro.obs.import_spans`).
+
+Exit paths: a ``shutdown`` command (graceful), or EOF on the socket —
+the coordinator closed or died, and a worker without a coordinator has
+nothing left to serve.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import asdict
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import obs, wire
+from ..streaming.forecaster import StreamingForecast, StreamingForecaster
+from .spec import ServiceSpec
+
+__all__ = ["ShardWorker", "main"]
+
+
+class ShardWorker:
+    """The in-process state of one worker: stack, pending forecasts, loop."""
+
+    def __init__(self, channel) -> None:
+        self._channel = channel
+        self._forecaster: Optional[StreamingForecaster] = None
+        self._pending: Dict[str, StreamingForecast] = {}
+        self._shard_id = "?"
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Serve requests until shutdown or coordinator disappearance."""
+        while True:
+            try:
+                message = wire.recv_message(self._channel)
+            except wire.EndOfStream:
+                return
+            if not isinstance(message, dict) or "cmd" not in message:
+                wire.send_message(
+                    self._channel,
+                    {"error": {"type": "ValueError", "message": "malformed request"}},
+                )
+                continue
+            command = str(message["cmd"])
+            reply = self._dispatch(command, message)
+            wire.send_message(self._channel, reply)
+            if command == "shutdown" and "error" not in reply:
+                return
+
+    def _dispatch(self, command: str, message: dict) -> dict:
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            return {
+                "error": {
+                    "type": "ValueError",
+                    "message": f"unknown command {command!r}",
+                }
+            }
+        try:
+            if message.get("trace"):
+                return self._traced(command, handler, message)
+            return handler(message)
+        except Exception as error:
+            # Deliberately broad: the error is recorded on the reply and
+            # re-raised coordinator-side with its type — a bad request
+            # must not take the worker (and its tenants' state) down.
+            return {"error": wire.error_payload(error)}
+
+    def _traced(self, command: str, handler, message: dict) -> dict:
+        """Run one command under a span tree and ship the tree back.
+
+        The worker is single-threaded, so the process-default recorder
+        can be cleared per command: whatever it holds afterwards is
+        exactly this command's subtree.
+        """
+        with obs.observability(tracing=True):
+            recorder = obs.default_recorder()
+            recorder.clear()
+            with obs.span(f"worker.{command}", shard=self._shard_id):
+                reply = handler(message)
+            spans = obs.export_spans(recorder.spans())
+            recorder.clear()
+        reply["spans"] = spans
+        return reply
+
+    # ------------------------------------------------------------------ #
+    def _require(self) -> StreamingForecaster:
+        if self._forecaster is None:
+            raise RuntimeError("worker not initialised: send init first")
+        return self._forecaster
+
+    def _census(self) -> Dict[str, dict]:
+        """Per-tenant ingest watermarks: what the coordinator mirrors."""
+        store = self._require().store
+        return {
+            tenant: {
+                "observed": int(store.observed(tenant)),
+                "generation": int(store.generation(tenant)),
+            }
+            for tenant in store.tenants()
+        }
+
+    # ------------------------------------------------------------------ #
+    def _cmd_init(self, message: dict) -> dict:
+        spec = ServiceSpec.from_state(message["spec"])
+        self._shard_id = str(message.get("shard_id", "?"))
+        window_capacity = message.get("window_capacity")
+        self._forecaster = StreamingForecaster(
+            spec.build(),
+            normalization=str(message.get("normalization", "none")),
+            window_capacity=None if window_capacity is None else int(window_capacity),
+        )
+        if message.get("warmup", True):
+            self._forecaster.warmup()
+        return {"ok": True, "pid": os.getpid()}
+
+    def _cmd_ping(self, message: dict) -> dict:
+        return {"ok": True, "pid": os.getpid()}
+
+    def _cmd_shutdown(self, message: dict) -> dict:
+        return {"ok": True}
+
+    # ------------------------------------------------------------------ #
+    def _cmd_ingest(self, message: dict) -> dict:
+        forecaster = self._require()
+        tenant = str(message["tenant"])
+        total = forecaster.ingest(
+            tenant, message["values"], timestamp=message.get("timestamp")
+        )
+        return {
+            "total": int(total),
+            "generation": int(forecaster.store.generation(tenant)),
+        }
+
+    def _cmd_submit(self, message: dict) -> dict:
+        forecaster = self._require()
+        handle = forecaster.forecast(
+            str(message["tenant"]),
+            future_numerical=message.get("future_numerical"),
+            future_categorical=message.get("future_categorical"),
+        )
+        self._pending[str(message["id"])] = handle
+        return {"ok": True, "queued": len(self._pending)}
+
+    def _cmd_flush(self, message: dict) -> dict:
+        flushed = self._require().flush()
+        return self._resolve_pending(flushed)
+
+    def _cmd_forecast_many(self, message: dict) -> dict:
+        forecaster = self._require()
+        for entry in message["entries"]:
+            handle = forecaster.forecast(
+                str(entry["tenant"]),
+                future_numerical=entry.get("fn"),
+                future_categorical=entry.get("fc"),
+            )
+            self._pending[str(entry["id"])] = handle
+        if not message.get("flush", True):
+            return {"flushed": 0, "results": {}, "errors": {}}
+        return self._resolve_pending(forecaster.flush())
+
+    def _resolve_pending(self, flushed: int) -> dict:
+        results: Dict[str, np.ndarray] = {}
+        errors: Dict[str, dict] = {}
+        for request_id, handle in self._pending.items():
+            try:
+                results[request_id] = np.asarray(handle.result())
+            except Exception as error:
+                # Recorded per-request and re-raised when the coordinator
+                # resolves that handle; sibling requests still succeed.
+                errors[request_id] = wire.error_payload(error)
+        self._pending.clear()
+        return {"flushed": int(flushed), "results": results, "errors": errors}
+
+    # ------------------------------------------------------------------ #
+    def _cmd_warmup(self, message: dict) -> dict:
+        sizes = message.get("batch_sizes")
+        traced = self._require().warmup(
+            None if sizes is None else [int(size) for size in sizes]
+        )
+        return {"traced": int(traced)}
+
+    def _cmd_drop(self, message: dict) -> dict:
+        self._require().drop(str(message["tenant"]))
+        return {"ok": True}
+
+    def _cmd_tenants(self, message: dict) -> dict:
+        return {"tenants": self._require().store.tenants()}
+
+    def _cmd_census(self, message: dict) -> dict:
+        return {"census": self._census()}
+
+    def _cmd_export_tenant(self, message: dict) -> dict:
+        return {"payload": self._require().export_tenant(str(message["tenant"]))}
+
+    def _cmd_import_tenant(self, message: dict) -> dict:
+        forecaster = self._require()
+        tenant = str(message["tenant"])
+        forecaster.import_tenant(tenant, message["payload"])
+        return {
+            "observed": int(forecaster.store.observed(tenant)),
+            "generation": int(forecaster.store.generation(tenant)),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _cmd_state(self, message: dict) -> dict:
+        return {"state": self._require().to_state()}
+
+    def _cmd_restore(self, message: dict) -> dict:
+        """Replace the streaming state, keeping the already-built replica."""
+        forecaster = self._require()
+        self._forecaster = StreamingForecaster.from_state(
+            forecaster.service, message["state"]
+        )
+        self._pending.clear()
+        return {"census": self._census()}
+
+    def _cmd_delta(self, message: dict) -> dict:
+        forecaster = self._require()
+        dirty = set(forecaster.dirty_tenants())
+        order = forecaster.store.tenants()
+        return {
+            "order": order,
+            "dirty": {
+                tenant: forecaster.export_tenant(tenant)
+                for tenant in order
+                if tenant in dirty
+            },
+            "stats": asdict(forecaster.stats_snapshot()),
+            "store_stats": asdict(forecaster.store.stats_snapshot()),
+            "store": {
+                "capacity": int(forecaster.store.capacity),
+                "n_channels": int(forecaster.store.n_channels),
+                "dtype": forecaster.store.dtype.name,
+            },
+        }
+
+    def _cmd_clear_dirty(self, message: dict) -> dict:
+        self._require().clear_dirty()
+        return {"ok": True}
+
+    def _cmd_stats(self, message: dict) -> dict:
+        forecaster = self._require()
+        return {
+            "service": asdict(forecaster.service.stats_snapshot()),
+            "streaming": asdict(forecaster.stats_snapshot()),
+            "store": asdict(forecaster.store.stats_snapshot()),
+        }
+
+    def _cmd_reset_stats(self, message: dict) -> dict:
+        self._require().service.reset_stats()
+        return {"ok": True}
+
+    def _cmd_metrics(self, message: dict) -> dict:
+        return {"snapshot": obs.default_registry().snapshot()}
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if len(argv) != 1:
+        raise SystemExit("usage: python -m repro.cluster.worker <fd>")
+    channel = wire.claim_worker_fd(int(argv[0]))
+    try:
+        ShardWorker(channel).run()
+    finally:
+        channel.close()
+
+
+if __name__ == "__main__":
+    main()

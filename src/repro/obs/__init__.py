@@ -45,6 +45,8 @@ from .trace import (
     chrome_trace,
     current_span,
     default_recorder,
+    export_spans,
+    import_spans,
     span,
 )
 
@@ -63,7 +65,9 @@ __all__ = [
     "current_span",
     "default_recorder",
     "default_registry",
+    "export_spans",
     "gauge",
+    "import_spans",
     "histogram",
     "log_buckets",
     "metrics_enabled",

@@ -34,6 +34,8 @@ __all__ = [
     "carry_current_span",
     "default_recorder",
     "chrome_trace",
+    "export_spans",
+    "import_spans",
 ]
 
 _NEXT_ID = itertools.count(1)
@@ -183,6 +185,73 @@ def current_span() -> Optional[Span]:
     """The innermost active span on this thread, if any."""
     stack = getattr(_LOCAL, "spans", None)
     return stack[-1] if stack else None
+
+
+def export_spans(spans: List[Span]) -> List[Dict[str, object]]:
+    """Serialise completed spans as plain wire-safe records.
+
+    This is the process-boundary counterpart of :func:`carry_current_span`:
+    a worker exports the spans its command produced, ships them back in
+    the reply, and the coordinator grafts them under its own active span
+    with :func:`import_spans` — one connected tree across processes.
+    ``args`` values that are not JSON scalars are stringified (span args
+    are labels, not data).
+    """
+    records: List[Dict[str, object]] = []
+    for span_ in spans:
+        args = {
+            key: value if isinstance(value, (str, int, float, bool, type(None))) else str(value)
+            for key, value in span_.args.items()
+        }
+        records.append(
+            {
+                "name": span_.name,
+                "args": args,
+                "span_id": span_.span_id,
+                "parent_id": span_.parent_id,
+                "start": span_.start,
+                "duration": span_.duration,
+            }
+        )
+    return records
+
+
+def import_spans(
+    records: List[Dict[str, object]],
+    parent_id: Optional[int] = None,
+    rebase: float = 0.0,
+    recorder: Optional[TraceRecorder] = None,
+) -> int:
+    """Graft exported spans into this process's trace.
+
+    Span ids are remapped through this process's id counter (two workers'
+    id sequences would otherwise collide), internal parent links are
+    preserved, and roots are re-parented under ``parent_id``.  ``rebase``
+    is added to every start time: each process has its own
+    ``perf_counter`` origin, so the caller passes (local send time −
+    worker root start) to place the subtree on the local clock.
+
+    Returns the number of spans imported.
+    """
+    target = recorder if recorder is not None else _DEFAULT_RECORDER
+    # Two passes: spans are recorded in completion order (children before
+    # parents), so every id must be remapped before links are resolved.
+    mapping: Dict[int, int] = {}
+    for record in records:
+        mapping[int(record["span_id"])] = next(_NEXT_ID)
+    for record in records:
+        span_ = Span(str(record["name"]), dict(record.get("args") or {}), target)
+        span_.span_id = mapping[int(record["span_id"])]
+        old_parent = record.get("parent_id")
+        if old_parent is not None and int(old_parent) in mapping:
+            span_.parent_id = mapping[int(old_parent)]
+        else:
+            span_.parent_id = parent_id
+        span_.start = float(record.get("start", 0.0)) + rebase
+        span_.duration = float(record.get("duration", 0.0))
+        span_.thread_id = threading.get_ident()
+        target.record(span_)
+    return len(records)
 
 
 def carry_current_span(fn: Callable) -> Callable:

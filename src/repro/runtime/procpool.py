@@ -1,0 +1,284 @@
+"""Process-pool executor: ``Executor.map`` across real OS processes.
+
+:class:`~repro.runtime.executor.PoolExecutor` overlaps shard work on
+threads, which reaches S cores only while the work is inside BLAS (or
+otherwise releases the GIL).  :class:`ProcessExecutor` is the same
+strategy interface over worker *processes* — pure-Python task bodies
+scale too, at the price of a real constraint: everything that crosses
+the boundary must survive the pickle-free wire codec
+(:mod:`repro.wire`), so
+
+* the task callable must be addressable as ``module:qualname`` — a
+  top-level function (or classmethod/staticmethod reachable by
+  attribute path), importable in the worker.  Lambdas, closures and
+  bound methods are rejected at submit time with a ``TypeError``, not
+  shipped by value;
+* arguments and results must be codec-compatible values (nested
+  dict/list/str/int/float/bool/None, numpy arrays/scalars, datetimes).
+
+Scheduling is wave-based: each wave sends at most one task to every
+worker, then collects every reply.  In-flight data per socketpair is
+bounded by one request plus one reply, so a large fan-out can never
+deadlock both ends writing into full pipe buffers — and within a wave,
+W workers still run W tasks concurrently.  A worker that dies mid-task
+settles that task's slot with the failure and is respawned for the next
+wave; the batch as a whole honours the executor contract (every task
+runs, first failure re-raised after the batch settles).
+
+The worker half lives in this module too: ``python -m
+repro.runtime.procpool <fd>`` serves ``call`` requests over the
+inherited socketpair until EOF or ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import threading
+import types
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from .. import wire
+from .executor import Executor
+
+__all__ = ["ProcessExecutor", "task_name", "main"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def task_name(fn: Callable) -> str:
+    """The ``module:qualname`` address a worker re-imports ``fn`` from.
+
+    Raises ``TypeError`` for callables that have no such address —
+    lambdas, local closures (qualname contains ``<locals>``), bound
+    methods and arbitrary callable instances.  The check runs at submit
+    time, where the fix (move the function to module scope) is obvious,
+    rather than surfacing as an import error inside a worker.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        raise TypeError(f"{fn!r} is not an importable function")
+    # A builtin like ``math.sqrt`` carries ``__self__ = <module math>`` —
+    # that's still importable by name; only instance/class binding isn't.
+    bound_to = getattr(fn, "__self__", None)
+    if "<" in qualname or (bound_to is not None and not isinstance(bound_to, types.ModuleType)):
+        raise TypeError(
+            f"cannot ship {module}.{qualname} to a worker process: only "
+            "importable module-level functions can cross the process "
+            "boundary (no lambdas, closures or bound methods)"
+        )
+    if module == "__main__":
+        raise TypeError(
+            f"cannot ship __main__.{qualname}: the worker process imports "
+            "tasks by module name, and __main__ is a different module there"
+        )
+    return f"{module}:{qualname}"
+
+
+def _resolve_task(name: str) -> Callable:
+    """Worker-side inverse of :func:`task_name`."""
+    module_name, _, qualname = name.partition(":")
+    target = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+class _Worker:
+    """One pool process: spawn, one round trip per task, dispose."""
+
+    def __init__(self, sys_path: Sequence[str], request_timeout: Optional[float]) -> None:
+        self._sock, self.process = wire.spawn_worker("repro.runtime.procpool")
+        self.request_timeout = request_timeout
+        try:
+            self._roundtrip({"cmd": "init", "sys_path": list(sys_path)})
+        except BaseException:
+            self.dispose()
+            raise
+
+    def _roundtrip(self, message: dict) -> dict:
+        wire.send_message(self._sock, message)
+        reply = wire.recv_message(self._sock, timeout=self.request_timeout)
+        if "error" in reply:
+            wire.raise_remote(reply["error"])
+        return reply
+
+    def call(self, name: str, args: Sequence, kwargs: dict):
+        return self._roundtrip(
+            {"cmd": "call", "task": name, "args": list(args), "kwargs": kwargs}
+        )["result"]
+
+    def dispose(self) -> None:
+        """Close the stream (the worker exits on EOF) and reap the process."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        if self.process.poll() is None:
+            try:
+                self.process.wait(timeout=5.0)
+            except Exception:
+                self.process.kill()
+        self.process.wait()
+
+
+class ProcessExecutor(Executor):
+    """Run tasks on a pool of worker processes (GIL-free parallelism).
+
+    Parameters
+    ----------
+    max_workers:
+        pool width.  Workers spawn lazily on first :meth:`map` and are
+        reused across calls, so a long-lived caller pays interpreter
+        start-up once, not per fan-out.
+    sys_path:
+        extra directories appended to each worker's ``sys.path`` before
+        it resolves tasks — for task modules that are importable in the
+        parent only via path manipulation (tests, scripts).
+    request_timeout:
+        seconds one task round trip may take before the worker is
+        declared dead (``None`` waits forever).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        sys_path: Sequence[str] = (),
+        request_timeout: Optional[float] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self.sys_path = tuple(sys_path)
+        self.request_timeout = request_timeout
+        self._workers: List[Optional[_Worker]] = []
+        self._lock = threading.Lock()
+
+    def _worker(self, slot: int) -> _Worker:
+        with self._lock:
+            while len(self._workers) < self.max_workers:
+                self._workers.append(None)
+            if self._workers[slot] is None:
+                self._workers[slot] = _Worker(self.sys_path, self.request_timeout)
+            return self._workers[slot]
+
+    def _retire(self, slot: int) -> None:
+        with self._lock:
+            worker, self._workers[slot] = self._workers[slot], None
+        if worker is not None:
+            worker.dispose()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        name = task_name(fn)
+        results: List[R] = [None] * len(items)  # type: ignore[list-item]
+        first_error: Optional[BaseException] = None
+        width = min(self.max_workers, len(items))
+        for wave_start in range(0, len(items), width):
+            wave = list(enumerate(items))[wave_start : wave_start + width]
+            # Send the whole wave before collecting any reply: W workers
+            # compute concurrently, but at most one request and one reply
+            # are ever in a socketpair, so pipe buffers cannot deadlock.
+            sent: List[int] = []
+            for offset, (index, item) in enumerate(wave):
+                try:
+                    worker = self._worker(offset)
+                    wire.send_message(
+                        worker._sock,
+                        {"cmd": "call", "task": name, "args": [item], "kwargs": {}},
+                    )
+                    sent.append(offset)
+                except BaseException as error:
+                    self._retire(offset)
+                    if first_error is None:
+                        first_error = error
+            for offset, (index, item) in enumerate(wave):
+                if offset not in sent:
+                    continue
+                worker = self._workers[offset]
+                try:
+                    reply = wire.recv_message(worker._sock, timeout=self.request_timeout)
+                except BaseException as error:
+                    # Worker crashed (or hung past the budget) mid-task:
+                    # settle this slot with the failure, retire the worker
+                    # so the next wave gets a fresh process.
+                    self._retire(offset)
+                    if first_error is None:
+                        first_error = error
+                    continue
+                if "error" in reply:
+                    if first_error is None:
+                        try:
+                            wire.raise_remote(reply["error"])
+                        except BaseException as error:
+                            first_error = error
+                    continue
+                results[index] = reply["result"]
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        with self._lock:
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            if worker is not None:
+                worker.dispose()
+
+
+# ---------------------------------------------------------------------- #
+# Worker half.
+# ---------------------------------------------------------------------- #
+def _serve(channel) -> None:
+    """Answer ``init``/``call``/``ping``/``shutdown`` until EOF."""
+    while True:
+        try:
+            message = wire.recv_message(channel)
+        except wire.EndOfStream:
+            return
+        command = message.get("cmd") if isinstance(message, dict) else None
+        try:
+            if command == "init":
+                for path in message.get("sys_path", []):
+                    if path not in sys.path:
+                        sys.path.append(str(path))
+                reply = {"ok": True}
+            elif command == "call":
+                fn = _resolve_task(str(message["task"]))
+                reply = {"result": fn(*message["args"], **message.get("kwargs", {}))}
+            elif command == "ping":
+                reply = {"ok": True}
+            elif command == "shutdown":
+                wire.send_message(channel, {"ok": True})
+                return
+            else:
+                reply = {
+                    "error": {
+                        "type": "ValueError",
+                        "message": f"unknown command {command!r}",
+                    }
+                }
+        except Exception as error:
+            # Deliberately broad: the task's failure belongs to its slot
+            # in the batch, not to the worker — ship it back typed.
+            reply = {"error": wire.error_payload(error)}
+        wire.send_message(channel, reply)
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if len(argv) != 1:
+        raise SystemExit("usage: python -m repro.runtime.procpool <fd>")
+    channel = wire.claim_worker_fd(int(argv[0]))
+    try:
+        _serve(channel)
+    finally:
+        channel.close()
+
+
+if __name__ == "__main__":
+    main()

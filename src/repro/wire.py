@@ -1,0 +1,346 @@
+"""Pickle-free binary message transport for process-backed workers.
+
+The cluster's persistence layer already flattens arbitrary nested state
+(dicts, lists, arrays, scalars, ``datetime64`` timestamps, ``None``) into
+a JSON manifest plus a flat string → array map — with tenant keys living
+inside the manifest so any string round-trips, and object dtypes rejected
+because they would silently require pickling.  This module is that same
+codec promoted to a wire format:
+
+* :func:`encode_state` / :func:`decode_state` — the nested-tree codec
+  itself (re-exported by :mod:`repro.cluster.snapshot`, which layers the
+  ``.npz`` archive format on top for disk).
+* :func:`pack_message` / :func:`unpack_message` — one message as a single
+  ``bytes`` value: a magic tag, a JSON header carrying the manifest tree
+  and per-array descriptors (dtype string, shape, byte length), then the
+  raw C-contiguous array bytes concatenated.  ``dtype.str`` preserves
+  endianness and datetime64 units, so a message decodes bit-identically
+  on the other side of the pipe.
+* :func:`send_message` / :func:`recv_message` — length-prefixed framing
+  over a stream socket (8-byte big-endian prefix), with EOF surfaced as
+  :class:`EndOfStream` so a dead peer is a typed event, not a hang.
+* :func:`error_payload` / :func:`raise_remote` — the error channel: a
+  worker-side exception crosses the wire as ``{"type", "message"}`` and
+  is re-raised coordinator-side as the matching builtin where possible,
+  so routing errors keep their thread-backend types (``KeyError`` for an
+  unknown tenant, ``ValueError`` for a bad payload).
+* :func:`spawn_worker` — launch ``python -m <module> <fd>`` over one end
+  of a :func:`socket.socketpair`, with ``PYTHONPATH`` carrying this very
+  package.  ``subprocess`` + an inherited fd avoids both multiprocessing's
+  pickled bootstrap and fork-from-a-threaded-parent hazards, and the
+  child is a real OS process a crash drill can ``kill -9``.
+
+No pickle anywhere: the ``pickle-ban`` lint rule covers this module.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EndOfStream",
+    "MAX_FRAME_BYTES",
+    "claim_worker_fd",
+    "decode_state",
+    "encode_state",
+    "error_payload",
+    "pack_message",
+    "raise_remote",
+    "recv_message",
+    "send_message",
+    "spawn_worker",
+]
+
+#: formats understood by the codec; bumped on incompatible layout changes
+_FORMAT_VERSION = 1
+
+#: message magic: "repro wire, layout 1" — a frame that does not start with
+#: this is a protocol error (e.g. a stray write on the worker's fd), caught
+#: before any attempt to interpret lengths out of garbage.
+_MAGIC = b"RPW1"
+
+#: frame prefix: payload byte length, 8-byte big-endian
+_FRAME = struct.Struct(">Q")
+
+#: header prefix inside the payload: JSON header byte length
+_HEADER = struct.Struct(">I")
+
+#: sanity ceiling for a single frame (1 TiB).  Real messages are bounded by
+#: tenant windows and snapshots; anything past this is stream corruption.
+MAX_FRAME_BYTES = 1 << 40
+
+_CHUNK = 1 << 20
+
+
+class EndOfStream(ConnectionError):
+    """The peer closed its end of the stream (process exit or crash)."""
+
+
+# ---------------------------------------------------------------------- #
+# Nested-tree codec (shared with the .npz snapshot format).
+# ---------------------------------------------------------------------- #
+def encode_state(state) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Flatten a nested state tree into (JSON manifest, flat array map).
+
+    Arrays (and array-like scalars such as ``np.datetime64`` timestamps)
+    are pulled out into numbered entries; structure, strings, numbers,
+    booleans and ``None`` live in the manifest.  Only npz-native dtypes
+    are accepted — an object array would silently require pickling, so it
+    raises instead.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    tree = _encode(state, arrays)
+    manifest = {"version": _FORMAT_VERSION, "tree": tree}
+    return manifest, arrays
+
+
+def decode_state(manifest: dict, arrays: Dict[str, np.ndarray]):
+    """Invert :func:`encode_state`."""
+    version = manifest.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot format version {version!r}")
+    return _decode(manifest["tree"], arrays)
+
+
+def _encode(value, arrays: Dict[str, np.ndarray]):
+    if value is None:
+        return {"t": "none"}
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    # Numpy scalars must be claimed before the plain-scalar branch:
+    # ``np.float64`` *subclasses* ``float``, and routing it there would
+    # stamp the node with a type name the decoder doesn't know.
+    if isinstance(value, (np.generic, np.ndarray)):
+        array = np.asarray(value)
+        if array.dtype == object:
+            raise TypeError(
+                f"cannot snapshot object-dtype value {value!r} without pickling"
+            )
+        name = f"a{len(arrays)}"
+        arrays[name] = array
+        return {"t": "scalar" if isinstance(value, np.generic) else "array", "v": name}
+    if isinstance(value, (int, float, str)):
+        return {"t": type(value).__name__, "v": value}
+    # Timestamp watermarks: ingest accepts any orderable timestamp, so the
+    # codec must at least cover the stdlib datetime types alongside
+    # np.datetime64 (handled below as a numpy scalar).
+    if isinstance(value, datetime.datetime):
+        return {"t": "datetime", "v": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"t": "date", "v": value.isoformat()}
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(f"state dict keys must be strings, got {key!r}")
+        return {"t": "dict", "v": {k: _encode(v, arrays) for k, v in value.items()}}
+    if isinstance(value, (list, tuple)):
+        return {"t": "list", "v": [_encode(item, arrays) for item in value]}
+    raise TypeError(
+        f"cannot snapshot value of type {type(value).__name__}: {value!r} "
+        "(supported: dict/list/str/int/float/bool/None and numpy arrays/scalars)"
+    )
+
+
+def _decode(node, arrays: Dict[str, np.ndarray]):
+    kind = node["t"]
+    if kind == "none":
+        return None
+    if kind in ("bool", "int", "float", "str"):
+        return node["v"]
+    if kind == "datetime":
+        return datetime.datetime.fromisoformat(node["v"])
+    if kind == "date":
+        return datetime.date.fromisoformat(node["v"])
+    if kind == "dict":
+        return {key: _decode(child, arrays) for key, child in node["v"].items()}
+    if kind == "list":
+        return [_decode(child, arrays) for child in node["v"]]
+    if kind == "array":
+        return arrays[node["v"]]
+    if kind == "scalar":
+        return arrays[node["v"]][()]
+    raise ValueError(f"unknown snapshot node type {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Message packing: codec tree → one bytes value and back.
+# ---------------------------------------------------------------------- #
+def pack_message(message) -> bytes:
+    """Serialise one codec-compatible value into a self-describing blob.
+
+    Layout: ``magic | u32 header_len | header_json | array bytes...``.
+    The header carries the manifest tree plus, per array, its entry name,
+    ``dtype.str`` (endianness- and unit-preserving), shape and byte count;
+    array bytes follow in descriptor order, each C-contiguous.
+    """
+    manifest, arrays = encode_state(message)
+    descriptors: List[dict] = []
+    blobs: List[bytes] = []
+    for name, array in arrays.items():
+        contiguous = np.ascontiguousarray(array)
+        blob = contiguous.tobytes()
+        descriptors.append(
+            {
+                "k": name,
+                "d": contiguous.dtype.str,
+                # The original shape, not the contiguous copy's:
+                # ascontiguousarray promotes 0-d scalars to 1-d, and a
+                # scalar must come back 0-d to decode as a scalar.
+                "s": list(array.shape),
+                "n": len(blob),
+            }
+        )
+        blobs.append(blob)
+    header = json.dumps({"manifest": manifest, "arrays": descriptors}).encode("utf-8")
+    return b"".join([_MAGIC, _HEADER.pack(len(header)), header] + blobs)
+
+
+def unpack_message(payload: bytes):
+    """Invert :func:`pack_message`.
+
+    Decoded arrays are copies (writable, independently owned) — a worker
+    ingests the buffer straight into its ring store, so a view into the
+    receive buffer would alias every later message.
+    """
+    view = memoryview(payload)
+    if bytes(view[: len(_MAGIC)]) != _MAGIC:
+        raise ValueError("not a wire message (bad magic)")
+    offset = len(_MAGIC)
+    (header_len,) = _HEADER.unpack_from(view, offset)
+    offset += _HEADER.size
+    header = json.loads(bytes(view[offset : offset + header_len]).decode("utf-8"))
+    offset += header_len
+    arrays: Dict[str, np.ndarray] = {}
+    for descriptor in header["arrays"]:
+        nbytes = int(descriptor["n"])
+        blob = view[offset : offset + nbytes]
+        if len(blob) != nbytes:
+            raise ValueError("truncated wire message (array bytes missing)")
+        offset += nbytes
+        array = np.frombuffer(blob, dtype=np.dtype(descriptor["d"]))
+        arrays[descriptor["k"]] = array.reshape(tuple(descriptor["s"])).copy()
+    if offset != len(view):
+        raise ValueError("trailing bytes after wire message")
+    return decode_state(header["manifest"], arrays)
+
+
+# ---------------------------------------------------------------------- #
+# Length-prefixed framing over a stream socket.
+# ---------------------------------------------------------------------- #
+def send_message(sock: socket.socket, message) -> None:
+    """Send one framed message (blocking until fully written)."""
+    payload = pack_message(message)
+    sock.sendall(_FRAME.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket, timeout: Optional[float] = None):
+    """Receive one framed message.
+
+    Raises :class:`EndOfStream` if the peer closed the stream (worker
+    exit or crash — the kernel delivers EOF/ECONNRESET the moment the
+    process dies, so death detection needs no timeout in the common
+    case), and ``TimeoutError`` if ``timeout`` elapses mid-frame.
+    """
+    sock.settimeout(timeout)
+    prefix = _recv_exact(sock, _FRAME.size)
+    (length,) = _FRAME.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame length {length} exceeds sanity limit — corrupt stream")
+    return unpack_message(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, _CHUNK))
+        if not chunk:
+            raise EndOfStream(
+                f"peer closed the stream with {remaining} of {n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------- #
+# Error channel.
+# ---------------------------------------------------------------------- #
+#: builtin exception types allowed to re-materialise coordinator-side, so
+#: remote errors keep thread-backend semantics (``KeyError`` for unknown
+#: tenants, ``ValueError`` for bad geometry) without ever evaluating an
+#: arbitrary type name off the wire.
+_RAISEABLE = {
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "RuntimeError": RuntimeError,
+    "IndexError": IndexError,
+    "NotImplementedError": NotImplementedError,
+    "ZeroDivisionError": ZeroDivisionError,
+    "OverflowError": OverflowError,
+}
+
+
+def error_payload(error: BaseException) -> dict:
+    """Describe an exception for the wire (type name + message only)."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def raise_remote(payload: dict) -> None:
+    """Re-raise a worker-side error coordinator-side.
+
+    Known builtins come back as themselves; anything else becomes a
+    ``RuntimeError`` tagged with the original type name.
+    """
+    name = payload.get("type", "RuntimeError")
+    message = payload.get("message", "")
+    exc_type = _RAISEABLE.get(name)
+    if exc_type is not None:
+        raise exc_type(message)
+    raise RuntimeError(f"worker raised {name}: {message}")
+
+
+# ---------------------------------------------------------------------- #
+# Worker spawning.
+# ---------------------------------------------------------------------- #
+def spawn_worker(module: str, *args: str) -> Tuple[socket.socket, subprocess.Popen]:
+    """Launch ``python -m module <fd> [args...]`` over one socketpair end.
+
+    Returns the parent's socket and the child ``Popen``.  The child fd is
+    passed by number via ``pass_fds`` (which both preserves the number and
+    marks it inheritable), and ``PYTHONPATH`` is prefixed with this
+    package's ``src`` root so the worker imports the same ``repro`` the
+    coordinator is running — regardless of the caller's cwd.
+    """
+    parent, child = socket.socketpair()
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    try:
+        process = subprocess.Popen(
+            [sys.executable, "-m", module, str(child.fileno()), *args],
+            pass_fds=(child.fileno(),),
+            env=env,
+        )
+    except BaseException:
+        parent.close()
+        raise
+    finally:
+        child.close()
+    return parent, process
+
+
+def claim_worker_fd(fd: int) -> socket.socket:
+    """Worker-side half of :func:`spawn_worker`: adopt the inherited fd."""
+    return socket.socket(fileno=fd)

@@ -304,6 +304,44 @@ class TestPickleBan:
         findings = lint(source, path="repro/cluster/router.py", rules=[PickleBanRule])
         assert rule_ids(findings) == ["pickle-ban"]
 
+    def test_wire_transport_in_scope(self, lint):
+        # The process-boundary transport is exactly where pickle would be
+        # the path of least resistance — the ban must cover it.
+        source = """
+            import pickle
+
+            def send(sock, message):
+                sock.sendall(pickle.dumps(message))
+        """
+        findings = lint(source, path="repro/wire.py", rules=[PickleBanRule])
+        assert rule_ids(findings) == ["pickle-ban"]
+
+    def test_procpool_in_scope(self, lint):
+        source = """
+            from pickle import loads
+
+            def receive(blob):
+                return loads(blob)
+        """
+        findings = lint(source, path="repro/runtime/procpool.py", rules=[PickleBanRule])
+        assert rule_ids(findings) == ["pickle-ban"]
+        # The rest of repro.runtime (locks, thread executors) carries no
+        # serialised state and stays out of scope.
+        assert lint(source, path="repro/runtime/executor.py", rules=[PickleBanRule]) == []
+
+    def test_real_transport_modules_are_clean(self, lint):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for module in (
+            "repro/wire.py",
+            "repro/runtime/procpool.py",
+            "repro/cluster/worker.py",
+            "repro/cluster/process.py",
+        ):
+            source = (root / "src" / module).read_text(encoding="utf-8")
+            assert lint(source, path=module, rules=[PickleBanRule]) == [], module
+
 
 class TestExceptHygiene:
     def test_blind_swallow_flagged(self, lint):

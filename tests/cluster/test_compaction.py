@@ -1,0 +1,174 @@
+"""Snapshot-chain compaction: bound replay cost, GC superseded links.
+
+Long-running deployments checkpoint incrementally, so the chain grows
+one delta per checkpoint and every restore/failover replays all of it.
+:func:`repro.cluster.compact_chain` folds ``[full, d1 … dn]`` into one
+fresh full snapshot and deletes the superseded files; the coordinator's
+:meth:`compact` re-points the live chain so subsequent incrementals and
+failovers use the compacted base.  Compaction must be a pure
+representation change — every observable (forecasts, tenant order,
+chain identity, tip sequence) survives bit-identically.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ProcessCoordinator,
+    ServiceSpec,
+    ShardedForecaster,
+    compact_chain,
+    read_snapshot,
+    resolve_chain,
+)
+from repro.config import ModelConfig
+
+INPUT_LENGTH = 16
+HORIZON = 4
+CHANNELS = 2
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ServiceSpec(
+        config=ModelConfig(
+            input_length=INPUT_LENGTH, horizon=HORIZON, n_channels=CHANNELS,
+            patch_length=4, hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1, seed=3,
+        ),
+        max_batch_size=16,
+    )
+
+
+def grow_chain(cluster, tmp_path, rng, deltas=3):
+    """Full save + ``deltas`` incrementals with churn between links."""
+    for i in range(8):
+        cluster.ingest(f"tenant-{i}", rng.normal(size=(INPUT_LENGTH + 2, CHANNELS)).astype(np.float32))
+    cluster.save(str(tmp_path / "base"))
+    for n in range(deltas):
+        cluster.ingest(f"tenant-{n}", rng.normal(size=(3, CHANNELS)).astype(np.float32))
+        if n == 1:
+            cluster.drop("tenant-7")
+        cluster.save_incremental(str(tmp_path / f"d{n}"))
+    return cluster.checkpoint_chain()
+
+
+def forecast_map(target):
+    return {t: h.result() for t, h in target.forecast_all().items()}
+
+
+def snapshot_file(path):
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+class TestCompactChain:
+    def test_resolved_state_survives_compaction(self, spec, tmp_path, rng):
+        cluster = ShardedForecaster(spec, n_shards=2)
+        chain = grow_chain(cluster, tmp_path, rng)
+        expected = resolve_chain(chain)
+        original = forecast_map(ShardedForecaster.load_chain(spec, chain))
+        output = compact_chain(chain, output=str(tmp_path / "compacted"))
+        compacted = read_snapshot(output)
+        assert compacted["kind"] == "full"
+        # Chain identity and tip sequence carry over, so the compacted
+        # base can keep accepting deltas where the original chain left off.
+        assert compacted["chain_id"] == expected["chain_id"]
+        assert compacted["seq"] == expected["seq"]
+        restored = forecast_map(ShardedForecaster.load(spec, output))
+        for tenant, forecast in restored.items():
+            np.testing.assert_array_equal(forecast, original[tenant])
+
+    def test_superseded_links_are_garbage_collected(self, spec, tmp_path, rng):
+        cluster = ShardedForecaster(spec, n_shards=2)
+        chain = grow_chain(cluster, tmp_path, rng)
+        files = [snapshot_file(p) for p in chain]
+        assert all(os.path.exists(f) for f in files)
+        output = compact_chain(chain)  # default: overwrite the base in place
+        assert output == chain[0]
+        assert os.path.exists(snapshot_file(output))
+        for stale in files[1:]:
+            assert not os.path.exists(stale)
+
+    def test_remove_false_keeps_the_original_chain(self, spec, tmp_path, rng):
+        cluster = ShardedForecaster(spec, n_shards=2)
+        chain = grow_chain(cluster, tmp_path, rng)
+        compact_chain(chain, output=str(tmp_path / "compacted"), remove=False)
+        assert all(os.path.exists(snapshot_file(p)) for p in chain)
+
+    def test_dropped_tenant_stays_dropped_through_compaction(self, spec, tmp_path, rng):
+        cluster = ShardedForecaster(spec, n_shards=2)
+        chain = grow_chain(cluster, tmp_path, rng)  # drops tenant-7 at d1
+        output = compact_chain(chain, output=str(tmp_path / "compacted"))
+        restored = ShardedForecaster.load(spec, output)
+        assert "tenant-7" not in restored.tenants()
+
+
+class TestLiveCompact:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_compact_repoints_chain_and_keeps_forecasts(self, spec, tmp_path, rng, backend):
+        if backend == "thread":
+            cluster = ShardedForecaster(spec, n_shards=2)
+        else:
+            cluster = ProcessCoordinator(spec, n_shards=2)
+        try:
+            grow_chain(cluster, tmp_path, rng)
+            before = forecast_map(cluster)
+            assert len(cluster.checkpoint_chain()) == 4
+            output = cluster.compact()
+            assert cluster.checkpoint_chain() == [output]
+            # Still restorable, still bit-identical.
+            loader = ShardedForecaster if backend == "thread" else ProcessCoordinator
+            restored = loader.load(spec, output)
+            try:
+                after = forecast_map(restored)
+                for tenant in before:
+                    np.testing.assert_array_equal(after[tenant], before[tenant])
+            finally:
+                if backend == "process":
+                    restored.close()
+        finally:
+            if backend == "process":
+                cluster.close()
+
+    def test_incremental_chains_onto_compacted_base(self, spec, tmp_path, rng):
+        cluster = ShardedForecaster(spec, n_shards=2)
+        grow_chain(cluster, tmp_path, rng)
+        cluster.compact()
+        cluster.ingest("tenant-2", rng.normal(size=(5, CHANNELS)).astype(np.float32))
+        cluster.save_incremental(str(tmp_path / "post"))
+        chain = cluster.checkpoint_chain()
+        assert len(chain) == 2
+        restored = ShardedForecaster.load_chain(spec, chain)
+        for tenant, forecast in forecast_map(cluster).items():
+            np.testing.assert_array_equal(forecast_map(restored)[tenant], forecast)
+
+    def test_failover_replays_the_compacted_file(self, spec, tmp_path, rng):
+        with ProcessCoordinator(spec, n_shards=3) as cluster:
+            grow_chain(cluster, tmp_path, rng)
+            baseline = forecast_map(cluster)
+            cluster.compact()
+            victim = cluster.shard_for("tenant-0")
+            cluster.kill_worker(victim)
+            report = cluster.failover(victim)
+            assert report.complete
+            recovered = forecast_map(cluster)
+            for tenant in baseline:
+                np.testing.assert_array_equal(recovered[tenant], baseline[tenant])
+
+    def test_compact_without_chain_refuses(self, spec):
+        cluster = ShardedForecaster(spec, n_shards=2)
+        with pytest.raises(RuntimeError, match="chain"):
+            cluster.compact()
+
+    def test_cross_backend_load_of_compacted_chain(self, spec, tmp_path, rng):
+        # A thread cluster compacts; a process cluster restores the result
+        # (and vice versa via TestLiveCompact's parametrised round trip).
+        cluster = ShardedForecaster(spec, n_shards=2)
+        grow_chain(cluster, tmp_path, rng)
+        output = cluster.compact()
+        expected = forecast_map(cluster)
+        with ProcessCoordinator.load(spec, output) as process:
+            produced = forecast_map(process)
+            for tenant in expected:
+                np.testing.assert_array_equal(produced[tenant], expected[tenant])

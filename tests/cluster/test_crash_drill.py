@@ -1,0 +1,215 @@
+"""Crash drill: a worker dies by real ``kill -9``; the cluster recovers.
+
+The process backend's reason to exist beyond throughput: worker death is
+an observable OS event, not a simulation.  These tests SIGKILL a live
+worker process mid-service and drive detection (:meth:`detect_failures`
+must classify without hanging), recovery (:meth:`failover` restores the
+victim's tenants from the checkpoint chain onto survivors) and honesty
+(the :class:`FailoverReport` accounts for every lost and rolled-back
+row, computed from the coordinator's census — the dead worker's memory
+is actually unreadable).
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.cluster import ProcessCoordinator, ServiceSpec, ShardedForecaster, WorkerDied
+from repro.config import ModelConfig
+
+INPUT_LENGTH = 16
+HORIZON = 4
+CHANNELS = 2
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ServiceSpec(
+        config=ModelConfig(
+            input_length=INPUT_LENGTH, horizon=HORIZON, n_channels=CHANNELS,
+            patch_length=4, hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1, seed=11,
+        ),
+        max_batch_size=16,
+    )
+
+
+def make_streams(n_tenants, rows, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        f"tenant-{i}": rng.normal(size=(rows, CHANNELS)).astype(np.float32)
+        for i in range(n_tenants)
+    }
+
+
+def populated(spec, tmp_path, n_shards=3, n_tenants=9):
+    cluster = ProcessCoordinator(spec, n_shards=n_shards)
+    for tenant, values in make_streams(n_tenants, INPUT_LENGTH + 2).items():
+        cluster.ingest(tenant, values)
+    cluster.save(str(tmp_path / "ckpt"))
+    return cluster
+
+
+class TestKillMinusNine:
+    def test_sigkill_is_detected_without_hanging(self, spec, tmp_path):
+        with populated(spec, tmp_path) as cluster:
+            victim = cluster.shard_for("tenant-0")
+            pid = cluster.worker_pid(victim)
+            os.kill(pid, signal.SIGKILL)
+            # detect_failures classifies via poll/pipe-EOF/ping budget —
+            # bounded time, and only the victim is reported.
+            assert cluster.detect_failures(timeout=5.0) == [victim]
+            survivors = [s for s in cluster.shard_ids() if s != victim]
+            assert survivors and all(
+                s not in cluster.detect_failures(timeout=5.0) for s in survivors
+            )
+
+    def test_failover_restores_checkpointed_tenants_bit_identically(self, spec, tmp_path):
+        streams = make_streams(9, INPUT_LENGTH + 2)
+        with populated(spec, tmp_path) as cluster:
+            baseline = {t: h.result() for t, h in cluster.forecast_all().items()}
+            victim = cluster.shard_for("tenant-0")
+            victims = [t for t in streams if cluster.shard_for(t) == victim]
+            assert victims, "need a populated victim shard"
+            os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+            report = cluster.failover(victim)
+            assert report.complete, report
+            assert sorted(report.restored) == sorted(victims)
+            assert victim not in cluster.shard_ids()
+            # Forecasts after recovery are bit-identical to before the
+            # crash: checkpoint state, ring re-routing and replica weights
+            # all reproduce exactly.
+            recovered = {t: h.result() for t, h in cluster.forecast_all().items()}
+            for tenant in streams:
+                np.testing.assert_array_equal(recovered[tenant], baseline[tenant])
+
+    def test_report_accounts_for_every_lost_and_stale_row(self, spec, tmp_path):
+        rng = np.random.default_rng(77)
+        with populated(spec, tmp_path) as cluster:
+            victim = cluster.shard_for("tenant-0")
+            # 3 rows ingested after the checkpoint: rolled back on failover.
+            cluster.ingest("tenant-0", rng.normal(size=(3, CHANNELS)).astype(np.float32))
+            # A tenant born after the checkpoint, placed on the victim: lost.
+            newborns = []
+            for index in range(50):
+                name = f"newborn-{index}"
+                if cluster.shard_for(name) == victim:
+                    cluster.ingest(name, rng.normal(size=(4, CHANNELS)).astype(np.float32))
+                    newborns.append(name)
+                if len(newborns) == 2:
+                    break
+            assert len(newborns) == 2
+            os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+            report = cluster.failover(victim)
+            assert sorted(report.lost) == sorted(newborns)
+            assert report.stale == {"tenant-0": 3}
+            assert not report.complete
+            # Lost tenants are gone from the cluster, not half-present.
+            assert all(n not in cluster.tenants() for n in newborns)
+
+    def test_dropped_tenant_not_resurrected_by_failover(self, spec, tmp_path):
+        with populated(spec, tmp_path) as cluster:
+            victim = cluster.shard_for("tenant-0")
+            cluster.drop("tenant-0")
+            # Re-created after the drop: a fresh incarnation of the key with
+            # 2 rows, while the checkpoint still holds the old 18-row payload.
+            cluster.ingest("tenant-0", np.zeros((2, CHANNELS), dtype=np.float32))
+            os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+            report = cluster.failover(victim)
+            # Restoring the checkpoint payload would resurrect deleted
+            # history under the new incarnation — honestly lost instead.
+            assert "tenant-0" in report.lost
+            assert "tenant-0" not in report.restored
+            assert "tenant-0" not in cluster.tenants()
+
+    def test_deleted_tenant_is_neither_restored_nor_lost(self, spec, tmp_path):
+        with populated(spec, tmp_path) as cluster:
+            victim = cluster.shard_for("tenant-0")
+            cluster.drop("tenant-0")
+            os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+            report = cluster.failover(victim)
+            # An intentional deletion isn't data loss: the key simply does
+            # not come back.
+            assert "tenant-0" not in report.lost
+            assert "tenant-0" not in report.restored
+            assert "tenant-0" not in cluster.tenants()
+
+    def test_pending_forecasts_fail_with_typed_error(self, spec, tmp_path):
+        with populated(spec, tmp_path) as cluster:
+            victim = cluster.shard_for("tenant-0")
+            handle = cluster.forecast("tenant-0")  # queued, never flushed
+            os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+            cluster.failover(victim)
+            with pytest.raises(RuntimeError, match="died before"):
+                handle.result()
+
+    def test_forecast_all_settles_healthy_shards_despite_crash(self, spec, tmp_path):
+        with populated(spec, tmp_path) as cluster:
+            victim = cluster.shard_for("tenant-0")
+            survivors_tenants = [
+                t for t in cluster.tenants() if cluster.shard_for(t) != victim
+            ]
+            assert survivors_tenants
+            os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+            with pytest.raises(WorkerDied):
+                cluster.forecast_all()
+            # The fan-out settled every healthy shard before raising: those
+            # tenants' forecasts are resolvable right now, no flush needed.
+            cluster_handles = cluster.forecast_all(survivors_tenants)
+            for handle in cluster_handles.values():
+                assert handle.result().shape == (HORIZON, CHANNELS)
+
+    def test_stats_fold_last_poll_after_crash(self, spec, tmp_path):
+        with populated(spec, tmp_path) as cluster:
+            {t: h.result() for t, h in cluster.forecast_all().items()}
+            before = cluster.service_stats()  # polls + caches per-worker stats
+            victim = cluster.shard_for("tenant-0")
+            os.kill(cluster.worker_pid(victim), signal.SIGKILL)
+            cluster.failover(victim)
+            after = cluster.service_stats()
+            # The victim's last-polled counters folded into the retired
+            # accumulators — its served traffic stays counted.
+            assert after.requests >= before.requests
+            assert after.flushes >= before.flushes
+
+    def test_failover_without_checkpoint_refuses(self, spec):
+        with ProcessCoordinator(spec, n_shards=2, warmup=False) as cluster:
+            cluster.ingest("t", np.zeros((4, CHANNELS), dtype=np.float32))
+            victim = cluster.shard_for("t")
+            cluster.kill_worker(victim)
+            with pytest.raises(RuntimeError, match="checkpoint"):
+                cluster.failover(victim)
+
+    def test_drill_matches_thread_backend_semantics(self, spec, tmp_path):
+        """Identical history, identical checkpoint, identical loss report
+        — thread-simulated death and process kill -9 must agree."""
+        streams = make_streams(6, INPUT_LENGTH + 2, seed=5)
+        extra = np.ones((2, CHANNELS), dtype=np.float32)
+
+        thread = ShardedForecaster(spec, n_shards=2)
+        for tenant, values in streams.items():
+            thread.ingest(tenant, values)
+        thread.save(str(tmp_path / "thread-ckpt"))
+        thread.ingest("tenant-0", extra)
+
+        with ProcessCoordinator(spec, n_shards=2) as process:
+            for tenant, values in streams.items():
+                process.ingest(tenant, values)
+            process.save(str(tmp_path / "process-ckpt"))
+            process.ingest("tenant-0", extra)
+
+            victim = thread.shard_for("tenant-0")
+            assert process.shard_for("tenant-0") == victim  # same ring
+            thread_report = thread.failover(victim)
+            os.kill(process.worker_pid(victim), signal.SIGKILL)
+            process_report = process.failover(victim)
+
+            assert sorted(process_report.restored) == sorted(thread_report.restored)
+            assert process_report.lost == thread_report.lost
+            assert process_report.stale == thread_report.stale
+
+            expected = {t: h.result() for t, h in thread.forecast_all().items()}
+            produced = {t: h.result() for t, h in process.forecast_all().items()}
+            for tenant in streams:
+                np.testing.assert_array_equal(produced[tenant], expected[tenant])

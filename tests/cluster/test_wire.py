@@ -1,0 +1,201 @@
+"""Tests for the pickle-free wire transport (:mod:`repro.wire`)."""
+
+import datetime
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import wire
+
+
+class TestMessageCodec:
+    def test_nested_tree_round_trips(self):
+        message = {
+            "cmd": "ingest",
+            "tenant": "meter-7",
+            "values": np.arange(12, dtype=np.float32).reshape(6, 2),
+            "timestamp": None,
+            "nested": {"flags": [True, False], "rate": 0.5, "count": 3},
+        }
+        decoded = wire.unpack_message(wire.pack_message(message))
+        assert decoded["cmd"] == "ingest"
+        assert decoded["tenant"] == "meter-7"
+        np.testing.assert_array_equal(decoded["values"], message["values"])
+        assert decoded["values"].dtype == np.float32
+        assert decoded["timestamp"] is None
+        assert decoded["nested"] == {"flags": [True, False], "rate": 0.5, "count": 3}
+
+    def test_numpy_scalars_round_trip_as_scalars(self):
+        # np.float64 subclasses float and np.ascontiguousarray promotes
+        # 0-d to 1-d — both historically mangled scalars; neither may.
+        for value in (np.int64(10), np.float64(2.5), np.float32(1.5), np.bool_(True)):
+            decoded = wire.unpack_message(wire.pack_message({"v": value}))["v"]
+            assert decoded == value
+            assert decoded.shape == ()
+            assert decoded.dtype == value.dtype
+
+    def test_datetime64_units_preserved(self):
+        stamp = np.datetime64("2026-08-08T12:34:56")
+        decoded = wire.unpack_message(wire.pack_message({"t": stamp}))["t"]
+        assert decoded == stamp
+        assert decoded.dtype == stamp.dtype  # unit lives in dtype.str
+
+    def test_stdlib_datetimes_round_trip(self):
+        message = {
+            "dt": datetime.datetime(2026, 8, 8, 12, 0, 1),
+            "d": datetime.date(2026, 8, 8),
+        }
+        assert wire.unpack_message(wire.pack_message(message)) == message
+
+    def test_non_contiguous_arrays_round_trip(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        view = base[::2, 1::2]
+        decoded = wire.unpack_message(wire.pack_message({"a": view}))["a"]
+        np.testing.assert_array_equal(decoded, view)
+
+    def test_decoded_arrays_are_writable_copies(self):
+        payload = wire.pack_message({"a": np.zeros(4)})
+        decoded = wire.unpack_message(payload)["a"]
+        decoded[0] = 1.0  # a read-only frombuffer view would raise
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError, match="object-dtype"):
+            wire.pack_message({"bad": np.array([object()])})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot snapshot"):
+            wire.pack_message({"bad": {1, 2}})
+
+    def test_bad_magic_rejected(self):
+        payload = bytearray(wire.pack_message({"ok": True}))
+        payload[:4] = b"XXXX"
+        with pytest.raises(ValueError, match="bad magic"):
+            wire.unpack_message(bytes(payload))
+
+    def test_truncated_payload_rejected(self):
+        payload = wire.pack_message({"a": np.arange(100)})
+        with pytest.raises(ValueError):
+            wire.unpack_message(payload[:-10])
+
+    def test_trailing_garbage_rejected(self):
+        payload = wire.pack_message({"ok": True})
+        with pytest.raises(ValueError, match="trailing"):
+            wire.unpack_message(payload + b"\x00")
+
+
+class TestFraming:
+    def test_send_and_receive_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            message = {"cmd": "reply", "data": np.arange(5)}
+            wire.send_message(left, message)
+            decoded = wire.recv_message(right, timeout=5.0)
+            np.testing.assert_array_equal(decoded["data"], np.arange(5))
+        finally:
+            left.close()
+            right.close()
+
+    def test_messages_keep_order(self):
+        left, right = socket.socketpair()
+        try:
+            for index in range(5):
+                wire.send_message(left, {"seq": index})
+            assert [wire.recv_message(right, timeout=5.0)["seq"] for _ in range(5)] == list(range(5))
+        finally:
+            left.close()
+            right.close()
+
+    def test_large_frame_crosses_in_chunks(self):
+        # Bigger than any socket buffer: exercises the sendall/_recv_exact
+        # loops.  Sent from a thread because one process can't block on
+        # both ends of a full pipe.
+        big = np.arange(1_000_000, dtype=np.float64)
+        left, right = socket.socketpair()
+        try:
+            sender = threading.Thread(target=wire.send_message, args=(left, {"big": big}))
+            sender.start()
+            decoded = wire.recv_message(right, timeout=30.0)
+            sender.join()
+            np.testing.assert_array_equal(decoded["big"], big)
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_raises_end_of_stream(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(wire.EndOfStream):
+                wire.recv_message(right, timeout=5.0)
+        finally:
+            right.close()
+
+    def test_end_of_stream_is_a_connection_error(self):
+        # Handlers must be able to order EndOfStream before the broader
+        # (ConnectionError, OSError) net without shadowing.
+        assert issubclass(wire.EndOfStream, ConnectionError)
+
+    def test_timeout_mid_silence(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(TimeoutError):
+                wire.recv_message(right, timeout=0.1)
+        finally:
+            left.close()
+            right.close()
+
+    def test_insane_frame_length_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall((wire.MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
+            with pytest.raises(ValueError, match="sanity"):
+                wire.recv_message(right, timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestErrorChannel:
+    def test_known_builtins_rematerialise(self):
+        for error, expected in (
+            (KeyError("tenant-x"), KeyError),
+            (ValueError("bad geometry"), ValueError),
+            (TypeError("nope"), TypeError),
+            (RuntimeError("boom"), RuntimeError),
+        ):
+            with pytest.raises(expected):
+                wire.raise_remote(wire.error_payload(error))
+
+    def test_unknown_type_becomes_tagged_runtime_error(self):
+        class Exotic(Exception):
+            pass
+
+        with pytest.raises(RuntimeError, match="Exotic"):
+            wire.raise_remote(wire.error_payload(Exotic("private")))
+
+    def test_type_names_never_evaluated(self):
+        # A hostile payload names an arbitrary callable; it must come back
+        # as a tagged RuntimeError, not an instantiation of that name.
+        with pytest.raises(RuntimeError, match="os.system"):
+            wire.raise_remote({"type": "os.system", "message": "echo pwned"})
+
+    def test_payload_survives_the_wire(self):
+        payload = wire.error_payload(KeyError("gone"))
+        decoded = wire.unpack_message(wire.pack_message({"error": payload}))["error"]
+        with pytest.raises(KeyError):
+            wire.raise_remote(decoded)
+
+
+class TestSpawn:
+    def test_spawn_worker_round_trip_and_eof(self):
+        sock, process = wire.spawn_worker("repro.cluster.worker")
+        try:
+            wire.send_message(sock, {"cmd": "ping"})
+            reply = wire.recv_message(sock, timeout=30.0)
+            assert reply["ok"] is True
+            assert reply["pid"] == process.pid
+        finally:
+            sock.close()  # worker exits on EOF
+            assert process.wait(timeout=10.0) == 0

@@ -1,0 +1,39 @@
+"""Module-level task functions the ProcessExecutor tests ship to workers.
+
+Workers re-import tasks by ``module:qualname``; this module is resolvable
+in a worker only because the tests pass the tests directory through the
+executor's ``sys_path`` — which is itself part of what the tests verify.
+"""
+
+import os
+
+import numpy as np
+
+
+def square(x):
+    return x * x
+
+
+def scale_window(values):
+    values = np.asarray(values, dtype=np.float64)
+    return values * 2.0
+
+
+def worker_pid(_):
+    return os.getpid()
+
+
+def explode(x):
+    raise ValueError(f"task refused item {x}")
+
+
+def die(x):
+    os._exit(13)
+
+
+class Tasks:
+    """Namespace for a dotted-qualname task (``Tasks.triple``)."""
+
+    @staticmethod
+    def triple(x):
+        return 3 * x

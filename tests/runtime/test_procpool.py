@@ -1,0 +1,137 @@
+"""Tests for :class:`repro.runtime.ProcessExecutor` (GIL-free pool).
+
+Tasks live in :mod:`procpool_tasks` (module-level functions — the only
+kind that can cross the process boundary) and workers re-import them via
+the ``sys_path`` the executor forwards at init.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+import procpool_tasks
+from repro.runtime import Executor, ProcessExecutor, task_name
+
+TASKS_DIR = os.path.dirname(os.path.abspath(procpool_tasks.__file__))
+
+
+@pytest.fixture
+def pool():
+    executor = ProcessExecutor(max_workers=2, sys_path=[TASKS_DIR], request_timeout=60.0)
+    yield executor
+    executor.close()
+
+
+class TestTaskName:
+    def test_module_level_function(self):
+        assert task_name(procpool_tasks.square) == "procpool_tasks:square"
+
+    def test_dotted_qualname(self):
+        assert task_name(procpool_tasks.Tasks.triple) == "procpool_tasks:Tasks.triple"
+
+    def test_module_bound_builtin_allowed(self):
+        # math.sqrt carries __self__ = <module math>; still importable.
+        assert task_name(math.sqrt) == "math:sqrt"
+
+    def test_lambda_rejected(self):
+        with pytest.raises(TypeError, match="lambdas"):
+            task_name(lambda x: x)
+
+    def test_closure_rejected(self):
+        def local(x):
+            return x
+
+        with pytest.raises(TypeError, match="process"):
+            task_name(local)
+
+    def test_bound_method_rejected(self):
+        with pytest.raises(TypeError, match="bound"):
+            task_name(np.random.default_rng(0).normal)
+
+    def test_builtin_method_of_instance_rejected(self):
+        # C-level bound methods carry no usable module/qualname address.
+        with pytest.raises(TypeError):
+            task_name("abc".upper)
+
+
+class TestMap:
+    def test_results_in_input_order(self, pool):
+        assert pool.map(procpool_tasks.square, range(10)) == [i * i for i in range(10)]
+
+    def test_is_an_executor(self, pool):
+        assert isinstance(pool, Executor)
+
+    def test_numpy_arguments_and_results(self, pool):
+        windows = [np.arange(6, dtype=np.float64).reshape(3, 2) + i for i in range(5)]
+        results = pool.map(procpool_tasks.scale_window, windows)
+        for window, result in zip(windows, results):
+            np.testing.assert_array_equal(result, window * 2.0)
+
+    def test_empty_input(self, pool):
+        assert pool.map(procpool_tasks.square, []) == []
+
+    def test_work_actually_leaves_this_process(self, pool):
+        pids = set(pool.map(procpool_tasks.worker_pid, range(6)))
+        assert os.getpid() not in pids
+        assert 1 <= len(pids) <= 2  # the pool's two workers, reused across waves
+
+    def test_workers_are_reused_across_maps(self, pool):
+        first = set(pool.map(procpool_tasks.worker_pid, range(4)))
+        second = set(pool.map(procpool_tasks.worker_pid, range(4)))
+        assert first == second
+
+    def test_task_error_rematerialises(self, pool):
+        with pytest.raises(ValueError, match="refused item"):
+            pool.map(procpool_tasks.explode, [1])
+
+    def test_settles_wave_then_raises(self, pool):
+        # One poisoned item must not prevent the rest of the fan-out from
+        # completing; the first error surfaces after the waves settle.
+        items = list(range(6))
+
+        with pytest.raises(ValueError):
+            pool.map(procpool_tasks.explode, items)
+        # The pool is still serviceable afterwards.
+        assert pool.map(procpool_tasks.square, [7]) == [49]
+
+    def test_worker_death_mid_task_is_survivable(self, pool):
+        with pytest.raises((ConnectionError, OSError)):
+            pool.map(procpool_tasks.die, [0])
+        # A fresh worker replaces the corpse on the next wave.
+        assert pool.map(procpool_tasks.square, [8]) == [64]
+
+    def test_context_manager_closes_workers(self):
+        with ProcessExecutor(max_workers=1, sys_path=[TASKS_DIR]) as pool:
+            (pid,) = pool.map(procpool_tasks.worker_pid, [0])
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)  # reaped: signalling its pid must fail
+
+    def test_close_is_idempotent(self, pool):
+        pool.map(procpool_tasks.square, [2])
+        pool.close()
+        pool.close()
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProcessExecutor(max_workers=0)
+
+    def test_unimportable_task_fails_cleanly(self):
+        # Without sys_path the worker cannot import procpool_tasks.
+        with ProcessExecutor(max_workers=1, request_timeout=60.0) as pool:
+            with pytest.raises(Exception, match="procpool_tasks"):
+                pool.map(procpool_tasks.square, [1])
+
+    def test_lazy_attribute_export(self):
+        # ProcessExecutor is a PEP 562 lazy export (workers run
+        # ``python -m repro.runtime.procpool``; an eager import would
+        # double-import the module there).
+        import repro.runtime as runtime
+
+        assert "ProcessExecutor" in runtime.__all__
+        assert runtime.ProcessExecutor is ProcessExecutor
+        with pytest.raises(AttributeError):
+            runtime.does_not_exist
