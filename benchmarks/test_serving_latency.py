@@ -16,7 +16,12 @@ from repro import obs
 from repro.cluster import ShardedForecaster
 from repro.config import ModelConfig
 from repro.core import LiPFormer
-from repro.serving import ForecastService
+from repro.serving import (
+    AdmissionPolicy,
+    DeadlineExceeded,
+    ForecastService,
+    Overloaded,
+)
 
 N_TENANTS = 64
 N_SHARDS = 2
@@ -86,3 +91,113 @@ def test_bursty_multitenant_latency_recorded(bench_record_serving):
     assert 0 < p50 <= p95 <= p99
     assert peak_queue > 0
     assert throughput > 0
+
+
+QUEUE_LIMIT = 16
+BURST_SIZE = 48  # 3x the queue: two thirds of each burst must shed
+DOOMED_PER_BURST = 4  # submitted with a deadline that lapses before flush
+
+
+def test_overload_shedding_recorded(bench_record_serving):
+    """Benchmark S3 — typed load-shedding under a 3-priority burst.
+
+    Drives a queue-bounded service with bursts three times its capacity
+    and records the shed rate, the deadline-miss rate and the p99 latency
+    the *interactive* class still gets while lower classes pay.
+    """
+    config = ModelConfig(
+        input_length=INPUT_LENGTH, horizon=HORIZON, n_channels=1, patch_length=12,
+        hidden_dim=32, dropout=0.0,
+    )
+    service = ForecastService(
+        LiPFormer(config),
+        max_batch_size=64,  # above the queue bound: shedding, not auto-flush
+        admission=AdmissionPolicy(
+            queue_limit=QUEUE_LIMIT,
+            default_timeout=30.0,
+            # Fire the rescue timer at the deadline itself, so a lapsed
+            # budget is a measured miss rather than an early rescue.
+            flush_fraction=1.0,
+        ),
+    )
+    rng = np.random.default_rng(13)
+    history = rng.normal(size=(INPUT_LENGTH, 1)).astype(np.float32)
+    service.submit(history).result()  # warm the compiled plan
+    service.reset_stats()
+    priority_latency = obs.histogram(
+        "repro_serving_priority_latency_seconds", labels=("priority",)
+    )
+    interactive = priority_latency.labels(priority="interactive")
+    interactive.reset()
+
+    priorities = ("interactive", "batch", "best_effort")
+    handles, refused = [], 0
+    submitted = N_BURSTS * (BURST_SIZE + DOOMED_PER_BURST)
+    started = time.perf_counter()
+    for _ in range(N_BURSTS):
+        for i in range(DOOMED_PER_BURST):
+            # Deliberate deadline misses: queued first (into an empty
+            # queue, at a priority nothing displaces) with a budget that
+            # lapses while the burst queues behind them — the flush sheds
+            # them instead of spending a forward pass.
+            try:
+                handles.append(
+                    service.submit(
+                        history - 0.01 * i, priority="interactive", timeout=0.004
+                    )
+                )
+            except (Overloaded, DeadlineExceeded):
+                refused += 1
+        for i in range(BURST_SIZE):
+            try:
+                handles.append(
+                    service.submit(history + 0.01 * i, priority=priorities[i % 3])
+                )
+            except (Overloaded, DeadlineExceeded):
+                refused += 1
+        time.sleep(0.01)
+        service.flush()
+    elapsed = time.perf_counter() - started
+    service.close()
+
+    outcomes = {"ok": 0, "Overloaded": 0, "DeadlineExceeded": 0}
+    for handle in handles:
+        try:
+            handle.result()
+            outcomes["ok"] += 1
+        except (Overloaded, DeadlineExceeded) as error:
+            outcomes[type(error).__name__] += 1
+
+    stats = service.stats_snapshot()
+    shed = stats.shed_overloaded + stats.shed_expired + stats.deadline_misses
+    shed_rate = shed / submitted
+    deadline_miss_rate = stats.deadline_misses / submitted
+    p99_interactive = interactive.percentile(99) * 1e3
+
+    print(
+        f"\noverload ({N_BURSTS} bursts of {BURST_SIZE}+{DOOMED_PER_BURST} vs "
+        f"queue {QUEUE_LIMIT}): shed {shed_rate:.1%} "
+        f"(deadline misses {deadline_miss_rate:.1%}), "
+        f"{outcomes['ok']} served, interactive p99 {p99_interactive:.2f}ms"
+    )
+    bench_record_serving("overload", {
+        "submitted": submitted,
+        "served": outcomes["ok"],
+        "refused_at_admission": refused,
+        "evicted": outcomes["Overloaded"],
+        "deadline_misses": stats.deadline_misses,
+        "shed_rate": round(shed_rate, 4),
+        "deadline_miss_rate": round(deadline_miss_rate, 4),
+        "p99_interactive_ms": round(p99_interactive, 3),
+        "queue_limit": QUEUE_LIMIT,
+        "burst_size": BURST_SIZE,
+        "priorities": list(priorities),
+        "wall_seconds": round(elapsed, 3),
+    })
+
+    assert outcomes["ok"] + refused + outcomes["Overloaded"] + outcomes[
+        "DeadlineExceeded"
+    ] == submitted, "every submission must resolve or shed typed"
+    assert shed_rate > 0.5, "a 3x burst must shed most of its traffic"
+    assert stats.deadline_misses > 0, "doomed submissions must miss typed"
+    assert np.isfinite(p99_interactive) and p99_interactive > 0

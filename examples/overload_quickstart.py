@@ -1,0 +1,156 @@
+"""Overload quickstart: shed typed, keep deadlines, survive a slow worker.
+
+Run with::
+
+    python examples/overload_quickstart.py
+
+The serving stack never queues without bound: when a burst exceeds
+capacity it *decides* what to drop, and tells the caller with a typed
+error.  This script drives a bursty 3-priority workload through a
+2-shard process cluster and shows each layer of the overload story:
+
+1. build a bounded deployment from declarative specs — a
+   :class:`ServiceSpec` with admission knobs (per-replica queue limit,
+   default deadline) and a :class:`ClusterSpec` with the operational
+   shape (shards, timeouts, retry/backoff and circuit-breaker knobs),
+   all validated before any worker spawns;
+2. submit a burst three times the queue bound across the priority ladder
+   ``interactive > batch > best_effort`` — admitted work resolves,
+   over-capacity work fails :class:`Overloaded` (higher classes displace
+   lower ones, never their own), and nothing is silently dropped;
+3. inject a deterministic stall into one worker and fan out with a
+   caller deadline: the healthy shard's forecasts land inside the
+   budget while the stalled shard's fail :class:`DeadlineExceeded` —
+   and after repeated stalls the shard's circuit breaker trips, turning
+   timeout-priced failures into instant ones until a probe recovers;
+4. read the degradation ledger from the cluster's own stats and breaker
+   snapshots — shed counts, deadline misses, trips — the same numbers
+   ``BENCH_serving.json``'s ``overload`` section tracks in CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ModelConfig
+from repro.cluster import ClusterSpec, ServiceSpec, build_cluster
+from repro.errors import DeadlineExceeded, Overloaded
+
+N_TENANTS = 6
+INPUT_LENGTH = 48
+HORIZON = 12
+
+
+def outcome(handle) -> str:
+    try:
+        handle.result()
+        return "ok"
+    except (Overloaded, DeadlineExceeded) as error:
+        return type(error).__name__
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. A bounded deployment, declared up front.  The ServiceSpec's
+    #    admission knobs travel to every worker replica; the ClusterSpec
+    #    validates the operational shape (heartbeat < request timeout,
+    #    positive retry/breaker knobs) before any process spawns.
+    # ------------------------------------------------------------------ #
+    config = ModelConfig(input_length=INPUT_LENGTH, horizon=HORIZON,
+                         n_channels=1, patch_length=12, hidden_dim=32,
+                         dropout=0.0)
+    spec = ServiceSpec(config=config, max_batch_size=64,
+                       queue_limit=4, default_timeout=30.0)
+    deployment = ClusterSpec(
+        n_shards=2, backend="process",
+        request_timeout=30.0, heartbeat_timeout=2.0,
+        retry_attempts=3, retry_base=0.02, retry_cap=0.2,
+        breaker_threshold=2, breaker_reset=0.5,
+    )
+    cluster = build_cluster(spec, cluster=deployment)
+    print(f"built {len(cluster.shard_ids())}-shard process cluster "
+          f"(queue_limit={spec.queue_limit}/replica, "
+          f"breaker trips after {deployment.breaker_threshold} failures)")
+
+    rng = np.random.default_rng(7)
+    tenants = [f"tenant-{i}" for i in range(N_TENANTS)]
+    for tenant in tenants:
+        cluster.ingest(tenant, rng.normal(size=(INPUT_LENGTH, 1)))
+
+    # ------------------------------------------------------------------ #
+    # 2. Burst past capacity: 12 submissions against a queue of 4 on one
+    #    tenant's shard.  Interactive arrivals displace queued
+    #    best-effort work; everything refused or evicted fails typed.
+    # ------------------------------------------------------------------ #
+    print("\n--- burst: 12 submissions, queue of 4, three priorities ---")
+    ladder = ("best_effort", "batch", "interactive")
+    handles, refused = [], 0
+    for i in range(12):
+        priority = ladder[i % 3]
+        try:
+            handles.append((priority, cluster.forecast("tenant-0",
+                                                       priority=priority)))
+        except Overloaded:
+            refused += 1
+    cluster.flush()
+    served = sum(1 for _, h in handles if outcome(h) == "ok")
+    evicted = sum(1 for _, h in handles if outcome(h) == "Overloaded")
+    print(f"served {served}, refused at admission {refused}, "
+          f"evicted by higher priority {evicted}")
+    interactive_ok = all(outcome(h) == "ok"
+                         for p, h in handles if p == "interactive")
+    print(f"every interactive submission survived: {interactive_ok}")
+
+    # ------------------------------------------------------------------ #
+    # 3. A slow worker under a caller deadline.  inject_stall arms a
+    #    deterministic wedge inside one worker process; the fan-out's
+    #    deadline bounds how long anyone waits for it.
+    # ------------------------------------------------------------------ #
+    victim = cluster.shard_for("tenant-0")
+    healthy = [t for t in tenants if cluster.shard_for(t) != victim]
+    print(f"\n--- stall drill: wedging {victim} for 2s, "
+          f"fan-out deadline 0.5s ---")
+    cluster.inject_stall(victim, seconds=2.0, count=4)
+    started = time.perf_counter()
+    results = cluster.forecast_all(tenants, timeout=0.5)
+    elapsed = time.perf_counter() - started
+    tally: dict = {}
+    for tenant, handle in results.items():
+        tally.setdefault(outcome(handle), []).append(tenant)
+    print(f"fan-out returned in {elapsed:.2f}s "
+          f"(stall is 2s — nobody waited it out)")
+    for kind, members in sorted(tally.items()):
+        print(f"  {kind}: {len(members)} tenants")
+    assert all(outcome(results[t]) == "ok" for t in healthy)
+
+    # A second bounded fan-out while still wedged trips the breaker:
+    # from here the sick shard fails *instantly*, no timeout paid.
+    cluster.forecast_all(tenants, timeout=0.3)
+    state = cluster.breaker_states()[victim]
+    print(f"breaker on {victim}: {state['state']} "
+          f"(trips={state['trips']})")
+
+    # ------------------------------------------------------------------ #
+    # 4. Recovery and the ledger.  Once the stall drains and the reset
+    #    window passes, the half-open probe closes the breaker and the
+    #    shard serves again — no restart, no failover.
+    # ------------------------------------------------------------------ #
+    time.sleep(2.2 + deployment.breaker_reset)
+    results = cluster.forecast_all(tenants, timeout=10.0)
+    recovered = sum(1 for h in results.values() if outcome(h) == "ok")
+    state = cluster.breaker_states()[victim]
+    print(f"\nafter recovery: {recovered}/{N_TENANTS} tenants served, "
+          f"breaker {state['state']} (lifetime trips={state['trips']})")
+
+    stats = cluster.service_stats()
+    print(f"cluster ledger: requests={stats.requests} "
+          f"shed_overloaded={stats.shed_overloaded} "
+          f"shed_expired={stats.shed_expired} "
+          f"deadline_misses={stats.deadline_misses}")
+    cluster.close()
+
+
+if __name__ == "__main__":
+    main()

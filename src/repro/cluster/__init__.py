@@ -53,7 +53,14 @@ backend-vs-backend and rebalance-cost measurements.
 """
 
 from .parity import compare_cluster_to_unsharded, replay_cluster
-from .process import PendingForecast, ProcessCoordinator, ProcessShard, WorkerDied, build_cluster
+from .process import (
+    PendingForecast,
+    ProcessCoordinator,
+    ProcessShard,
+    WorkerDied,
+    WorkerStalled,
+    build_cluster,
+)
 from .ring import HashRing, stable_hash
 from .sharded import FailoverReport, ShardedForecaster
 from .snapshot import (
@@ -66,7 +73,7 @@ from .snapshot import (
     save_forecaster,
     write_snapshot,
 )
-from .spec import ServiceSpec
+from .spec import ClusterSpec, ServiceSpec, validate_cluster_timeouts
 
 __all__ = [
     "HashRing",
@@ -74,10 +81,13 @@ __all__ = [
     "ShardedForecaster",
     "FailoverReport",
     "ServiceSpec",
+    "ClusterSpec",
+    "validate_cluster_timeouts",
     "ProcessCoordinator",
     "ProcessShard",
     "PendingForecast",
     "WorkerDied",
+    "WorkerStalled",
     "build_cluster",
     "encode_state",
     "decode_state",

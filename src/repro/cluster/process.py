@@ -55,9 +55,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs, wire
+from ..errors import CircuitOpen, DeadlineExceeded, TransientWireError
 from ..runtime.annotations import guarded_by, requires_lock, unguarded
 from ..runtime.locks import TrackedRLock
+from ..runtime.resilience import CircuitBreaker, RetryPolicy
+from ..serving.admission import DEFAULT_PRIORITY
 from ..serving.service import ServiceStats
+from ..testing import faults as _faults
 from ..streaming.forecaster import StreamingStats
 from ..streaming.store import StoreStats
 from .ring import HashRing
@@ -70,15 +74,22 @@ from .snapshot import (
     resolve_tenant_payloads,
     write_snapshot,
 )
-from .spec import ServiceSpec
+from .spec import ClusterSpec, ServiceSpec, validate_cluster_timeouts
 
 __all__ = [
     "ProcessShard",
     "ProcessCoordinator",
     "PendingForecast",
     "WorkerDied",
+    "WorkerStalled",
     "build_cluster",
 ]
+
+_SHARD_RETRIES = obs.counter(
+    "repro_cluster_shard_retries_total",
+    "transient-fault retries per process shard",
+    labels=("shard",),
+)
 
 
 class WorkerDied(ConnectionError):
@@ -90,6 +101,20 @@ class WorkerDied(ConnectionError):
         self.reason = reason
 
 
+class WorkerStalled(WorkerDied):
+    """A worker missed its reply budget but the stream is still intact.
+
+    Raised instead of permanently marking the shard dead: every frame
+    carries a sequence number and the worker echoes it back, so when the
+    overdue reply eventually arrives it is recognised as stale and
+    drained — the request/reply stream resynchronises without tearing
+    the worker down.  Subclasses :class:`WorkerDied` so existing
+    "this call failed, settle and move on" handlers keep working; the
+    shard's circuit breaker is what escalates *repeated* stalls into
+    fail-fast rejection.
+    """
+
+
 class ProcessShard:
     """One worker process plus its request/reply socket.
 
@@ -99,18 +124,43 @@ class ProcessShard:
     ``receive`` the worker is computing while the coordinator talks to
     other shards.
 
-    A shard that dies stays dead: the first EOF / reset / timeout marks
-    it, every later call raises :class:`WorkerDied` immediately, and
-    only ``failover`` (or ``close``) disposes of it.
+    Failure handling is graduated:
+
+    * **EOF / reset** — the process is gone; the shard is marked dead
+      permanently and every later call raises :class:`WorkerDied`.
+    * **Reply timeout** — :class:`WorkerStalled`: the stream survives.
+      Frames are sequence-stamped and echoed, so a late reply is drained
+      as stale on the next receive instead of being mis-delivered.
+    * **Transient wire hiccups** — :meth:`request` retries them under
+      the shard's :class:`~repro.runtime.RetryPolicy` (send and receive
+      are retried *separately*: a failed send never reached the worker,
+      a failed receive never consumed the reply, so neither retry can
+      double-execute a command).
+    * **Repeated failures** — the shard's
+      :class:`~repro.runtime.CircuitBreaker` trips and subsequent sends
+      fail fast with :class:`~repro.errors.CircuitOpen` (zero I/O) until
+      a half-open probe succeeds.
     """
 
-    def __init__(self, shard_id: str, request_timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        shard_id: str,
+        request_timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        if request_timeout <= 0:
+            raise ValueError(f"request_timeout must be > 0, got {request_timeout}")
         self.shard_id = shard_id
         self.request_timeout = request_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(shard_id)
         self._sock, self.process = wire.spawn_worker("repro.cluster.worker")
         self._dead: Optional[str] = None
         self._sent_parent: Optional[int] = None
         self._sent_at = 0.0
+        self._seq_ids = itertools.count(1)
+        self._pending_seq: Optional[int] = None
 
     @property
     def pid(self) -> int:
@@ -122,11 +172,21 @@ class ProcessShard:
 
     # ------------------------------------------------------------------ #
     def send(self, command: str, **fields) -> None:
-        """Write one request frame (no reply collected yet)."""
+        """Write one sequence-stamped request frame (no reply collected yet).
+
+        Gated by the shard's circuit breaker: while the breaker is open
+        this raises :class:`~repro.errors.CircuitOpen` with zero I/O —
+        a sick worker costs nothing per call instead of a timeout each.
+        """
         if self._dead is not None:
             raise WorkerDied(self.shard_id, self._dead)
+        self.breaker.allow()
+        if _faults._STATE.schedule is not None:
+            _faults.check("shard.send", shard=self.shard_id, cmd=command)
         message = dict(fields)
         message["cmd"] = command
+        seq = next(self._seq_ids)
+        message["seq"] = seq
         if obs.tracing_enabled():
             message["trace"] = True
             parent = obs.current_span()
@@ -134,24 +194,62 @@ class ProcessShard:
             self._sent_at = obs.now()
         try:
             wire.send_message(self._sock, message)
+        except TransientWireError:
+            # Injected pre-write hiccup: nothing reached the worker, so a
+            # retry of this send is sound and no reply is pending.
+            raise
         except TimeoutError:
+            self.breaker.record_failure()
             self._mark_dead(f"send timed out ({command})")
         except (ConnectionError, OSError) as error:
+            self.breaker.record_failure()
             self._mark_dead(f"send failed ({command}): {error}")
+        self._pending_seq = seq
 
     def receive(self, timeout: Optional[float] = None) -> dict:
-        """Collect one reply frame; re-raises worker-side errors typed."""
+        """Collect the pending reply frame; re-raises worker errors typed.
+
+        Replies whose echoed ``seq`` predates the pending request are
+        stale remnants of a timed-out call — drained and discarded, which
+        is what lets a stalled shard resynchronise instead of staying
+        dead forever.
+        """
         if self._dead is not None:
             raise WorkerDied(self.shard_id, self._dead)
+        if _faults._STATE.schedule is not None:
+            _faults.check("shard.recv", shard=self.shard_id)
         budget = self.request_timeout if timeout is None else timeout
-        try:
-            reply = wire.recv_message(self._sock, timeout=budget)
-        except wire.EndOfStream:
-            self._mark_dead("pipe EOF (worker process exited)")
-        except TimeoutError:
-            self._mark_dead(f"no reply within {budget:.1f}s")
-        except (ConnectionError, OSError) as error:
-            self._mark_dead(f"receive failed: {error}")
+        deadline = obs.now() + budget
+        while True:
+            remaining = deadline - obs.now()
+            if remaining <= 0:
+                self.breaker.record_failure()
+                raise WorkerStalled(self.shard_id, f"no reply within {budget:.1f}s")
+            try:
+                reply = wire.recv_message(self._sock, timeout=remaining)
+            except wire.EndOfStream:
+                self.breaker.record_failure()
+                self._mark_dead("pipe EOF (worker process exited)")
+            except TransientWireError:
+                # Pre-read hiccup: the reply is still in the pipe, so the
+                # caller may simply receive again — no resend, no
+                # double-execution.
+                raise
+            except TimeoutError:
+                self.breaker.record_failure()
+                raise WorkerStalled(self.shard_id, f"no reply within {budget:.1f}s")
+            except (ConnectionError, OSError) as error:
+                self.breaker.record_failure()
+                self._mark_dead(f"receive failed: {error}")
+            reply_seq = reply.get("seq") if isinstance(reply, dict) else None
+            if (
+                self._pending_seq is not None
+                and reply_seq is not None
+                and reply_seq != self._pending_seq
+            ):
+                continue  # stale reply of a stalled earlier request — drain it
+            break
+        self._pending_seq = None
         spans = reply.pop("spans", None)
         if spans:
             rebase = 0.0
@@ -160,14 +258,40 @@ class ProcessShard:
                     rebase = self._sent_at - float(record.get("start", 0.0))
                     break
             obs.import_spans(spans, parent_id=self._sent_parent, rebase=rebase)
+        self.breaker.record_success()
         if "error" in reply:
             wire.raise_remote(reply["error"])
         return reply
 
-    def request(self, command: str, timeout: Optional[float] = None, **fields) -> dict:
-        """One full round trip."""
-        self.send(command, **fields)
-        return self.receive(timeout=timeout)
+    def request(
+        self,
+        command: str,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        **fields,
+    ) -> dict:
+        """One full round trip, with transient faults retried under backoff.
+
+        Send and receive retry *independently*: a transiently failed send
+        wrote nothing (safe to resend, with a fresh seq), a transiently
+        failed receive read nothing (safe to re-receive the same reply).
+        ``deadline`` caps the whole retry budget — past it the policy
+        raises :class:`~repro.errors.DeadlineExceeded` instead of backing
+        off further.
+        """
+        self.retry.run(
+            lambda: self.send(command, **fields),
+            deadline=deadline,
+            on_retry=self._count_retry,
+        )
+        return self.retry.run(
+            lambda: self.receive(timeout=timeout),
+            deadline=deadline,
+            on_retry=self._count_retry,
+        )
+
+    def _count_retry(self, attempt: int, delay: float, error: BaseException) -> None:
+        _SHARD_RETRIES.labels(shard=self.shard_id).inc()
 
     def _mark_dead(self, reason: str) -> None:
         self._dead = reason
@@ -191,8 +315,8 @@ class ProcessShard:
             try:
                 self.send("shutdown")
                 self.receive(timeout=5.0)
-            except (WorkerDied, ValueError):
-                pass  # already gone, or stream garbage — reaped below
+            except (WorkerDied, CircuitOpen, TransientWireError, ValueError):
+                pass  # already gone, breaker open, or stream garbage — reaped below
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - close is best-effort
@@ -271,9 +395,20 @@ class ProcessCoordinator:
         as on the thread backend, forwarded to every worker's stack.
     request_timeout:
         seconds a single request may take before the worker is declared
-        dead (generous: covers spawn + model build + plan warmup).
+        stalled (generous: covers spawn + model build + plan warmup).
+        Validated against ``heartbeat_timeout``
+        (:func:`~repro.cluster.spec.validate_cluster_timeouts`).
     heartbeat_timeout:
-        default ping budget for :meth:`detect_failures`.
+        default ping budget for :meth:`detect_failures`; must be
+        strictly smaller than ``request_timeout``.
+    retry_attempts / retry_base / retry_cap:
+        per-shard :class:`~repro.runtime.RetryPolicy` knobs — transient
+        wire faults are retried under decorrelated-jitter backoff.
+    breaker_threshold / breaker_reset:
+        per-shard :class:`~repro.runtime.CircuitBreaker` knobs — after
+        ``breaker_threshold`` consecutive failures a shard fails fast
+        with :class:`~repro.errors.CircuitOpen` until a probe succeeds
+        ``breaker_reset`` seconds later.
     warmup:
         trace compiled plans in every worker right after spawn, so the
         first fan-out replays instead of tracing on the request path.
@@ -288,6 +423,11 @@ class ProcessCoordinator:
         vnodes: int = 64,
         request_timeout: float = 120.0,
         heartbeat_timeout: float = 5.0,
+        retry_attempts: int = 3,
+        retry_base: float = 0.05,
+        retry_cap: float = 2.0,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 5.0,
         warmup: bool = True,
     ) -> None:
         if n_shards < 1:
@@ -297,11 +437,17 @@ class ProcessCoordinator:
                 "ProcessCoordinator needs a ServiceSpec (a factory closure "
                 "cannot cross a process boundary without pickling it)"
             )
+        validate_cluster_timeouts(request_timeout, heartbeat_timeout)
         self.spec = spec
         self.normalization = normalization
         self.window_capacity = window_capacity
         self.request_timeout = request_timeout
         self.heartbeat_timeout = heartbeat_timeout
+        self.retry_attempts = retry_attempts
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
         self._init_runtime()
         self.ring = HashRing(vnodes=vnodes)
         shard_ids = [f"shard-{index}" for index in range(n_shards)]
@@ -376,7 +522,20 @@ class ProcessCoordinator:
         spawned: Dict[str, ProcessShard] = {}
         try:
             for shard_id in shard_ids:
-                spawned[shard_id] = ProcessShard(shard_id, request_timeout=self.request_timeout)
+                spawned[shard_id] = ProcessShard(
+                    shard_id,
+                    request_timeout=self.request_timeout,
+                    retry=RetryPolicy(
+                        max_attempts=self.retry_attempts,
+                        base=self.retry_base,
+                        cap=self.retry_cap,
+                    ),
+                    breaker=CircuitBreaker(
+                        shard_id,
+                        failure_threshold=self.breaker_threshold,
+                        reset_timeout=self.breaker_reset,
+                    ),
+                )
             spec_state = self.spec.to_state()
             for shard_id, shard in spawned.items():
                 shard.send(
@@ -401,8 +560,10 @@ class ProcessCoordinator:
         Never hangs: an exited process is caught by ``poll``/pipe-EOF
         immediately, and a live-but-wedged one by the ping budget
         (``heartbeat_timeout`` unless overridden).  Detected shards stay
-        in the topology — marked dead — until :meth:`failover` disposes
-        of them, so detection and recovery remain separate decisions.
+        in the topology — marked dead or stalled — until :meth:`failover`
+        disposes of them, so detection and recovery remain separate
+        decisions.  A shard whose breaker is open is reported without
+        paying any probe I/O at all.
         """
         with self._lock:
             budget = self.heartbeat_timeout if timeout is None else timeout
@@ -414,7 +575,7 @@ class ProcessCoordinator:
                 try:
                     shard.send("ping")
                     shard.receive(timeout=budget)
-                except WorkerDied:
+                except (WorkerDied, CircuitOpen):
                     dead.append(shard_id)
             return dead
 
@@ -432,6 +593,31 @@ class ProcessCoordinator:
             shard = self._require_shard(shard_id)
             shard.kill()
             return shard.pid
+
+    def inject_stall(self, shard_id: str, seconds: float, count: int = 1) -> None:
+        """Arm a worker-side stall: the next ``count`` commands sleep first.
+
+        Drill convenience for degradation tests — the stall happens in the
+        worker process (deterministically, before dispatch), so the
+        coordinator's receive genuinely times out the way a wedged worker
+        would make it.  The arming request itself replies immediately.
+        """
+        with self._lock:
+            self._require_shard(shard_id).request(
+                "fault", stall=float(seconds), count=int(count)
+            )
+
+    def breaker_states(self) -> Dict[str, dict]:
+        """Each shard's circuit-breaker snapshot (state, failures, trips)."""
+        with self._lock:
+            return {
+                shard_id: {
+                    "state": shard.breaker.state,
+                    "consecutive_failures": shard.breaker.consecutive_failures,
+                    "trips": shard.breaker.trips,
+                }
+                for shard_id, shard in self._shards.items()
+            }
 
     def close(self) -> None:
         """Shut every worker down and reap it.  Idempotent."""
@@ -521,8 +707,18 @@ class ProcessCoordinator:
         tenant: str,
         future_numerical: Optional[np.ndarray] = None,
         future_categorical: Optional[np.ndarray] = None,
+        priority: str = DEFAULT_PRIORITY,
+        timeout: Optional[float] = None,
     ) -> PendingForecast:
-        """Queue a forecast on the tenant's worker; non-blocking handle."""
+        """Queue a forecast on the tenant's worker; non-blocking handle.
+
+        ``priority`` and ``timeout`` cross the wire as a class name plus
+        a *relative* budget — absolute deadlines cannot cross a process
+        boundary (each process has its own monotonic clock), so the
+        worker re-anchors the budget on its own clock at admission.  A
+        worker-side shed comes back typed (:class:`Overloaded` /
+        :class:`DeadlineExceeded`) and raises here.
+        """
         with self._lock:
             shard_id = self._assign_locked(tenant)
             request_id = str(next(self._request_ids))
@@ -532,6 +728,8 @@ class ProcessCoordinator:
                 tenant=tenant,
                 future_numerical=future_numerical,
                 future_categorical=future_categorical,
+                priority=priority,
+                budget=timeout,
             )
             handle = PendingForecast(self, shard_id, request_id, tenant)
             self._pending.setdefault(shard_id, {})[request_id] = handle
@@ -543,6 +741,8 @@ class ProcessCoordinator:
         flush: bool = True,
         future_numerical: Optional[Mapping[str, np.ndarray]] = None,
         future_categorical: Optional[Mapping[str, np.ndarray]] = None,
+        priority: str = DEFAULT_PRIORITY,
+        timeout: Optional[float] = None,
     ) -> Dict[str, PendingForecast]:
         """Queue one forecast per tenant, fanned out worker by worker.
 
@@ -551,12 +751,20 @@ class ProcessCoordinator:
         workers assemble windows, replay compiled plans and denormalise
         simultaneously on S cores — no GIL, no coordinator threads.
         Failures settle before raising: every healthy shard's results are
-        applied (its handles resolve) even when another shard died
-        mid-fan-out.
+        applied (its handles resolve) even when another shard died, was
+        breaker-rejected, or stalled mid-fan-out.
+
+        ``timeout`` bounds the *whole* fan-out on the caller's clock:
+        each entry carries the remaining budget (relative — monotonic
+        clocks don't cross process boundaries), and each collect leg's
+        receive budget is clamped to what is left, floored at a small
+        epsilon so already-computed replies from healthy shards still
+        drain after a stalled shard burned the deadline.
         """
         future_numerical = future_numerical or {}
         future_categorical = future_categorical or {}
         with self._lock:
+            deadline = None if timeout is None else obs.now() + timeout
             keys = self.tenants() if tenants is None else list(tenants)
             by_shard: Dict[str, List[str]] = {}
             for tenant in keys:
@@ -571,6 +779,7 @@ class ProcessCoordinator:
             ):
                 sent: List[str] = []
                 for shard_id, members in by_shard.items():
+                    budget = None if deadline is None else deadline - obs.now()
                     entries = []
                     for tenant in members:
                         request_id = str(next(self._request_ids))
@@ -580,22 +789,65 @@ class ProcessCoordinator:
                                 "tenant": tenant,
                                 "fn": future_numerical.get(tenant),
                                 "fc": future_categorical.get(tenant),
+                                "priority": priority,
+                                "budget": budget,
                             }
                         )
                         handle = PendingForecast(self, shard_id, request_id, tenant)
                         self._pending.setdefault(shard_id, {})[request_id] = handle
                         handles[tenant] = handle
+                    if budget is not None and budget <= 0:
+                        # The deadline burned before this shard's frame went
+                        # out — shed locally, typed, without any wire I/O.
+                        self._fail_pending_locked(
+                            shard_id, "fan-out deadline exhausted before dispatch",
+                            error_type="DeadlineExceeded",
+                        )
+                        continue
                     try:
                         self._shards[shard_id].send(
                             "forecast_many", entries=entries, flush=flush
                         )
                         sent.append(shard_id)
+                    except CircuitOpen as error:
+                        if deadline is not None:
+                            # A tripped breaker under a deadline is typed
+                            # load-shedding, not a cluster failure: the sick
+                            # shard's handles fail Overloaded and the rest of
+                            # the fan-out proceeds.
+                            self._fail_pending_locked(
+                                shard_id, str(error), error_type="Overloaded"
+                            )
+                            continue
+                        self._fail_pending_locked(shard_id, str(error))
+                        first_error = first_error if first_error is not None else error
                     except WorkerDied as error:
                         self._fail_pending_locked(shard_id, str(error))
                         first_error = first_error if first_error is not None else error
                 for shard_id in sent:
+                    receive_budget: Optional[float] = None
+                    if deadline is not None:
+                        # Floor at a drain epsilon: replies a healthy worker
+                        # already computed should resolve even when a slow
+                        # sibling spent the deadline.
+                        receive_budget = min(
+                            self.request_timeout, max(deadline - obs.now(), 0.05)
+                        )
                     try:
-                        reply = self._shards[shard_id].receive()
+                        reply = self._shards[shard_id].receive(timeout=receive_budget)
+                    except WorkerStalled as error:
+                        if deadline is not None:
+                            # Graceful degradation, not cluster failure: the
+                            # slow shard's handles fail typed while the
+                            # healthy shards' results still return.  Its late
+                            # reply drains on the next seq-stamped receive.
+                            self._fail_pending_locked(
+                                shard_id, str(error), error_type="DeadlineExceeded"
+                            )
+                            continue
+                        self._fail_pending_locked(shard_id, str(error))
+                        first_error = first_error if first_error is not None else error
+                        continue
                     except WorkerDied as error:
                         self._fail_pending_locked(shard_id, str(error))
                         first_error = first_error if first_error is not None else error
@@ -629,7 +881,7 @@ class ProcessCoordinator:
                 try:
                     shard.send("flush")
                     sent.append(shard_id)
-                except WorkerDied as error:
+                except (WorkerDied, CircuitOpen) as error:
                     self._fail_pending_locked(shard_id, str(error))
                     first_error = first_error if first_error is not None else error
             total = 0
@@ -653,7 +905,7 @@ class ProcessCoordinator:
                 return 0  # shard retired; its handles were settled then
             try:
                 reply = shard.request("flush")
-            except WorkerDied as error:
+            except (WorkerDied, CircuitOpen) as error:
                 self._fail_pending_locked(shard_id, str(error))
                 raise
             return self._apply_flush_reply_locked(shard_id, reply)
@@ -672,13 +924,19 @@ class ProcessCoordinator:
         return int(reply["flushed"])
 
     @requires_lock("_lock")
-    def _fail_pending_locked(self, shard_id: str, reason: str) -> None:
+    def _fail_pending_locked(
+        self, shard_id: str, reason: str, error_type: str = "RuntimeError"
+    ) -> None:
+        verb = {
+            "DeadlineExceeded": "missed its deadline",
+            "Overloaded": "shed its queue",
+        }.get(error_type, "died")
         for handle in self._pending.pop(shard_id, {}).values():
             handle._fail(
                 {
-                    "type": "RuntimeError",
+                    "type": error_type,
                     "message": (
-                        f"shard {shard_id!r} died before the forecast for "
+                        f"shard {shard_id!r} {verb} before the forecast for "
                         f"{handle.tenant!r} resolved: {reason}"
                     ),
                 }
@@ -898,8 +1156,18 @@ class ProcessCoordinator:
     @requires_lock("_lock")
     def _collect_stats_locked(self) -> Tuple[ServiceStats, StreamingStats, StoreStats]:
         for shard_id, shard in self._shards.items():
-            self._last_stats[shard_id] = shard.request("stats")
-        live = [self._last_stats[shard_id] for shard_id in self._shards]
+            try:
+                self._last_stats[shard_id] = shard.request("stats")
+            except (WorkerDied, CircuitOpen):
+                # Graceful degradation: a sick shard contributes its last
+                # polled snapshot instead of failing the whole merge —
+                # stats reads must keep working *during* an incident.
+                continue
+        live = [
+            self._last_stats[shard_id]
+            for shard_id in self._shards
+            if shard_id in self._last_stats
+        ]
         service = ServiceStats.merge(
             [self._retired_service] + [ServiceStats(**s["service"]) for s in live]
         )
@@ -924,7 +1192,7 @@ class ProcessCoordinator:
         """
         try:
             stats = shard.request("stats")
-        except WorkerDied:
+        except (WorkerDied, CircuitOpen):
             stats = self._last_stats.get(shard_id)
         self._last_stats.pop(shard_id, None)
         if stats is None:
@@ -1129,6 +1397,11 @@ class ProcessCoordinator:
         state: dict,
         request_timeout: float = 120.0,
         heartbeat_timeout: float = 5.0,
+        retry_attempts: int = 3,
+        retry_base: float = 0.05,
+        retry_cap: float = 2.0,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 5.0,
     ) -> "ProcessCoordinator":
         """Rebuild a cluster from :meth:`to_state` output (either backend's).
 
@@ -1138,6 +1411,7 @@ class ProcessCoordinator:
         """
         if not state["shards"]:
             raise ValueError("cluster state holds no shards")
+        validate_cluster_timeouts(request_timeout, heartbeat_timeout)
         cluster = cls.__new__(cls)
         cluster.spec = spec
         cluster.normalization = str(state["normalization"])
@@ -1145,6 +1419,11 @@ class ProcessCoordinator:
         cluster.window_capacity = int(first_shard["store"]["capacity"])
         cluster.request_timeout = request_timeout
         cluster.heartbeat_timeout = heartbeat_timeout
+        cluster.retry_attempts = retry_attempts
+        cluster.retry_base = retry_base
+        cluster.retry_cap = retry_cap
+        cluster.breaker_threshold = breaker_threshold
+        cluster.breaker_reset = breaker_reset
         cluster._init_runtime()
         cluster.ring = HashRing(vnodes=int(state["vnodes"]))
         cluster.rebalances = int(state["rebalances"])
@@ -1199,14 +1478,18 @@ class ProcessCoordinator:
 
 
 # ---------------------------------------------------------------------- #
+_UNSET = object()
+
+
 def build_cluster(
     spec: ServiceSpec,
-    n_shards: int = 2,
-    backend: str = "thread",
-    normalization: str = "none",
-    window_capacity: Optional[int] = None,
-    vnodes: int = 64,
+    n_shards=_UNSET,
+    backend=_UNSET,
+    normalization=_UNSET,
+    window_capacity=_UNSET,
+    vnodes=_UNSET,
     executor=None,
+    cluster: Optional[ClusterSpec] = None,
     **kwargs,
 ):
     """One replica recipe, two deployments.
@@ -1219,7 +1502,51 @@ def build_cluster(
     bit-identical forecasts, so the choice is purely operational:
     threads for cheap shards sharing one heap, processes to escape the
     GIL and survive real crashes.
+
+    Passing a validated :class:`~repro.cluster.spec.ClusterSpec` as
+    ``cluster`` takes the deployment shape — shard count, backend,
+    timeouts and the process backend's retry/breaker knobs — from one
+    object instead of loose keyword arguments (which must not be mixed
+    in alongside it).
     """
+    explicit = {
+        name
+        for name, value in (
+            ("n_shards", n_shards),
+            ("backend", backend),
+            ("normalization", normalization),
+            ("window_capacity", window_capacity),
+            ("vnodes", vnodes),
+        )
+        if value is not _UNSET
+    }
+    if cluster is not None:
+        if kwargs or explicit:
+            raise ValueError(
+                "pass deployment knobs either through ClusterSpec or as "
+                f"keywords, not both: unexpected {sorted(kwargs) + sorted(explicit)}"
+            )
+        n_shards = cluster.n_shards
+        backend = cluster.backend
+        normalization = cluster.normalization
+        window_capacity = cluster.window_capacity
+        vnodes = cluster.vnodes
+        if backend == "process":
+            kwargs = {
+                "request_timeout": cluster.request_timeout,
+                "heartbeat_timeout": cluster.heartbeat_timeout,
+                "retry_attempts": cluster.retry_attempts,
+                "retry_base": cluster.retry_base,
+                "retry_cap": cluster.retry_cap,
+                "breaker_threshold": cluster.breaker_threshold,
+                "breaker_reset": cluster.breaker_reset,
+            }
+    else:
+        n_shards = 2 if n_shards is _UNSET else n_shards
+        backend = "thread" if backend is _UNSET else backend
+        normalization = "none" if normalization is _UNSET else normalization
+        window_capacity = None if window_capacity is _UNSET else window_capacity
+        vnodes = 64 if vnodes is _UNSET else vnodes
     if backend == "thread":
         return ShardedForecaster(
             spec,

@@ -62,6 +62,7 @@ from ..config import ModelConfig
 from ..runtime import Executor, SerialExecutor, map_shards
 from ..runtime.annotations import guarded_by, requires_lock, unguarded
 from ..runtime.locks import RWLock, TrackedRLock
+from ..serving.admission import DEFAULT_PRIORITY
 from ..serving.service import ForecastService, ServiceStats
 from ..streaming.forecaster import StreamingForecast, StreamingForecaster, StreamingStats
 from ..streaming.store import StoreStats
@@ -485,8 +486,16 @@ class ShardedForecaster:
         tenant: str,
         future_numerical: Optional[np.ndarray] = None,
         future_categorical: Optional[np.ndarray] = None,
+        priority: str = DEFAULT_PRIORITY,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> StreamingForecast:
-        """Queue a forecast on the tenant's shard; non-blocking handle."""
+        """Queue a forecast on the tenant's shard; non-blocking handle.
+
+        ``priority`` / ``timeout`` / ``deadline`` pass through to the
+        shard service's admission control (see
+        :mod:`repro.serving.admission`).
+        """
         with self._topology.read():
             shard_id = self.shard_for(tenant)
             with self._shard_locks[shard_id]:
@@ -494,6 +503,9 @@ class ShardedForecaster:
                     tenant,
                     future_numerical=future_numerical,
                     future_categorical=future_categorical,
+                    priority=priority,
+                    timeout=timeout,
+                    deadline=deadline,
                 )
 
     def forecast_all(
@@ -502,6 +514,8 @@ class ShardedForecaster:
         flush: bool = True,
         future_numerical: Optional[Mapping[str, np.ndarray]] = None,
         future_categorical: Optional[Mapping[str, np.ndarray]] = None,
+        priority: str = DEFAULT_PRIORITY,
+        timeout: Optional[float] = None,
     ) -> Dict[str, StreamingForecast]:
         """Queue one forecast per tenant, fanned out shard by shard.
 
@@ -545,6 +559,8 @@ class ShardedForecaster:
                                 tenant,
                                 future_numerical=future_numerical.get(tenant),
                                 future_categorical=future_categorical.get(tenant),
+                                priority=priority,
+                                timeout=timeout,
                             )
                         if flush:
                             forecaster.flush()

@@ -16,6 +16,13 @@ pass ``weights_path`` to serve checkpointed weights instead.
 
 A spec is also a valid ``service_factory`` for the thread backend (it is
 callable), so one recipe drives both deployments.
+
+:class:`ClusterSpec` is the operational counterpart: where
+:class:`ServiceSpec` describes one replica, :class:`ClusterSpec`
+describes the deployment around it — shard count, backend, timeouts and
+the resilience knobs (retry/backoff, circuit breaker).  Passing one to
+:func:`~repro.cluster.process.build_cluster` replaces a pile of loose
+keyword arguments with a single validated object.
 """
 
 from __future__ import annotations
@@ -26,9 +33,29 @@ from typing import Optional
 from ..baselines.registry import create_model
 from ..config import ModelConfig
 from ..nn.serialization import load_module
+from ..serving.admission import AdmissionPolicy
 from ..serving.service import ForecastService
 
-__all__ = ["ServiceSpec"]
+__all__ = ["ServiceSpec", "ClusterSpec", "validate_cluster_timeouts"]
+
+
+def validate_cluster_timeouts(request_timeout: float, heartbeat_timeout: float) -> None:
+    """Shared timeout sanity: both positive, heartbeat strictly tighter.
+
+    A heartbeat budget at or above the request budget would make
+    ``detect_failures`` the *slowest* way to notice a wedged worker —
+    the opposite of its job.
+    """
+    if request_timeout <= 0:
+        raise ValueError(f"request_timeout must be > 0, got {request_timeout}")
+    if heartbeat_timeout <= 0:
+        raise ValueError(f"heartbeat_timeout must be > 0, got {heartbeat_timeout}")
+    if heartbeat_timeout >= request_timeout:
+        raise ValueError(
+            f"heartbeat_timeout ({heartbeat_timeout}) must be smaller than "
+            f"request_timeout ({request_timeout}): the liveness probe must "
+            "fail faster than a full request"
+        )
 
 
 @dataclass(frozen=True)
@@ -41,6 +68,12 @@ class ServiceSpec:
     pad_mode: str = "edge"
     compiled: bool = True
     weights_path: Optional[str] = None
+    #: admission knobs — forwarded into each replica's
+    #: :class:`~repro.serving.admission.AdmissionPolicy`, so a worker
+    #: process sheds over-capacity / expired work exactly like a local
+    #: service would.  The defaults keep admission inert.
+    queue_limit: Optional[int] = None
+    default_timeout: Optional[float] = None
 
     def build(self) -> ForecastService:
         """Construct the replica this spec describes.
@@ -52,11 +85,17 @@ class ServiceSpec:
         model = create_model(self.model, self.config)
         if self.weights_path is not None:
             load_module(model, self.weights_path)
+        admission = None
+        if self.queue_limit is not None or self.default_timeout is not None:
+            admission = AdmissionPolicy(
+                queue_limit=self.queue_limit, default_timeout=self.default_timeout
+            )
         return ForecastService(
             model,
             max_batch_size=self.max_batch_size,
             pad_mode=self.pad_mode,
             compiled=self.compiled,
+            admission=admission,
         )
 
     # Thread-backed shards accept any zero-arg service factory; a spec is
@@ -72,6 +111,10 @@ class ServiceSpec:
             "pad_mode": self.pad_mode,
             "compiled": bool(self.compiled),
             "weights_path": self.weights_path,
+            "queue_limit": None if self.queue_limit is None else int(self.queue_limit),
+            "default_timeout": (
+                None if self.default_timeout is None else float(self.default_timeout)
+            ),
         }
 
     @classmethod
@@ -82,6 +125,8 @@ class ServiceSpec:
         config["covariate_categorical_cardinalities"] = tuple(
             int(c) for c in config.get("covariate_categorical_cardinalities", ())
         )
+        queue_limit = state.get("queue_limit")
+        default_timeout = state.get("default_timeout")
         return cls(
             model=str(state["model"]),
             config=ModelConfig(**{k: v for k, v in config.items()}),
@@ -89,4 +134,60 @@ class ServiceSpec:
             pad_mode=str(state["pad_mode"]),
             compiled=bool(state["compiled"]),
             weights_path=state.get("weights_path"),
+            queue_limit=None if queue_limit is None else int(queue_limit),
+            default_timeout=None if default_timeout is None else float(default_timeout),
         )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Operational shape of a deployment: shards, timeouts, resilience.
+
+    Validated at construction so a misconfigured cluster fails before any
+    worker spawns:
+
+    * ``request_timeout`` / ``heartbeat_timeout`` — both positive, with
+      the heartbeat strictly tighter than a full request
+      (:func:`validate_cluster_timeouts`);
+    * ``retry_*`` — the :class:`~repro.runtime.CircuitBreaker` /
+      :class:`~repro.runtime.RetryPolicy` knobs each
+      :class:`~repro.cluster.process.ProcessShard` is built with.
+
+    Thread-backend deployments ignore the process-only knobs (timeouts,
+    retries, breakers) — there is no process gap to protect.
+    """
+
+    n_shards: int = 2
+    backend: str = "thread"
+    normalization: str = "none"
+    window_capacity: Optional[int] = None
+    vnodes: int = 64
+    request_timeout: float = 120.0
+    heartbeat_timeout: float = 5.0
+    retry_attempts: int = 3
+    retry_base: float = 0.05
+    retry_cap: float = 2.0
+    breaker_threshold: int = 3
+    breaker_reset: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be positive, got {self.n_shards}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; use 'thread' or 'process'"
+            )
+        validate_cluster_timeouts(self.request_timeout, self.heartbeat_timeout)
+        if self.retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, got {self.retry_attempts}")
+        if self.retry_base <= 0 or self.retry_cap < self.retry_base:
+            raise ValueError(
+                f"need 0 < retry_base <= retry_cap, got "
+                f"base={self.retry_base} cap={self.retry_cap}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset <= 0:
+            raise ValueError(f"breaker_reset must be > 0, got {self.breaker_reset}")

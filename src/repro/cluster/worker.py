@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from dataclasses import asdict
 from typing import Dict, Optional
 
 import numpy as np
 
 from .. import obs, wire
+from ..serving.admission import DEFAULT_PRIORITY, DeadlineExceeded, Overloaded
 from ..streaming.forecaster import StreamingForecast, StreamingForecaster
 from .spec import ServiceSpec
 
@@ -50,6 +52,11 @@ class ShardWorker:
         self._forecaster: Optional[StreamingForecaster] = None
         self._pending: Dict[str, StreamingForecast] = {}
         self._shard_id = "?"
+        # Armed by the "fault" command: the next _stall_count commands
+        # sleep _stall_seconds before dispatch — a deterministic wedged
+        # worker for degradation drills.
+        self._stall_seconds = 0.0
+        self._stall_count = 0
 
     # ------------------------------------------------------------------ #
     def run(self) -> None:
@@ -66,7 +73,15 @@ class ShardWorker:
                 )
                 continue
             command = str(message["cmd"])
+            if self._stall_count > 0 and command != "fault":
+                self._stall_count -= 1
+                time.sleep(self._stall_seconds)
             reply = self._dispatch(command, message)
+            # Echo the request's sequence stamp on every reply (errors
+            # included) so the coordinator can drain replies that outlived
+            # their request's timeout.
+            if "seq" in message:
+                reply["seq"] = message["seq"]
             wire.send_message(self._channel, reply)
             if command == "shutdown" and "error" not in reply:
                 return
@@ -162,9 +177,26 @@ class ShardWorker:
             str(message["tenant"]),
             future_numerical=message.get("future_numerical"),
             future_categorical=message.get("future_categorical"),
+            priority=str(message.get("priority", DEFAULT_PRIORITY)),
+            # The budget is relative: re-anchored on this process's
+            # monotonic clock at admission (a coordinator-side absolute
+            # deadline would be meaningless here).
+            timeout=self._entry_budget(message.get("budget")),
         )
         self._pending[str(message["id"])] = handle
         return {"ok": True, "queued": len(self._pending)}
+
+    @staticmethod
+    def _entry_budget(budget) -> Optional[float]:
+        """Normalise a wire budget: a spent one raises typed, not ValueError."""
+        if budget is None:
+            return None
+        budget = float(budget)
+        if budget <= 0:
+            raise DeadlineExceeded(
+                f"deadline budget spent before worker admission ({budget:.3f}s left)"
+            )
+        return budget
 
     def _cmd_flush(self, message: dict) -> dict:
         flushed = self._require().flush()
@@ -172,16 +204,28 @@ class ShardWorker:
 
     def _cmd_forecast_many(self, message: dict) -> dict:
         forecaster = self._require()
+        admission_errors: Dict[str, dict] = {}
         for entry in message["entries"]:
-            handle = forecaster.forecast(
-                str(entry["tenant"]),
-                future_numerical=entry.get("fn"),
-                future_categorical=entry.get("fc"),
-            )
+            try:
+                handle = forecaster.forecast(
+                    str(entry["tenant"]),
+                    future_numerical=entry.get("fn"),
+                    future_categorical=entry.get("fc"),
+                    priority=str(entry.get("priority", DEFAULT_PRIORITY)),
+                    timeout=self._entry_budget(entry.get("budget")),
+                )
+            except (Overloaded, DeadlineExceeded) as error:
+                # A shed entry fails alone — the rest of the batch (and
+                # the worker) keeps serving.  The coordinator rematerialises
+                # the typed error on that entry's handle.
+                admission_errors[str(entry["id"])] = wire.error_payload(error)
+                continue
             self._pending[str(entry["id"])] = handle
         if not message.get("flush", True):
-            return {"flushed": 0, "results": {}, "errors": {}}
-        return self._resolve_pending(forecaster.flush())
+            return {"flushed": 0, "results": {}, "errors": admission_errors}
+        reply = self._resolve_pending(forecaster.flush())
+        reply["errors"].update(admission_errors)
+        return reply
 
     def _resolve_pending(self, flushed: int) -> dict:
         results: Dict[str, np.ndarray] = {}
@@ -195,6 +239,22 @@ class ShardWorker:
                 errors[request_id] = wire.error_payload(error)
         self._pending.clear()
         return {"flushed": int(flushed), "results": results, "errors": errors}
+
+    def _cmd_fault(self, message: dict) -> dict:
+        """Arm a deterministic stall: the next ``count`` commands sleep first.
+
+        The acknowledgement goes out *before* any stall applies, so the
+        arming request itself never times out.
+        """
+        seconds = float(message.get("stall", 0.0))
+        count = int(message.get("count", 1))
+        if seconds <= 0 or count < 1:
+            raise ValueError(
+                f"fault needs stall > 0 and count >= 1, got {seconds}/{count}"
+            )
+        self._stall_seconds = seconds
+        self._stall_count = count
+        return {"ok": True, "stall": seconds, "count": count}
 
     # ------------------------------------------------------------------ #
     def _cmd_warmup(self, message: dict) -> dict:

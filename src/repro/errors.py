@@ -1,0 +1,80 @@
+"""Typed failure vocabulary shared across layers.
+
+Overload protection only works end to end if every layer sheds with the
+*same* typed errors: the serving admission gate, the streaming facade,
+the cluster coordinator and the wire protocol all need to agree on what
+"too busy" and "too late" look like, and the wire's re-raise whitelist
+(:func:`repro.wire.raise_remote`) must be able to rematerialise them on
+the coordinator side without importing the serving stack.  This module
+is that shared vocabulary — stdlib-only, importable from anywhere
+without cycles.
+
+Base classes are chosen so existing narrow handlers keep working:
+
+* :class:`DeadlineExceeded` *is a* ``TimeoutError`` — code that treats
+  timeouts generically still catches it, but the type records that the
+  budget was the *caller's*, not a transport default;
+* :class:`Overloaded` *is a* ``RuntimeError`` — a capacity decision, not
+  a transport failure;
+* :class:`CircuitOpen` and :class:`TransientWireError` are
+  ``ConnectionError`` subclasses — both describe the health of a
+  connection to a worker, one synthesised locally (fail-fast), one a
+  retryable transport hiccup.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Overloaded",
+    "DeadlineExceeded",
+    "CircuitOpen",
+    "TransientWireError",
+]
+
+
+class Overloaded(RuntimeError):
+    """Request rejected (or evicted) by admission control: queue at capacity.
+
+    Raised on the *submitting* caller when the pending queue is full and
+    the request cannot displace lower-priority work, or from a shed
+    victim's ``result()`` when a higher-priority arrival evicted it.
+    Typed load-shedding: the caller knows the system chose to refuse
+    work, rather than hitting an opaque timeout on an unbounded queue.
+    """
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline budget expired before a forward pass ran.
+
+    Raised at submit time for work that arrives already expired, from a
+    handle's ``result()`` when the deadline lapsed while queued (the
+    flush sheds dead work instead of computing it), or from an RPC whose
+    retry/receive budget was capped by the caller's deadline.
+    """
+
+
+class CircuitOpen(ConnectionError):
+    """A circuit breaker is open: the call failed fast without any I/O.
+
+    Raised instead of talking to a worker whose breaker tripped after
+    consecutive failures; carries no transport state because no transport
+    was touched.  Half-open probes re-test the worker after the breaker's
+    reset timeout.
+    """
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open (probe allowed in {retry_after:.3f}s)"
+        )
+        self.name = name
+        self.retry_after = retry_after
+
+
+class TransientWireError(ConnectionError):
+    """A retryable transport hiccup: the stream itself is still usable.
+
+    Distinct from :class:`repro.wire.EndOfStream` (peer gone for good):
+    a transient error is raised *before* any frame bytes were consumed,
+    so a retry over the same socket is sound.  The fault-injection
+    harness raises it to exercise retry paths deterministically.
+    """

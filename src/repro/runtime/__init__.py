@@ -22,7 +22,11 @@ the cluster so they stay reusable (and testable) on their own:
   only while the work is NumPy-bound, processes always do — at the price
   of wire-codec-serialisable tasks, see :mod:`repro.runtime.procpool`);
 * :func:`map_shards` — the one fan-out idiom: ``fn(shard_id)`` per shard,
-  results keyed and ordered by shard id.
+  results keyed and ordered by shard id;
+* :class:`RetryPolicy` / :class:`CircuitBreaker` — resilience primitives
+  for calls that cross a process gap: decorrelated-jitter retries with a
+  deadline-capped budget, and a per-dependency breaker that fails fast
+  while a worker is sick (see :mod:`repro.runtime.resilience`).
 
 See ``ARCHITECTURE.md`` for how these compose with the per-shard locks in
 the cluster layer, and ``benchmarks/test_parallel_scaling.py`` for the
@@ -31,6 +35,7 @@ measured speedup.
 
 from .annotations import guarded_by, requires_lock, unguarded
 from .executor import Executor, PoolExecutor, SerialExecutor, map_shards
+from .resilience import CircuitBreaker, RetryPolicy
 from .locks import (
     LockOrderMonitor,
     PotentialDeadlock,
@@ -60,6 +65,8 @@ __all__ = [
     "guarded_by",
     "requires_lock",
     "unguarded",
+    "CircuitBreaker",
+    "RetryPolicy",
 ]
 
 

@@ -10,7 +10,12 @@ request-level inference stack:
   ``(model_name, config_hash)``, spilling evicted weights through
   :mod:`repro.nn.serialization` so multiple scenarios share one process;
 * batching helpers (:func:`pad_history`, :func:`coalesce`) and stats
-  objects for observing cache and batching behaviour.
+  objects for observing cache and batching behaviour;
+* :mod:`repro.serving.admission` — overload protection: priority classes
+  (:data:`PRIORITIES`), per-request deadlines, and an
+  :class:`AdmissionPolicy` that sheds over-capacity or expired work with
+  typed :class:`Overloaded` / :class:`DeadlineExceeded` errors instead of
+  queueing unboundedly.
 
 See ``examples/serving_quickstart.py`` for an end-to-end tour and
 ``benchmarks/test_serving_throughput.py`` for the measured batched-vs-
@@ -20,6 +25,13 @@ per-tenant forecasts are ordinary ``submit`` traffic, so they coalesce
 with each other (and with any direct callers) in the same queue.
 """
 
+from .admission import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    AdmissionPolicy,
+    DeadlineExceeded,
+    Overloaded,
+)
 from .batching import Forecast, ForecastRequest, coalesce, pad_history
 from .registry import ModelRegistry, RegistryStats, config_hash
 from .service import ForecastService, ServiceStats
@@ -34,4 +46,9 @@ __all__ = [
     "config_hash",
     "ForecastService",
     "ServiceStats",
+    "PRIORITIES",
+    "DEFAULT_PRIORITY",
+    "AdmissionPolicy",
+    "Overloaded",
+    "DeadlineExceeded",
 ]

@@ -1,0 +1,132 @@
+"""Admission control for the serving queue: priorities, deadlines, shedding.
+
+The paper's pitch is a *lightweight* forecaster that holds up under heavy
+multi-tenant traffic — which means the serving layer must decide what to
+do when traffic exceeds capacity, rather than queue without bound and
+let every caller's latency grow together.  This module is the decision
+vocabulary; :class:`~repro.serving.service.ForecastService` applies it:
+
+* **Priority classes** — :data:`PRIORITIES` is a strict ladder,
+  ``"interactive"`` > ``"batch"`` > ``"best_effort"``.  Under pressure
+  the queue sheds strictly-lower-priority work first, and flushes run
+  higher classes in earlier forward passes.
+* **Deadlines** — per-request, resolved once at submit on the
+  :func:`repro.obs.now` clock (monotonic; wall-clock steps can neither
+  expire nor resurrect a request).  Already-expired work is refused at
+  the door; work that expires while queued is shed at flush instead of
+  wasting a forward pass on an answer nobody is waiting for.
+* **Typed load shedding** — every shed path fails with
+  :class:`Overloaded` or :class:`DeadlineExceeded` (re-exported here
+  from :mod:`repro.errors`, and whitelisted in the wire protocol so a
+  worker-side shed crosses the process boundary typed).  A caller can
+  distinguish "the system refused" from "the system broke".
+
+The default :class:`AdmissionPolicy` is deliberately inert — no queue
+limit, no default timeout — so existing deployments keep their exact
+behaviour (and bit-parity oracles) until a limit is configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import DeadlineExceeded, Overloaded
+
+__all__ = [
+    "PRIORITIES",
+    "DEFAULT_PRIORITY",
+    "AdmissionPolicy",
+    "Overloaded",
+    "DeadlineExceeded",
+    "priority_rank",
+    "resolve_deadline",
+]
+
+#: the priority ladder, best first.  Rank = index: lower rank wins.
+PRIORITIES = ("interactive", "batch", "best_effort")
+
+DEFAULT_PRIORITY = "batch"
+
+_RANK = {priority: rank for rank, priority in enumerate(PRIORITIES)}
+
+
+def priority_rank(priority: str) -> int:
+    """The ladder rank of a priority class (0 is best); validates the name."""
+    rank = _RANK.get(priority)
+    if rank is None:
+        raise ValueError(
+            f"unknown priority {priority!r}; use one of {PRIORITIES}"
+        )
+    return rank
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """How a service admits, queues and sheds requests.
+
+    Parameters
+    ----------
+    queue_limit:
+        maximum pending requests; ``None`` (default) keeps the queue
+        unbounded — the pre-admission behaviour.  When full, an arrival
+        either displaces the worst strictly-lower-priority queued
+        request (which fails :class:`Overloaded`) or is itself refused.
+    default_timeout:
+        deadline budget (seconds) applied to requests that supply
+        neither ``timeout`` nor ``deadline``; ``None`` leaves them
+        deadline-free.
+    flush_fraction:
+        when a deadline-bearing request is pending, a background flush
+        timer fires once this fraction of the *oldest* such request's
+        budget is spent (default: half) — late enough to let a batch
+        coalesce, early enough that the forward pass lands before the
+        deadline.
+    """
+
+    queue_limit: Optional[int] = None
+    default_timeout: Optional[float] = None
+    flush_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be > 0, got {self.default_timeout}"
+            )
+        if not 0.0 < self.flush_fraction <= 1.0:
+            raise ValueError(
+                f"flush_fraction must be in (0, 1], got {self.flush_fraction}"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        return self.queue_limit is not None
+
+
+def resolve_deadline(
+    now: float,
+    timeout: Optional[float] = None,
+    deadline: Optional[float] = None,
+    policy: Optional[AdmissionPolicy] = None,
+) -> Optional[float]:
+    """Collapse a request's timing arguments into one absolute deadline.
+
+    Precedence: an explicit absolute ``deadline`` wins; otherwise a
+    relative ``timeout`` is anchored at ``now``; otherwise the policy's
+    ``default_timeout`` applies; otherwise the request is deadline-free.
+    Supplying both ``timeout`` and ``deadline`` is a caller bug and
+    raises.
+    """
+    if timeout is not None and deadline is not None:
+        raise ValueError("pass either timeout (relative) or deadline (absolute), not both")
+    if deadline is not None:
+        return float(deadline)
+    if timeout is not None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        return now + float(timeout)
+    if policy is not None and policy.default_timeout is not None:
+        return now + policy.default_timeout
+    return None

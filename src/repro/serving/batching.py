@@ -80,7 +80,9 @@ class ForecastRequest:
     future_numerical: Optional[np.ndarray]     # [horizon, cn] or None
     future_categorical: Optional[np.ndarray]   # [horizon, ct] or None
     forecast: Forecast
-    submitted_at: float = 0.0                  # obs clock at submit; 0 = metrics off
+    submitted_at: float = 0.0                  # obs clock at submit (always stamped)
+    priority: str = "batch"                    # admission class; see serving.admission
+    deadline: Optional[float] = None           # absolute obs-clock deadline, or None
 
     @property
     def has_covariates(self) -> bool:

@@ -31,6 +31,14 @@ from ..stats import CounterStats, counters_dict
 from ..core.base import ForecastModel
 from ..data.windows import SlidingWindowDataset
 from ..runtime.annotations import guarded_by, requires_lock
+from .admission import (
+    DEFAULT_PRIORITY,
+    AdmissionPolicy,
+    DeadlineExceeded,
+    Overloaded,
+    priority_rank,
+    resolve_deadline,
+)
 from .batching import BatchAssembler, Forecast, ForecastRequest, group_requests, pad_history
 from .registry import ModelRegistry
 
@@ -51,6 +59,16 @@ _FLUSH_OCCUPANCY = obs.histogram(
     "repro_serving_flush_occupancy",
     "fraction of max_batch_size filled per forward pass",
     buckets=tuple((i + 1) / 16 for i in range(16)),
+)
+_PRIORITY_LATENCY_SECONDS = obs.histogram(
+    "repro_serving_priority_latency_seconds",
+    "submit-to-resolve latency per request, split by priority class",
+    labels=("priority",),
+)
+_SHED_TOTAL = obs.counter(
+    "repro_serving_shed_total",
+    "requests refused or failed by admission control, by reason",
+    labels=("reason",),
 )
 
 
@@ -74,6 +92,10 @@ class ServiceStats(CounterStats):
     largest_batch: int = 0
     backfill_batches: int = 0
     backfill_windows: int = 0
+    shed_overloaded: int = 0         # refused/displaced at a full queue
+    shed_expired: int = 0            # refused at submit: deadline already past
+    deadline_misses: int = 0         # expired while queued, shed at flush
+    timer_flushes: int = 0           # flushes fired by the deadline timer
 
     @property
     def mean_batch_size(self) -> float:
@@ -84,7 +106,7 @@ class ServiceStats(CounterStats):
         return {**counters_dict(self), "mean_batch_size": self.mean_batch_size}
 
 
-@guarded_by("_pending", "stats", "_assembler", lock="_lock")
+@guarded_by("_pending", "stats", "_assembler", "_timer", "_timer_at", lock="_lock")
 class ForecastService:
     """Serve a forecasting model behind a micro-batching request API.
 
@@ -110,6 +132,7 @@ class ForecastService:
         max_batch_size: int = 32,
         pad_mode: str = "edge",
         compiled: bool = True,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -129,9 +152,14 @@ class ForecastService:
             # bucket plan.  Align the predictor's polymorphic trace width
             # with the service's micro-batch ceiling.
             model.compiled_predictor(max_batch=max_batch_size).reserve(4)
+        #: admission policy; the default is inert (unbounded queue, no
+        #: deadlines) so un-configured services behave exactly as before.
+        self.admission = admission if admission is not None else AdmissionPolicy()
         self.stats = ServiceStats()
         self._pending: List[ForecastRequest] = []
         self._assembler = BatchAssembler()
+        self._timer: Optional[threading.Timer] = None
+        self._timer_at = 0.0
         self._lock = threading.RLock()
         # Export the per-instance counters through the metrics registry;
         # the view holds the service weakly and dies with it.
@@ -146,11 +174,18 @@ class ForecastService:
         max_batch_size: int = 32,
         pad_mode: str = "edge",
         compiled: bool = True,
+        admission: Optional[AdmissionPolicy] = None,
         **factory_kwargs,
     ) -> "ForecastService":
         """Build a service for a registry scenario (loading on cache miss)."""
         model = registry.get(model_name, config, **factory_kwargs)
-        return cls(model, max_batch_size=max_batch_size, pad_mode=pad_mode, compiled=compiled)
+        return cls(
+            model,
+            max_batch_size=max_batch_size,
+            pad_mode=pad_mode,
+            compiled=compiled,
+            admission=admission,
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -164,6 +199,9 @@ class ForecastService:
         history: np.ndarray,
         future_numerical: Optional[np.ndarray] = None,
         future_categorical: Optional[np.ndarray] = None,
+        priority: str = DEFAULT_PRIORITY,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Forecast:
         """Queue one request; returns a handle that resolves on flush.
 
@@ -171,29 +209,140 @@ class ForecastService:
         histories than the model's ``input_length`` are left-padded
         (``pad_mode``), longer ones keep their most recent steps.  Future
         covariates, when given, must cover the model horizon.
+
+        ``priority`` is one of :data:`~repro.serving.admission.PRIORITIES`;
+        ``timeout`` (relative seconds) or ``deadline`` (absolute, on the
+        :func:`repro.obs.now` clock) bound how long the caller will wait.
+        Under the service's :class:`AdmissionPolicy` an over-capacity or
+        already-expired request raises :class:`Overloaded` /
+        :class:`DeadlineExceeded` here instead of queueing unboundedly; a
+        queued request whose deadline lapses before its flush fails its
+        handle with :class:`DeadlineExceeded`.
         """
+        rank = priority_rank(priority)
         padded, observed = pad_history(
             history, self.config.input_length, self.config.n_channels, pad_mode=self.pad_mode
         )
         future_numerical, future_categorical = self._validate_covariates(
             future_numerical, future_categorical
         )
+        # The scheduling clock is unconditional: deadlines and the flush
+        # timer need real timestamps whether or not metrics are recording.
+        now = obs.now()
         request = ForecastRequest(
             history=padded,
             observed_length=observed,
             future_numerical=future_numerical,
             future_categorical=future_categorical,
             forecast=Forecast(self),
-            submitted_at=obs.now() if obs.metrics_enabled() else 0.0,
+            submitted_at=now,
+            priority=priority,
+            deadline=resolve_deadline(now, timeout, deadline, self.admission),
         )
         with self._lock:
-            self._pending.append(request)
-            self.stats.requests += 1
-            if observed < self.config.input_length:
-                self.stats.padded_requests += 1
+            self._admit_locked(request, rank, now)
             if len(self._pending) >= self.max_batch_size:
                 self._flush_locked()
+            elif request.deadline is not None:
+                self._arm_timer_locked(request)
         return request.forecast
+
+    @requires_lock("_lock")
+    def _admit_locked(self, request: ForecastRequest, rank: int, now: float) -> None:
+        """Admit one request into the pending queue, or shed typed.
+
+        Expired work is refused outright.  At a full queue the arrival
+        displaces the worst strictly-lower-priority queued request (whose
+        handle fails :class:`Overloaded`); with nothing lower-priority to
+        displace, the arrival itself is refused.
+        """
+        if request.deadline is not None and request.deadline <= now:
+            self.stats.shed_expired += 1
+            _SHED_TOTAL.labels(reason="expired").inc()
+            raise DeadlineExceeded(
+                f"deadline passed {now - request.deadline:.3f}s before admission"
+            )
+        limit = self.admission.queue_limit
+        if limit is not None and len(self._pending) >= limit:
+            victim = self._evict_locked(rank)
+            self.stats.shed_overloaded += 1
+            _SHED_TOTAL.labels(reason="overloaded").inc()
+            if victim is None:
+                raise Overloaded(
+                    f"pending queue full ({limit}) with no lower-priority "
+                    f"work to displace for a {request.priority!r} arrival"
+                )
+            victim.forecast._fail(
+                Overloaded(
+                    f"{victim.priority!r} request displaced from a full queue "
+                    f"({limit}) by a {request.priority!r} arrival"
+                )
+            )
+        self._pending.append(request)
+        self.stats.requests += 1
+        if request.observed_length < self.config.input_length:
+            self.stats.padded_requests += 1
+
+    @requires_lock("_lock")
+    def _evict_locked(self, incoming_rank: int) -> Optional[ForecastRequest]:
+        """Pop the eviction victim: worst priority class, newest within it.
+
+        Returns ``None`` when nothing queued ranks strictly below the
+        arrival — equal-priority work is never displaced (FIFO fairness
+        within a class).
+        """
+        victim_index = -1
+        victim_rank = incoming_rank
+        for index in range(len(self._pending) - 1, -1, -1):
+            rank = priority_rank(self._pending[index].priority)
+            if rank > victim_rank:
+                victim_index = index
+                victim_rank = rank
+        if victim_index < 0:
+            return None
+        return self._pending.pop(victim_index)
+
+    @requires_lock("_lock")
+    def _arm_timer_locked(self, request: ForecastRequest) -> None:
+        """Schedule a background flush at ``flush_fraction`` of the budget.
+
+        A single timer tracks the earliest required firing; a new
+        deadline only re-arms it when it needs the flush sooner than the
+        timer already in flight.
+        """
+        budget = request.deadline - request.submitted_at
+        fire_at = request.submitted_at + budget * self.admission.flush_fraction
+        if self._timer is not None:
+            if self._timer_at <= fire_at:
+                return
+            self._timer.cancel()
+        timer = threading.Timer(max(fire_at - obs.now(), 0.0), self._deadline_flush)
+        timer.daemon = True
+        self._timer = timer
+        self._timer_at = fire_at
+        timer.start()
+
+    @requires_lock("_lock")
+    def _cancel_timer_locked(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+            self._timer_at = 0.0
+
+    def _deadline_flush(self) -> None:
+        """Timer callback: flush whatever is pending before deadlines lapse."""
+        with self._lock:
+            self._timer = None
+            self._timer_at = 0.0
+            if self._pending:
+                self.stats.timer_flushes += 1
+                self._flush_locked()
+
+    def close(self) -> None:
+        """Flush remaining work and stop the background flush timer."""
+        with self._lock:
+            self._flush_locked()
+            self._cancel_timer_locked()
 
     def flush(self) -> int:
         """Run every pending request through the model; returns the count."""
@@ -363,17 +512,54 @@ class ForecastService:
         return self.model.predict(batch["x"], compiled=self.compiled, **kwargs)
 
     @requires_lock("_lock")
+    def _shed_expired_locked(self, pending: List[ForecastRequest]) -> List[ForecastRequest]:
+        """Fail queued requests whose deadline lapsed; return the live rest.
+
+        Running an expired request would spend forward-pass capacity on an
+        answer nobody is waiting for — under overload exactly the spend
+        that pushes the *next* request past its deadline too.
+        """
+        live: List[ForecastRequest] = []
+        now = 0.0
+        for request in pending:
+            if request.deadline is not None:
+                if not now:
+                    now = obs.now()
+                if request.deadline <= now:
+                    self.stats.deadline_misses += 1
+                    _SHED_TOTAL.labels(reason="deadline").inc()
+                    request.forecast._fail(
+                        DeadlineExceeded(
+                            f"{request.priority!r} request expired in queue "
+                            f"({now - request.deadline:.3f}s past deadline)"
+                        )
+                    )
+                    continue
+            live.append(request)
+        return live
+
+    @requires_lock("_lock")
     def _flush_locked(self) -> int:
         if not self._pending:
             return 0
+        self._cancel_timer_locked()
         started = obs.now() if obs.metrics_enabled() else 0.0
         pending, self._pending = self._pending, []
         if started:
             _QUEUE_DEPTH.set(len(pending))
         self.stats.flushes += 1
-        with obs.span("service.flush", requests=len(pending)):
-            for start in range(0, len(pending), self.max_batch_size):
-                chunk = pending[start : start + self.max_batch_size]
+        live = self._shed_expired_locked(pending)
+        if not live:
+            return len(pending)
+        if len(live) > 1:
+            # Stable priority order: higher classes land in earlier forward
+            # passes, FIFO preserved within a class.  Rows of a batch are
+            # independent, so reordering across rows never changes any
+            # row's bits — admitted traffic stays parity-clean.
+            live.sort(key=lambda request: priority_rank(request.priority))
+        with obs.span("service.flush", requests=len(live)):
+            for start in range(0, len(live), self.max_batch_size):
+                chunk = live[start : start + self.max_batch_size]
                 for members in group_requests(chunk):
                     # A failing forward must not take unrelated requests down
                     # with it: the error is attached to the failing group's
@@ -398,7 +584,11 @@ class ForecastService:
                     for row, request in zip(output, members):
                         request.forecast._resolve(row)
                         if resolved_at and request.submitted_at:
-                            _REQUEST_LATENCY_SECONDS.observe(resolved_at - request.submitted_at)
+                            latency = resolved_at - request.submitted_at
+                            _REQUEST_LATENCY_SECONDS.observe(latency)
+                            _PRIORITY_LATENCY_SECONDS.labels(
+                                priority=request.priority
+                            ).observe(latency)
         if started:
             _FLUSH_SECONDS.observe(obs.now() - started)
         return len(pending)

@@ -37,6 +37,7 @@ from .. import obs
 from ..data.incremental import RollingScaler
 from ..runtime.annotations import guarded_by
 from ..stats import CounterStats
+from ..serving.admission import DEFAULT_PRIORITY
 from ..serving.batching import Forecast
 from ..serving.service import ForecastService
 from .store import SeriesStore
@@ -180,6 +181,9 @@ class StreamingForecaster:
         tenant: str,
         future_numerical: Optional[np.ndarray] = None,
         future_categorical: Optional[np.ndarray] = None,
+        priority: str = DEFAULT_PRIORITY,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> StreamingForecast:
         """Queue a forecast from the tenant's latest window; non-blocking.
 
@@ -193,6 +197,12 @@ class StreamingForecaster:
         they ride through :meth:`ForecastService.submit` untouched by the
         tenant's normalisation mode (covariates live in their own scale —
         only the history window and the returned forecast are mapped).
+
+        ``priority`` / ``timeout`` / ``deadline`` ride through to the
+        service's admission control unchanged — an over-capacity or
+        expired submit raises :class:`~repro.serving.Overloaded` /
+        :class:`~repro.serving.DeadlineExceeded` here, before any
+        streaming counters move.
         """
         window = self.store.latest(tenant, self.config.input_length)
         if len(window) == 0:
@@ -202,6 +212,9 @@ class StreamingForecaster:
             normalized,
             future_numerical=future_numerical,
             future_categorical=future_categorical,
+            priority=priority,
+            timeout=timeout,
+            deadline=deadline,
         )
         with self._lock:
             self.stats.forecasts += 1
@@ -215,6 +228,8 @@ class StreamingForecaster:
         flush: bool = True,
         future_numerical: Optional[Mapping[str, np.ndarray]] = None,
         future_categorical: Optional[Mapping[str, np.ndarray]] = None,
+        priority: str = DEFAULT_PRIORITY,
+        timeout: Optional[float] = None,
     ) -> Dict[str, StreamingForecast]:
         """Queue one forecast per tenant, then (by default) flush once.
 
@@ -224,6 +239,8 @@ class StreamingForecaster:
 
         Per-tenant future covariates are passed as ``tenant -> [horizon, c]``
         mappings; tenants absent from a mapping submit history-only.
+        ``priority`` / ``timeout`` apply to every tenant in the sweep (the
+        timeout is re-anchored per submit).
         """
         keys: List[str] = list(tenants) if tenants is not None else self.store.tenants()
         future_numerical = future_numerical or {}
@@ -233,6 +250,8 @@ class StreamingForecaster:
                 tenant,
                 future_numerical=future_numerical.get(tenant),
                 future_categorical=future_categorical.get(tenant),
+                priority=priority,
+                timeout=timeout,
             )
             for tenant in keys
         }

@@ -1,0 +1,14 @@
+"""``repro.testing`` — deterministic fault injection for degradation drills.
+
+Production code stays fault-free; the harness lives behind the same
+zero-overhead-when-disabled switch discipline as :mod:`repro.obs`: every
+hooked call site reads one module attribute (``faults.active()``) and
+does nothing else unless a drill armed a schedule.
+
+See :mod:`repro.testing.faults` for the schedule/act machinery and
+``tests/faults/`` for the drills built on it.
+"""
+
+from .faults import FaultSchedule, active, check, inject
+
+__all__ = ["FaultSchedule", "active", "check", "inject"]

@@ -1,0 +1,195 @@
+"""Deterministic, seedable fault injection for the wire and cluster layers.
+
+Degradation behaviour — retries masking a transient pipe hiccup, a
+breaker tripping on a wedged worker, deadline-bounded fan-outs — is only
+testable if the faults themselves are *reproducible*.  This module gives
+drills a :class:`FaultSchedule`: an explicit list of faults, each bound
+to a named injection **site** and an optional context **match**, consumed
+in order as the hooked code paths run.  Randomised drills stay
+deterministic because probabilistic faults draw from the schedule's own
+seeded RNG, never from global randomness.
+
+Sites are plain strings chosen by the hooked layer:
+
+* ``"wire.send"`` / ``"wire.recv"`` — inside
+  :func:`repro.wire.send_message` / :func:`repro.wire.recv_message`,
+  before any socket operation (context: none);
+* ``"shard.send"`` / ``"shard.recv"`` — inside
+  :class:`repro.cluster.process.ProcessShard`, before the wire call
+  (context: ``shard``, ``cmd``) — match on ``{"cmd": "ping"}`` to delay
+  heartbeats, on ``{"shard": "shard-1"}`` to target one worker.
+
+Fault kinds:
+
+* ``"delay"`` — sleep ``seconds`` then proceed (slow worker / slow pipe);
+* ``"drop"`` — the hooked *send* silently skips the write (a lost frame:
+  the peer never sees the request, the caller's receive times out);
+* ``"transient_eof"`` — raise
+  :class:`~repro.errors.TransientWireError` before touching the socket
+  (a retryable hiccup: the stream state is untouched, so a retry over
+  the same socket is sound);
+* ``"corrupt"`` — raise ``ValueError`` exactly as a bad-magic frame
+  would (stream-fatal: the reader cannot know how many bytes to skip).
+
+Everything is injected *before* the real socket operation, so the
+underlying stream is never left in a half-consumed state the test didn't
+ask for — injected faults model faults, they don't create novel ones.
+
+The switch mirrors :mod:`repro.obs`: hooked call sites read one module
+attribute (``_STATE.schedule``) and fall straight through when no drill
+armed a schedule, so production traffic pays one pointer compare.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import TransientWireError
+
+__all__ = ["KINDS", "FaultSchedule", "active", "check", "inject"]
+
+#: the fault kinds :func:`check` knows how to act out
+KINDS = ("delay", "drop", "transient_eof", "corrupt")
+
+
+class _Switch:
+    """Process-wide armed schedule; a bare attribute read is the fast path."""
+
+    __slots__ = ("schedule",)
+
+    def __init__(self) -> None:
+        self.schedule: Optional["FaultSchedule"] = None
+
+
+_STATE = _Switch()
+
+
+def active() -> bool:
+    """Whether a fault schedule is currently armed."""
+    return _STATE.schedule is not None
+
+
+class _Fault:
+    """One scheduled fault: where it fires, what it does, how often."""
+
+    __slots__ = ("site", "kind", "seconds", "match", "remaining", "probability")
+
+    def __init__(
+        self,
+        site: str,
+        kind: str,
+        seconds: float,
+        match: Dict[str, object],
+        times: int,
+        probability: float,
+    ) -> None:
+        self.site = site
+        self.kind = kind
+        self.seconds = seconds
+        self.match = match
+        self.remaining = times
+        self.probability = probability
+
+    def applies(self, site: str, ctx: Dict[str, object]) -> bool:
+        if self.site != site or self.remaining <= 0:
+            return False
+        return all(ctx.get(key) == value for key, value in self.match.items())
+
+
+class FaultSchedule:
+    """An ordered, seedable plan of faults, consumed as hooked sites run.
+
+    Thread-safe: the coordinator and worker-facing drills may hit hooked
+    sites from timer or pool threads.  ``fired`` records every fault that
+    actually acted (site, kind, context), in firing order, so a drill can
+    assert its faults landed where it aimed them.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._faults: List[_Fault] = []
+        self.fired: List[Tuple[str, str, Dict[str, object]]] = []
+
+    def add(
+        self,
+        site: str,
+        kind: str,
+        seconds: float = 0.0,
+        match: Optional[Dict[str, object]] = None,
+        times: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultSchedule":
+        """Queue one fault; returns ``self`` so schedules chain fluently."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; use one of {KINDS}")
+        if kind == "delay" and seconds <= 0:
+            raise ValueError(f"delay faults need seconds > 0, got {seconds}")
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        with self._lock:
+            self._faults.append(
+                _Fault(site, kind, float(seconds), dict(match or {}), int(times), float(probability))
+            )
+        return self
+
+    def take(self, site: str, ctx: Dict[str, object]) -> Optional[_Fault]:
+        """Consume (one firing of) the first fault matching this site/context."""
+        with self._lock:
+            for fault in self._faults:
+                if not fault.applies(site, ctx):
+                    continue
+                if fault.probability < 1.0 and self._rng.random() >= fault.probability:
+                    return None  # this encounter rolled past the fault
+                fault.remaining -= 1
+                self.fired.append((site, fault.kind, dict(ctx)))
+                return fault
+        return None
+
+    def pending(self) -> int:
+        """Remaining firings across every queued fault."""
+        with self._lock:
+            return sum(fault.remaining for fault in self._faults)
+
+
+def check(site: str, **ctx: object) -> Optional[str]:
+    """Hooked-site entry point: act out the next matching fault, if any.
+
+    Returns ``"drop"`` when the caller should silently skip its write,
+    ``None`` otherwise; ``delay`` sleeps here, ``transient_eof`` and
+    ``corrupt`` raise here.  Call sites guard with ``_STATE.schedule is
+    not None`` so the disabled path never even enters this function.
+    """
+    schedule = _STATE.schedule
+    if schedule is None:
+        return None
+    fault = schedule.take(site, ctx)
+    if fault is None:
+        return None
+    if fault.kind == "delay":
+        time.sleep(fault.seconds)
+        return None
+    if fault.kind == "drop":
+        return "drop"
+    if fault.kind == "transient_eof":
+        raise TransientWireError(f"injected transient end-of-stream at {site}")
+    # fault.kind == "corrupt" — the exact error a bad-magic frame raises.
+    raise ValueError(f"not a wire message (bad magic) [injected at {site}]")
+
+
+@contextmanager
+def inject(schedule: FaultSchedule) -> Iterator[FaultSchedule]:
+    """Arm a schedule for the duration of a ``with`` block (re-entrant safe:
+    the previously armed schedule, if any, is restored on exit)."""
+    previous = _STATE.schedule
+    _STATE.schedule = schedule
+    try:
+        yield schedule
+    finally:
+        _STATE.schedule = previous

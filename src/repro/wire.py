@@ -42,12 +42,16 @@ import socket
 import struct
 import subprocess
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
+from .errors import DeadlineExceeded, Overloaded, TransientWireError
+from .testing import faults as _faults
+
 __all__ = [
     "EndOfStream",
+    "TransientWireError",
     "MAX_FRAME_BYTES",
     "claim_worker_fd",
     "decode_state",
@@ -56,6 +60,7 @@ __all__ = [
     "pack_message",
     "raise_remote",
     "recv_message",
+    "register_raiseable",
     "send_message",
     "spawn_worker",
 ]
@@ -237,7 +242,16 @@ def unpack_message(payload: bytes):
 # Length-prefixed framing over a stream socket.
 # ---------------------------------------------------------------------- #
 def send_message(sock: socket.socket, message) -> None:
-    """Send one framed message (blocking until fully written)."""
+    """Send one framed message (blocking until fully written).
+
+    Fault injection (:mod:`repro.testing.faults`, site ``"wire.send"``)
+    acts *before* the write: a dropped frame is simply never sent, a
+    transient error leaves the stream untouched — the disabled path is
+    one attribute compare.
+    """
+    if _faults._STATE.schedule is not None:
+        if _faults.check("wire.send") == "drop":
+            return
     payload = pack_message(message)
     sock.sendall(_FRAME.pack(len(payload)) + payload)
 
@@ -249,7 +263,12 @@ def recv_message(sock: socket.socket, timeout: Optional[float] = None):
     exit or crash — the kernel delivers EOF/ECONNRESET the moment the
     process dies, so death detection needs no timeout in the common
     case), and ``TimeoutError`` if ``timeout`` elapses mid-frame.
+    Fault injection (site ``"wire.recv"``) acts before any byte is
+    consumed, so an injected transient error never desynchronises the
+    frame stream.
     """
+    if _faults._STATE.schedule is not None:
+        _faults.check("wire.recv")
     sock.settimeout(timeout)
     prefix = _recv_exact(sock, _FRAME.size)
     (length,) = _FRAME.unpack(prefix)
@@ -275,11 +294,12 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 # ---------------------------------------------------------------------- #
 # Error channel.
 # ---------------------------------------------------------------------- #
-#: builtin exception types allowed to re-materialise coordinator-side, so
-#: remote errors keep thread-backend semantics (``KeyError`` for unknown
-#: tenants, ``ValueError`` for bad geometry) without ever evaluating an
-#: arbitrary type name off the wire.
-_RAISEABLE = {
+#: exception types allowed to re-materialise coordinator-side, so remote
+#: errors keep thread-backend semantics (``KeyError`` for unknown tenants,
+#: ``ValueError`` for bad geometry, ``Overloaded``/``DeadlineExceeded``
+#: for worker-side load shedding) without ever evaluating an arbitrary
+#: type name off the wire.  Extensible via :func:`register_raiseable`.
+_RAISEABLE: Dict[str, Type[BaseException]] = {
     "KeyError": KeyError,
     "ValueError": ValueError,
     "TypeError": TypeError,
@@ -288,7 +308,29 @@ _RAISEABLE = {
     "NotImplementedError": NotImplementedError,
     "ZeroDivisionError": ZeroDivisionError,
     "OverflowError": OverflowError,
+    "TimeoutError": TimeoutError,
+    "Overloaded": Overloaded,
+    "DeadlineExceeded": DeadlineExceeded,
 }
+
+
+def register_raiseable(exc_type: Type[BaseException]) -> None:
+    """Whitelist an exception type for :func:`raise_remote`.
+
+    The type's ``__name__`` is the wire-level tag (what
+    :func:`error_payload` emits), and it must be constructible from a
+    single message string.  Registration is idempotent for the same
+    type; re-registering a *different* type under an existing name
+    raises — a silent swap would change what remote errors mean.
+    """
+    name = exc_type.__name__
+    existing = _RAISEABLE.get(name)
+    if existing is not None and existing is not exc_type:
+        raise ValueError(
+            f"raiseable name {name!r} already maps to {existing!r}; "
+            "refusing to silently re-map it"
+        )
+    _RAISEABLE[name] = exc_type
 
 
 def error_payload(error: BaseException) -> dict:

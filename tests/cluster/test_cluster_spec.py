@@ -1,0 +1,105 @@
+"""Tests for ClusterSpec validation and its build_cluster integration."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, build_cluster, validate_cluster_timeouts
+from repro.cluster.spec import ServiceSpec
+from repro.config import ModelConfig
+
+CONFIG = ModelConfig(
+    input_length=16, horizon=4, n_channels=1, patch_length=4,
+    hidden_dim=8, dropout=0.0, n_heads=2, n_layers=1, seed=1,
+)
+
+
+class TestTimeoutValidation:
+    def test_accepts_sane_budgets(self):
+        validate_cluster_timeouts(30.0, 2.0)
+
+    @pytest.mark.parametrize(
+        "request_timeout,heartbeat_timeout,message",
+        [
+            (0.0, 1.0, "request_timeout"),
+            (-5.0, 1.0, "request_timeout"),
+            (10.0, 0.0, "heartbeat_timeout"),
+            (10.0, -1.0, "heartbeat_timeout"),
+            (5.0, 5.0, "smaller than"),
+            (5.0, 9.0, "smaller than"),
+        ],
+    )
+    def test_rejects_bad_budgets(self, request_timeout, heartbeat_timeout, message):
+        with pytest.raises(ValueError, match=message):
+            validate_cluster_timeouts(request_timeout, heartbeat_timeout)
+
+
+class TestClusterSpecValidation:
+    def test_defaults_validate(self):
+        spec = ClusterSpec()
+        assert spec.backend == "thread"
+        assert spec.heartbeat_timeout < spec.request_timeout
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_shards": 0},
+            {"backend": "fiber"},
+            {"request_timeout": 0.0},
+            {"heartbeat_timeout": 0.0},
+            {"request_timeout": 1.0, "heartbeat_timeout": 1.0},
+            {"retry_attempts": 0},
+            {"retry_base": 0.0},
+            {"retry_base": 2.0, "retry_cap": 1.0},
+            {"breaker_threshold": 0},
+            {"breaker_reset": 0.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterSpec(**kwargs)
+
+
+class TestBuildClusterIntegration:
+    def test_thread_backend_honours_the_spec(self):
+        spec = ClusterSpec(n_shards=3, backend="thread", vnodes=16)
+        cluster = build_cluster(
+            ServiceSpec(config=CONFIG, compiled=False), cluster=spec
+        )
+        assert len(cluster.shard_ids()) == 3
+
+    def test_spec_and_loose_kwargs_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="either"):
+            build_cluster(
+                ServiceSpec(config=CONFIG, compiled=False),
+                n_shards=2,
+                cluster=ClusterSpec(),
+            )
+
+    def test_process_backend_carries_resilience_knobs(self):
+        spec = ClusterSpec(
+            n_shards=1, backend="process", request_timeout=17.0,
+            heartbeat_timeout=3.0, retry_attempts=5, breaker_threshold=4,
+            breaker_reset=1.5,
+        )
+        cluster = build_cluster(
+            ServiceSpec(config=CONFIG, compiled=False), cluster=spec
+        )
+        try:
+            assert cluster.request_timeout == 17.0
+            assert cluster.heartbeat_timeout == 3.0
+            shard = cluster._shards[cluster.shard_ids()[0]]
+            assert shard.retry.max_attempts == 5
+            assert shard.breaker.failure_threshold == 4
+            assert shard.breaker.reset_timeout == 1.5
+        finally:
+            cluster.close()
+
+    def test_coordinator_rejects_inverted_timeouts_directly(self):
+        from repro.cluster import ProcessCoordinator
+
+        with pytest.raises(ValueError, match="smaller than"):
+            ProcessCoordinator(
+                ServiceSpec(config=CONFIG, compiled=False),
+                n_shards=1,
+                request_timeout=1.0,
+                heartbeat_timeout=2.0,
+            )

@@ -1,0 +1,242 @@
+"""Degradation drills: the cluster under injected faults and overload.
+
+Each drill arms a deterministic fault (stall, transient, burst) and
+asserts the *shape* of the degradation: typed errors for shed work,
+deadlines honoured for healthy work, breakers trading timeouts for
+fail-fast, and bit-parity for everything that was actually admitted.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.cluster import (
+    ClusterSpec,
+    ServiceSpec,
+    build_cluster,
+    compare_cluster_to_unsharded,
+    replay_cluster,
+)
+from repro.config import ModelConfig
+from repro.errors import DeadlineExceeded, Overloaded, TransientWireError
+from repro.serving import AdmissionPolicy, ForecastService
+from repro.streaming import StreamingForecaster
+from repro.testing import faults
+
+INPUT_LENGTH = 16
+HORIZON = 4
+CHANNELS = 2
+
+CONFIG = ModelConfig(
+    input_length=INPUT_LENGTH, horizon=HORIZON, n_channels=CHANNELS,
+    patch_length=4, hidden_dim=16, dropout=0.0, n_heads=2, n_layers=1, seed=11,
+)
+
+SPEC = ServiceSpec(config=CONFIG, max_batch_size=16)
+
+FAST_CLUSTER = ClusterSpec(
+    n_shards=2, backend="process", request_timeout=30.0, heartbeat_timeout=2.0,
+    retry_attempts=3, retry_base=0.01, retry_cap=0.05,
+    breaker_threshold=2, breaker_reset=0.4,
+)
+
+
+def make_streams(n_tenants, rows, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        f"tenant-{i}": rng.normal(size=(rows, CHANNELS)).astype(np.float32)
+        for i in range(n_tenants)
+    }
+
+
+@pytest.fixture
+def cluster():
+    built = build_cluster(SPEC, cluster=FAST_CLUSTER)
+    rng = np.random.default_rng(5)
+    for i in range(6):
+        built.ingest(f"tenant-{i}", rng.normal(size=(INPUT_LENGTH, CHANNELS)))
+    yield built
+    built.close()
+
+
+def split_by_shard(cluster, tenants):
+    victim = cluster.shard_for(tenants[0])
+    on_victim = [t for t in tenants if cluster.shard_for(t) == victim]
+    elsewhere = [t for t in tenants if cluster.shard_for(t) != victim]
+    return victim, on_victim, elsewhere
+
+
+def outcome(handle):
+    try:
+        handle.result()
+        return "ok"
+    except Exception as error:
+        return type(error).__name__
+
+
+class TestShedUnderBurst:
+    """A burst beyond queue capacity sheds typed, never silently."""
+
+    def test_local_burst_sheds_worst_class_first(self, rng):
+        service = ForecastService(
+            SPEC.build().model, max_batch_size=64,
+            admission=AdmissionPolicy(queue_limit=8),
+        )
+        history = rng.normal(size=(INPUT_LENGTH, CHANNELS)).astype(np.float32)
+        handles, refused = [], 0
+        for i in range(20):
+            priority = ("best_effort", "batch", "interactive")[i % 3]
+            try:
+                handles.append(service.submit(history + i, priority=priority))
+            except Overloaded:
+                refused += 1
+        service.flush()
+        outcomes = [outcome(h) for h in handles]
+        shed = outcomes.count("Overloaded")
+        assert refused + shed == 20 - 8  # burst minus capacity, all typed
+        assert outcomes.count("ok") == 8
+        assert service.stats.shed_overloaded == refused + shed
+        # Every interactive submission survived: only lower classes paid.
+        assert all(
+            outcome(h) == "ok"
+            for i, h in zip(range(20), handles)
+            if ("best_effort", "batch", "interactive")[i % 3] == "interactive"
+        ) or shed == 0
+
+    def test_worker_side_shed_crosses_the_wire_typed(self):
+        spec = ServiceSpec(config=CONFIG, max_batch_size=16, queue_limit=2)
+        built = build_cluster(spec, cluster=FAST_CLUSTER)
+        try:
+            rng = np.random.default_rng(5)
+            built.ingest("t", rng.normal(size=(INPUT_LENGTH, CHANNELS)))
+            built.forecast("t")
+            built.forecast("t")
+            with pytest.raises(Overloaded, match="queue full"):
+                built.forecast("t")  # shed in the worker process, typed here
+            assert built.flush() == 2
+        finally:
+            built.close()
+
+
+class TestStalledShard:
+    def test_healthy_shards_complete_within_caller_deadline(self, cluster):
+        tenants = [f"tenant-{i}" for i in range(6)]
+        victim, on_victim, elsewhere = split_by_shard(cluster, tenants)
+        assert elsewhere, "hash ring put every tenant on one shard"
+        cluster.inject_stall(victim, seconds=2.0, count=4)
+        started = obs.now()
+        handles = cluster.forecast_all(tenants, timeout=0.8)
+        elapsed = obs.now() - started
+        assert elapsed < 1.6, "fan-out must not wait out the stall"
+        for tenant in elsewhere:
+            assert handles[tenant].result().shape == (HORIZON, CHANNELS)
+        for tenant in on_victim:
+            with pytest.raises(DeadlineExceeded):
+                handles[tenant].result()
+
+    def test_detect_failures_timeout_override_bounds_the_probe(self, cluster):
+        tenants = [f"tenant-{i}" for i in range(6)]
+        victim, _, _ = split_by_shard(cluster, tenants)
+        cluster.inject_stall(victim, seconds=1.5, count=2)
+        started = obs.now()
+        suspects = cluster.detect_failures(timeout=0.2)
+        elapsed = obs.now() - started
+        assert suspects == [victim]
+        assert elapsed < 1.0, "override must bound the probe below the stall"
+        time.sleep(1.8)  # stall drains; stale replies are seq-drained
+        time.sleep(FAST_CLUSTER.breaker_reset)
+        assert cluster.detect_failures() == []
+
+
+class TestBreakerTripAndRecover:
+    def test_consecutive_stalls_trip_then_probe_recovers(self, cluster):
+        tenants = [f"tenant-{i}" for i in range(6)]
+        victim, on_victim, elsewhere = split_by_shard(cluster, tenants)
+        cluster.inject_stall(victim, seconds=1.2, count=4)
+        # Two deadline-bounded fan-outs time the victim out twice: trip.
+        for _ in range(FAST_CLUSTER.breaker_threshold):
+            cluster.forecast_all(on_victim[:1], timeout=0.15)
+        state = cluster.breaker_states()[victim]
+        assert state["state"] == "open"
+        assert state["trips"] == 1
+        # Open circuit: the victim's work sheds typed with zero wire I/O,
+        # healthy shards keep serving.
+        handles = cluster.forecast_all(tenants, timeout=0.5)
+        for tenant in elsewhere:
+            assert handles[tenant].result().shape == (HORIZON, CHANNELS)
+        assert all(outcome(handles[t]) == "Overloaded" for t in on_victim)
+        # Wait out the stall and the reset window: the half-open probe
+        # succeeds and the breaker closes.
+        time.sleep(1.5 + FAST_CLUSTER.breaker_reset)
+        handles = cluster.forecast_all(tenants, timeout=10.0)
+        assert all(outcome(h) == "ok" for h in handles.values())
+        state = cluster.breaker_states()[victim]
+        assert state["state"] == "closed"
+        assert state["consecutive_failures"] == 0
+
+
+class TestRetryMasksTransients:
+    def test_send_transient_is_retried_invisibly(self, cluster):
+        schedule = faults.FaultSchedule(seed=2).add(
+            "shard.send", "transient_eof", times=1
+        )
+        with faults.inject(schedule):
+            handle = cluster.forecast("tenant-0")
+            cluster.flush()
+        assert handle.result().shape == (HORIZON, CHANNELS)
+        assert [kind for _, kind, _ in schedule.fired] == ["transient_eof"]
+        assert schedule.pending() == 0
+
+    def test_recv_transient_is_retried_invisibly(self, cluster):
+        schedule = faults.FaultSchedule(seed=2).add(
+            "shard.recv", "transient_eof", times=1
+        )
+        with faults.inject(schedule):
+            handle = cluster.forecast("tenant-1")
+            cluster.flush()
+        assert handle.result().shape == (HORIZON, CHANNELS)
+        assert schedule.pending() == 0
+
+    def test_exhausted_retries_surface_the_transient(self, cluster):
+        schedule = faults.FaultSchedule(seed=2).add(
+            "shard.send", "transient_eof", times=FAST_CLUSTER.retry_attempts
+        )
+        with faults.inject(schedule):
+            with pytest.raises(TransientWireError):
+                cluster.forecast("tenant-0")
+        # The stream itself was never touched: traffic flows afterwards.
+        assert cluster.forecast("tenant-0").result().shape == (HORIZON, CHANNELS)
+
+    def test_workers_keep_bit_parity_after_masked_transients(self, cluster):
+        rng = np.random.default_rng(9)
+        history_row = rng.normal(size=(1, CHANNELS)).astype(np.float32)
+        baseline = cluster.forecast("tenant-2").result()
+        schedule = faults.FaultSchedule(seed=4).add(
+            "shard.send", "transient_eof", times=1
+        ).add("shard.recv", "transient_eof", times=1)
+        with faults.inject(schedule):
+            retried = cluster.forecast("tenant-2").result()
+        np.testing.assert_array_equal(baseline, retried)
+        del history_row
+
+
+class TestAdmittedTrafficParity:
+    def test_admission_enabled_cluster_matches_unsharded_oracle(self):
+        """Admission control must be invisible to admitted traffic: a
+        bounded, deadline-defaulted process cluster forecasts bitwise what
+        one uninterrupted in-process forecaster produces."""
+        spec = ServiceSpec(
+            config=CONFIG, max_batch_size=16, queue_limit=32, default_timeout=60.0
+        )
+        streams = make_streams(4, rows=INPUT_LENGTH + 4, seed=21)
+        built = build_cluster(spec, cluster=FAST_CLUSTER)
+        try:
+            produced = replay_cluster(built, streams, warmup=INPUT_LENGTH)
+        finally:
+            built.close()
+        reference = StreamingForecaster(spec.build())
+        expected = replay_cluster(reference, streams, warmup=INPUT_LENGTH)
+        report = compare_cluster_to_unsharded(produced, expected)
+        assert report.bit_identical, report

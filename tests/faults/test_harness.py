@@ -1,0 +1,158 @@
+"""Unit tests for the fault-injection harness itself.
+
+The harness must be deterministic (seeded probability rolls), strictly
+ordered (faults consume in schedule order), scoped (a ``with inject``
+block arms and disarms cleanly), and free when disabled (call sites read
+one module attribute).
+"""
+
+import socket
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro import wire
+from repro.errors import TransientWireError
+from repro.testing import faults
+
+
+class TestScheduleMechanics:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultSchedule().add("wire.send", "meteor")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "delay", "seconds": 0.0},
+            {"kind": "drop", "times": 0},
+            {"kind": "drop", "probability": 0.0},
+            {"kind": "drop", "probability": 1.5},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            faults.FaultSchedule().add("wire.send", **kwargs)
+
+    def test_faults_consume_in_order_and_count_down(self):
+        schedule = (
+            faults.FaultSchedule()
+            .add("s", "drop", times=2)
+            .add("s", "transient_eof")
+        )
+        assert schedule.pending() == 3
+        assert schedule.take("s", {}).kind == "drop"
+        assert schedule.take("s", {}).kind == "drop"
+        assert schedule.take("s", {}).kind == "transient_eof"
+        assert schedule.take("s", {}) is None
+        assert schedule.pending() == 0
+        assert [kind for _, kind, _ in schedule.fired] == [
+            "drop", "drop", "transient_eof",
+        ]
+
+    def test_site_and_context_matching(self):
+        schedule = faults.FaultSchedule().add(
+            "shard.send", "drop", match={"cmd": "ping"}
+        )
+        assert schedule.take("shard.recv", {"cmd": "ping"}) is None
+        assert schedule.take("shard.send", {"cmd": "flush"}) is None
+        fault = schedule.take("shard.send", {"cmd": "ping", "shard": "s0"})
+        assert fault is not None and fault.kind == "drop"
+
+    def test_probability_rolls_are_seeded(self):
+        def roll(seed):
+            schedule = faults.FaultSchedule(seed=seed).add(
+                "s", "drop", times=50, probability=0.5
+            )
+            return [schedule.take("s", {}) is not None for _ in range(50)]
+
+        assert roll(3) == roll(3)  # reproducible
+        hits = sum(roll(3))
+        assert 0 < hits < 50  # and genuinely probabilistic
+
+    def test_inject_is_scoped_and_restores_previous(self):
+        outer = faults.FaultSchedule()
+        inner = faults.FaultSchedule()
+        assert not faults.active()
+        with faults.inject(outer):
+            assert faults._STATE.schedule is outer
+            with faults.inject(inner):
+                assert faults._STATE.schedule is inner
+            assert faults._STATE.schedule is outer
+        assert not faults.active()
+
+    def test_check_is_inert_when_disarmed(self):
+        assert faults.check("wire.send", cmd="anything") is None
+
+    def test_thread_safe_consumption(self):
+        schedule = faults.FaultSchedule().add("s", "drop", times=100)
+        taken = []
+
+        def worker():
+            while True:
+                fault = schedule.take("s", {})
+                if fault is None:
+                    return
+                taken.append(fault)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(taken) == 100  # every firing consumed exactly once
+
+
+class TestCheckActions:
+    def test_delay_sleeps_then_proceeds(self):
+        schedule = faults.FaultSchedule().add("s", "delay", seconds=0.05)
+        with faults.inject(schedule):
+            started = obs.now()
+            assert faults.check("s") is None
+            assert obs.now() - started >= 0.04
+
+    def test_transient_eof_raises_typed(self):
+        with faults.inject(faults.FaultSchedule().add("s", "transient_eof")):
+            with pytest.raises(TransientWireError, match="injected"):
+                faults.check("s")
+
+    def test_corrupt_matches_bad_magic_error(self):
+        with faults.inject(faults.FaultSchedule().add("s", "corrupt")):
+            with pytest.raises(ValueError, match="bad magic"):
+                faults.check("s")
+
+    def test_drop_tells_the_caller_to_skip(self):
+        with faults.inject(faults.FaultSchedule().add("s", "drop")):
+            assert faults.check("s") == "drop"
+
+
+class TestWireHooks:
+    """The wire layer consults the harness on every send/recv when armed."""
+
+    def test_dropped_send_writes_nothing(self):
+        left, right = socket.socketpair()
+        try:
+            with faults.inject(faults.FaultSchedule().add("wire.send", "drop")):
+                wire.send_message(left, {"cmd": "lost"})
+                wire.send_message(left, {"cmd": "arrives"})
+            right.settimeout(2.0)
+            assert wire.recv_message(right)["cmd"] == "arrives"
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_transient_leaves_stream_usable(self):
+        left, right = socket.socketpair()
+        try:
+            wire.send_message(left, {"n": 1})
+            schedule = faults.FaultSchedule().add("wire.recv", "transient_eof")
+            right.settimeout(2.0)
+            with faults.inject(schedule):
+                with pytest.raises(TransientWireError):
+                    wire.recv_message(right)
+                # Injected before any byte was consumed: a retry succeeds.
+                assert wire.recv_message(right)["n"] == 1
+        finally:
+            left.close()
+            right.close()
